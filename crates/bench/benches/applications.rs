@@ -1,0 +1,57 @@
+//! Criterion benches for the application models (Figure 8, Tables 5-7,
+//! POP): native wall clock of one model step, by resolution and processor
+//! count.
+
+use ccm_proxy::{Ccm2Config, Ccm2Proxy, Resolution};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocean_models::{Mom, MomConfig, Pop, PopConfig};
+use sxsim::presets;
+
+fn bench_ccm2_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ccm2_step");
+    g.sample_size(10);
+    for procs in [1usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("T42", procs), &procs, |b, &procs| {
+            let mut m =
+                Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+            m.step(procs);
+            b.iter(|| m.step(procs));
+        });
+    }
+    g.finish();
+}
+
+fn bench_spectral_transform(c: &mut Criterion) {
+    use ccm_proxy::SphericalTransform;
+    use sxsim::Vm;
+    let mut g = c.benchmark_group("spherical_transform");
+    g.sample_size(10);
+    for (trunc, nlat, nlon) in [(42usize, 64usize, 128usize), (85, 128, 256)] {
+        let t = SphericalTransform::new(trunc, nlat, nlon);
+        let grid: Vec<f64> = (0..nlat * nlon).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        g.bench_with_input(BenchmarkId::new("analyze", trunc), &grid, |b, grid| {
+            b.iter(|| {
+                let mut vm = Vm::new(presets::sx4_benchmarked());
+                t.analyze(&mut vm, grid)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ocean_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ocean_step");
+    g.sample_size(10);
+    g.bench_function("mom_low_res_8p", |b| {
+        let mut m = Mom::new(MomConfig::low_resolution(), presets::sx4_benchmarked());
+        b.iter(|| m.step(8));
+    });
+    g.bench_function("pop_two_degree_1p", |b| {
+        let mut m = Pop::new(PopConfig::two_degree(), presets::sx4_benchmarked());
+        b.iter(|| m.step(1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ccm2_step, bench_spectral_transform, bench_ocean_steps);
+criterion_main!(benches);

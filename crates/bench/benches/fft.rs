@@ -1,0 +1,51 @@
+//! Criterion benches for the FFT pair (Figures 6 and 7): native wall clock
+//! of the mixed-radix transform and of the two charged loop orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ncar_kernels::fft::{fft, run_fft_point, rfft_spectrum, C64, Direction, LoopOrder};
+use sxsim::presets;
+
+fn bench_complex_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("complex_fft");
+    for n in [64usize, 240, 1024, 1280] {
+        let input: Vec<C64> =
+            (0..n).map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let mut x = input.clone();
+                fft(&mut x, Direction::Forward);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_real_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rfft_spectrum");
+    for n in [128usize, 640, 1280] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
+            b.iter(|| rfft_spectrum(s))
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_orders(c: &mut Criterion) {
+    let m = presets::sx4_benchmarked();
+    let mut g = c.benchmark_group("fig6_fig7_points");
+    g.sample_size(20);
+    g.bench_function("rfft_point_n256", |b| {
+        b.iter(|| run_fft_point(&m, 256, 100, LoopOrder::AxisFastest))
+    });
+    g.bench_function("vfft_point_n256_m500", |b| {
+        b.iter(|| run_fft_point(&m, 256, 500, LoopOrder::InstanceFastest))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_complex_fft, bench_real_fft, bench_loop_orders);
+criterion_main!(benches);

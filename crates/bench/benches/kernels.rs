@@ -1,0 +1,52 @@
+//! Criterion benches for the kernel suite: host-native wall clock of the
+//! real Rust computations behind Table 1, Table 3, Figure 5 and §4.4
+//! (the simulated-machine numbers come from `ncar-bench`, not Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncar_kernels::membw::{run_point, MembwKind};
+use ncar_kernels::radabs::radabs_mflops;
+use ncar_suite::Instance;
+use othersuites::hint::run_hint;
+use othersuites::linpack::linpack;
+use othersuites::stream::{run_op, StreamOp};
+use sxsim::presets;
+
+fn bench_membw(c: &mut Criterion) {
+    let m = presets::sx4_benchmarked();
+    let mut g = c.benchmark_group("fig5_membw");
+    for kind in [MembwKind::Copy, MembwKind::Ia, MembwKind::Xpose] {
+        let inst = match kind {
+            MembwKind::Xpose => Instance { n: 128, m: 8 },
+            _ => Instance { n: 65_536, m: 4 },
+        };
+        g.bench_with_input(BenchmarkId::new(kind.label(), inst.n), &inst, |b, &inst| {
+            b.iter(|| run_point(&m, kind, inst, 1));
+        });
+    }
+    g.finish();
+}
+
+fn bench_radabs(c: &mut Criterion) {
+    let machines = [presets::sx4_benchmarked(), presets::cray_ymp(), presets::sparc20()];
+    let mut g = c.benchmark_group("radabs");
+    for m in &machines {
+        g.bench_function(m.name.clone(), |b| b.iter(|| radabs_mflops(m, 1024, 1)));
+    }
+    g.finish();
+}
+
+fn bench_table1_suites(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("hint_sparc20_20k_splits", |b| {
+        b.iter(|| run_hint(&presets::sparc20(), 20_000))
+    });
+    g.bench_function("linpack_n100_sx4", |b| b.iter(|| linpack(&presets::sx4_benchmarked(), 100)));
+    g.bench_function("stream_triad_sx4", |b| {
+        b.iter(|| run_op(&presets::sx4_benchmarked(), StreamOp::Triad, 200_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_membw, bench_radabs, bench_table1_suites);
+criterion_main!(benches);

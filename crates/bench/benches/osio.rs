@@ -1,0 +1,51 @@
+//! Criterion benches for the SUPER-UX substrate: scheduler throughput,
+//! SFS write path, and the PRODLOAD composition (with fixed rates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superux::prodload::{prodload, CcmRates};
+use superux::{JobSpec, Nqs, Sfs};
+use sxsim::{presets, Node};
+
+fn bench_nqs(c: &mut Criterion) {
+    let node = Node::new(presets::sx4_benchmarked());
+    let mut g = c.benchmark_group("nqs");
+    g.bench_function("schedule_64_jobs", |b| {
+        let jobs: Vec<JobSpec> = (0..64)
+            .map(|i| JobSpec {
+                name: format!("j{i}"),
+                procs: 1 + (i % 8),
+                memory_bytes: 128 << 20,
+                solo_seconds: 10.0 + i as f64,
+                bytes_per_cycle_per_proc: 30.0,
+                block: 0,
+                after: if i >= 8 { vec![i - 8] } else { vec![] },
+            })
+            .collect();
+        let nqs = Nqs::whole_node(&node);
+        b.iter(|| nqs.run(&jobs));
+    });
+    g.finish();
+}
+
+fn bench_sfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sfs");
+    g.bench_function("write_1gb_staged", |b| {
+        b.iter(|| {
+            let mut fs = Sfs::benchmarked();
+            fs.write(0.0, 1 << 30, 64)
+        })
+    });
+    g.finish();
+}
+
+fn bench_prodload(c: &mut Criterion) {
+    let node = Node::new(presets::sx4_benchmarked());
+    let rates = CcmRates::synthetic();
+    let mut g = c.benchmark_group("prodload");
+    g.sample_size(10);
+    g.bench_function("full_composition", |b| b.iter(|| prodload(&node, &rates)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_nqs, bench_sfs, bench_prodload);
+criterion_main!(benches);

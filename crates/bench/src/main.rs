@@ -1,0 +1,88 @@
+//! `ncar-bench` — regenerate every table and figure of the SC'96 paper
+//! "Architecture and Application: The Performance of the NEC SX-4 on the
+//! NCAR Benchmark Suite" on the simulated machine.
+//!
+//! ```text
+//! ncar-bench [--json] <experiment>...
+//! ncar-bench all            # everything (slow: full CCM2/MOM runs)
+//! ncar-bench list           # list experiment names
+//! ```
+
+mod exp_apps;
+mod exp_extra;
+mod exp_kernels;
+mod exp_system;
+
+use ncar_suite::Artifact;
+
+/// (name, description, runner)
+type Experiment = (&'static str, &'static str, fn() -> Vec<Artifact>);
+
+fn experiments() -> Vec<Experiment> {
+    vec![
+        ("table1", "HINT vs RADABS across four machines", exp_kernels::table1),
+        ("table2", "benchmarked SX-4/32 specifications", exp_kernels::table2),
+        ("table3", "ELEFUNT intrinsic throughput, SX-4/1", exp_kernels::table3),
+        ("correctness", "PARANOIA + ELEFUNT accuracy (pass/fail)", exp_kernels::correctness),
+        ("fig5", "COPY/IA/XPOSE memory bandwidth ladders", exp_kernels::fig5),
+        ("fig6", "RFFT Mflops vs FFT length", exp_kernels::fig6),
+        ("fig7", "VFFT Mflops vs vector length", exp_kernels::fig7),
+        ("radabs", "RADABS Cray-equivalent Mflops headline", exp_kernels::radabs),
+        ("table4", "CCM2 resolutions/grids/time steps", exp_apps::table4),
+        ("fig8", "CCM2 Gflops vs processors (T42/T106/T170)", exp_apps::fig8),
+        ("table5", "one-year T42/T63 simulations with history I/O", exp_apps::table5),
+        ("table6", "ensemble test (1 vs 8 concurrent jobs)", exp_apps::table6),
+        ("table7", "MOM 350-step scaling", exp_apps::table7),
+        ("pop", "POP 2-degree Mflops (+ CSHIFT ablation)", exp_apps::pop),
+        ("prodload", "production job mix (measured rates)", || {
+            exp_system::prodload_experiment(true)
+        }),
+        ("io", "history-tape I/O benchmark", exp_system::io),
+        ("hippi", "HIPPI packet-size sweep", exp_system::hippi),
+        ("network", "FDDI/IP NETWORK benchmark", exp_system::network),
+        ("othersuites", "LINPACK / STREAM / HINT context suites", exp_system::other_suites),
+        ("projection", "8.0 ns production-clock projection (§4.7.1)", exp_extra::projection),
+        ("ablations", "architecture ablations (startup/banks/gather/IXS)", exp_extra::ablations),
+        ("proginf", "PROGINF summaries of contrasting workloads", exp_extra::proginf),
+        ("multinode", "CCM2 across IXS-coupled nodes (extension)", exp_extra::multinode),
+        ("ftrace", "FTRACE phase breakdown of a CCM2 step", exp_extra::ftrace),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let exps = experiments();
+
+    if names.is_empty() || names.iter().any(|n| n.as_str() == "list") {
+        eprintln!("usage: ncar-bench [--json] <experiment>... | all | list\n");
+        eprintln!("experiments:");
+        for (name, desc, _) in &exps {
+            eprintln!("  {name:<12} {desc}");
+        }
+        std::process::exit(if names.is_empty() { 2 } else { 0 });
+    }
+
+    let run_all = names.iter().any(|n| n.as_str() == "all");
+    let mut ran = 0;
+    for (name, _desc, runner) in &exps {
+        if run_all || names.iter().any(|n| n.as_str() == *name) {
+            if !json {
+                println!("==> {name}");
+            }
+            for artifact in runner() {
+                if json {
+                    println!("{}", artifact.to_json());
+                } else {
+                    println!("{}", artifact.render());
+                }
+            }
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no such experiment; try `ncar-bench list`");
+        std::process::exit(2);
+    }
+}

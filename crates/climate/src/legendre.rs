@@ -1,0 +1,146 @@
+//! Fully-normalized associated Legendre functions P̄ₙᵐ(μ), the latitude
+//! basis of the spherical-harmonic (spectral) transform.
+//!
+//! Normalization: ∫₋₁¹ P̄ₙᵐ(μ) P̄ₙ'ᵐ(μ) dμ = δₙₙ' (orthonormal on [-1, 1],
+//! Condon–Shortley phase omitted, as spectral models do).
+
+/// Compute P̄ₙᵐ(μ) for all 0 ≤ m ≤ n ≤ `trunc` at one point, packed by
+/// [`pack_index`]. Uses the stable m-diagonal + three-term-n recurrences.
+pub fn plm_at(trunc: usize, mu: f64) -> Vec<f64> {
+    let nspec = (trunc + 1) * (trunc + 2) / 2;
+    let mut p = vec![0.0f64; nspec];
+    let sin_theta = (1.0 - mu * mu).max(0.0).sqrt();
+
+    // Diagonal: P̄_m^m.
+    let mut pmm = (0.5f64).sqrt(); // P̄_0^0
+    for m in 0..=trunc {
+        if m > 0 {
+            let mf = m as f64;
+            pmm *= sin_theta * ((2.0 * mf + 1.0) / (2.0 * mf)).sqrt();
+        }
+        p[pack_index(trunc, m, m)] = pmm;
+        if m < trunc {
+            // First off-diagonal: P̄_{m+1}^m = mu * sqrt(2m+3) * P̄_m^m.
+            let pm1 = mu * ((2.0 * m as f64 + 3.0).sqrt()) * pmm;
+            p[pack_index(trunc, m, m + 1)] = pm1;
+            // Upward three-term recurrence in n.
+            let mut pn_2 = pmm;
+            let mut pn_1 = pm1;
+            for n in (m + 2)..=trunc {
+                let nf = n as f64;
+                let mf = m as f64;
+                let a = ((4.0 * nf * nf - 1.0) / (nf * nf - mf * mf)).sqrt();
+                let b = (((2.0 * nf + 1.0) * (nf - 1.0 - mf) * (nf - 1.0 + mf))
+                    / ((2.0 * nf - 3.0) * (nf * nf - mf * mf)))
+                    .sqrt();
+                let pn = a * mu * pn_1 - b * pn_2;
+                p[pack_index(trunc, m, n)] = pn;
+                pn_2 = pn_1;
+                pn_1 = pn;
+            }
+        }
+    }
+    p
+}
+
+/// Packed index of coefficient (m, n) under triangular truncation `trunc`:
+/// coefficients are stored m-major, n ascending within each m.
+pub fn pack_index(trunc: usize, m: usize, n: usize) -> usize {
+    debug_assert!(m <= n && n <= trunc);
+    // offset(m) = sum_{k<m} (trunc + 1 - k) = m(trunc+1) - m(m-1)/2
+    m * (2 * (trunc + 1) - m + 1) / 2 + (n - m)
+}
+
+/// Total packed coefficients for `trunc`.
+pub fn pack_len(trunc: usize) -> usize {
+    (trunc + 1) * (trunc + 2) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss::gauss_legendre;
+
+    #[test]
+    fn pack_index_is_a_bijection() {
+        for trunc in [0usize, 1, 5, 42] {
+            let mut seen = vec![false; pack_len(trunc)];
+            for m in 0..=trunc {
+                for n in m..=trunc {
+                    let i = pack_index(trunc, m, n);
+                    assert!(!seen[i], "collision at ({m},{n})");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn p00_is_sqrt_half() {
+        let p = plm_at(3, 0.4);
+        assert!((p[pack_index(3, 0, 0)] - (0.5f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p10_is_scaled_mu() {
+        // P̄_1^0(mu) = sqrt(3/2) * mu.
+        for &mu in &[-0.7, 0.0, 0.3, 0.95] {
+            let p = plm_at(4, mu);
+            assert!((p[pack_index(4, 0, 1)] - (1.5f64).sqrt() * mu).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn orthonormal_under_gauss_quadrature() {
+        let trunc = 10;
+        let nlat = 16; // >= (trunc*2+1)/2, quadrature exact through degree 31
+        let (mu, w) = gauss_legendre(nlat);
+        let tables: Vec<Vec<f64>> = mu.iter().map(|&x| plm_at(trunc, x)).collect();
+        for m in 0..=trunc {
+            for n1 in m..=trunc {
+                for n2 in m..=trunc {
+                    let dot: f64 = (0..nlat)
+                        .map(|l| {
+                            w[l] * tables[l][pack_index(trunc, m, n1)]
+                                * tables[l][pack_index(trunc, m, n2)]
+                        })
+                        .sum();
+                    let expect = if n1 == n2 { 1.0 } else { 0.0 };
+                    assert!(
+                        (dot - expect).abs() < 1e-10,
+                        "m={m} n1={n1} n2={n2}: {dot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_in_mu() {
+        // P̄_n^m(-mu) = (-1)^(n-m) P̄_n^m(mu).
+        let trunc = 8;
+        let p_pos = plm_at(trunc, 0.37);
+        let p_neg = plm_at(trunc, -0.37);
+        for m in 0..=trunc {
+            for n in m..=trunc {
+                let i = pack_index(trunc, m, n);
+                let sign = if (n - m) % 2 == 0 { 1.0 } else { -1.0 };
+                assert!((p_neg[i] - sign * p_pos[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn values_bounded_at_poles() {
+        // At mu = ±1 only m = 0 terms survive.
+        let trunc = 6;
+        let p = plm_at(trunc, 1.0);
+        for m in 1..=trunc {
+            for n in m..=trunc {
+                assert_eq!(p[pack_index(trunc, m, n)], 0.0);
+            }
+        }
+        assert!(p[pack_index(trunc, 0, 0)] > 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Spectral energy diagnostics: the power distribution over total
+//! wavenumber n that spectral modelers watch (energy cascades, the
+//! hyperdiffusion tail, truncation health). Parseval ties the spectrum to
+//! grid-space variance, which makes the diagnostics independently
+//! testable.
+
+use crate::spectral::SphericalTransform;
+use ncar_kernels::fft::C64;
+
+/// Power per total wavenumber: `spectrum[n] = sum_m w_m |a_mn|^2`, with
+/// conjugate-pair weighting (m = 0 counts once, m > 0 twice).
+pub fn power_by_n(t: &SphericalTransform, spec: &[C64]) -> Vec<f64> {
+    assert_eq!(spec.len(), t.nspec());
+    let mut power = vec![0.0f64; t.trunc + 1];
+    for m in 0..=t.trunc {
+        let w = if m == 0 { 1.0 } else { 2.0 };
+        for n in m..=t.trunc {
+            power[n] += w * spec[t.index(m, n)].norm_sqr();
+        }
+    }
+    power
+}
+
+/// Total spectral power (the Parseval counterpart of the grid variance).
+pub fn total_power(t: &SphericalTransform, spec: &[C64]) -> f64 {
+    power_by_n(t, spec).iter().sum()
+}
+
+/// Area-weighted mean of `grid^2` over the Gaussian grid — equals
+/// [`total_power`] for a band-limited field (Parseval for orthonormal
+/// spherical harmonics with the 1/2 measure weight folded in).
+pub fn grid_variance(t: &SphericalTransform, grid: &[f64]) -> f64 {
+    assert_eq!(grid.len(), t.nlat * t.nlon);
+    let mut total = 0.0;
+    for l in 0..t.nlat {
+        let w = t.weights[l];
+        let row = &grid[l * t.nlon..(l + 1) * t.nlon];
+        total += w * row.iter().map(|v| v * v).sum::<f64>() / t.nlon as f64;
+    }
+    total
+}
+
+/// Fraction of the power in the top (smallest-scale) third of the
+/// spectrum — the quantity hyperdiffusion is supposed to keep small.
+pub fn tail_fraction(t: &SphericalTransform, spec: &[C64]) -> f64 {
+    let p = power_by_n(t, spec);
+    let total: f64 = p.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let cutoff = 2 * (t.trunc + 1) / 3;
+    p[cutoff..].iter().sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Ccm2Config, Ccm2Proxy};
+    use crate::resolution::Resolution;
+    use sxsim::{presets, Vm};
+
+    fn transform() -> SphericalTransform {
+        SphericalTransform::new(10, 16, 32)
+    }
+
+    #[test]
+    fn single_mode_spectrum_is_a_spike() {
+        let t = transform();
+        let mut spec = vec![C64::ZERO; t.nspec()];
+        spec[t.index(2, 5)] = C64::new(3.0, -4.0); // |a|^2 = 25
+        let p = power_by_n(&t, &spec);
+        assert_eq!(p[5], 2.0 * 25.0); // m > 0: conjugate pair
+        assert!(p.iter().enumerate().all(|(n, &v)| n == 5 || v == 0.0));
+    }
+
+    #[test]
+    fn parseval_ties_spectrum_to_grid_variance() {
+        let t = transform();
+        let mut vm = Vm::new(presets::sx4_benchmarked());
+        let mut spec = vec![C64::ZERO; t.nspec()];
+        for m in 0..=t.trunc {
+            for n in m..=t.trunc {
+                let i = t.index(m, n);
+                let re = ((m * 3 + n) % 7) as f64 / 7.0 - 0.4;
+                let im = if m == 0 { 0.0 } else { ((m + n * 2) % 5) as f64 / 5.0 - 0.3 };
+                spec[i] = C64::new(re, im);
+            }
+        }
+        let grid = t.synthesize(&mut vm, &spec);
+        let var = grid_variance(&t, &grid);
+        let pow = total_power(&t, &spec);
+        // Our conventions: grid integral weight sums to 2, P̄ orthonormal
+        // with ∫ P̄² dmu = 1, Fourier e^{imλ} pairs doubled — variance and
+        // power agree up to that fixed measure.
+        assert!(
+            (var - pow).abs() < 1e-9 * pow.max(1.0),
+            "Parseval violated: variance {var} vs power {pow}"
+        );
+    }
+
+    #[test]
+    fn hyperdiffusion_suppresses_the_tail() {
+        // Run the benchmark model a day; the smallest scales must hold a
+        // tiny fraction of the geopotential power.
+        let mut m = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+        for _ in 0..24 {
+            m.step(8);
+        }
+        let t = m.transform.clone();
+        let frac = tail_fraction(&t, &m.phi_level(0));
+        assert!(frac < 0.2, "spectral tail holds {frac} of the power");
+    }
+
+    #[test]
+    fn zero_field_zero_power() {
+        let t = transform();
+        let spec = vec![C64::ZERO; t.nspec()];
+        assert_eq!(total_power(&t, &spec), 0.0);
+        assert_eq!(tail_fraction(&t, &spec), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Paper-vs-measured comparison machinery.
+//!
+//! EXPERIMENTS.md records, for every table and figure, the paper's value
+//! and the reproduction's. This module makes those records executable:
+//! each [`PaperAnchor`] carries the published number, the tolerance the
+//! reproduction claims, and how the measured value is labelled; a
+//! [`Scorecard`] collects comparisons and renders the audit table. The
+//! `paper_scorecard` integration test drives the whole suite through it.
+
+use serde::{Deserialize, Serialize};
+
+/// How close a reproduction claims to land.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Tolerance {
+    /// Within `pct` percent of the paper's value.
+    Percent(f64),
+    /// Within a multiplicative factor (e.g. 2.0 = anywhere in [x/2, 2x]).
+    Factor(f64),
+    /// Only the ordering/sign of the comparison matters; any positive
+    /// finite value passes (used where the paper gives no number).
+    ShapeOnly,
+}
+
+/// One published value and the band the reproduction claims.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperAnchor {
+    /// Which experiment this belongs to (e.g. "Table 7").
+    pub experiment: String,
+    /// What is being measured (e.g. "MOM speedup at 32 CPUs").
+    pub quantity: String,
+    /// The paper's number.
+    pub paper: f64,
+    pub tolerance: Tolerance,
+}
+
+impl PaperAnchor {
+    pub fn new(
+        experiment: impl Into<String>,
+        quantity: impl Into<String>,
+        paper: f64,
+        tolerance: Tolerance,
+    ) -> PaperAnchor {
+        PaperAnchor {
+            experiment: experiment.into(),
+            quantity: quantity.into(),
+            paper,
+            tolerance,
+        }
+    }
+
+    /// Does `measured` fall inside the claimed band?
+    pub fn check(&self, measured: f64) -> bool {
+        if !measured.is_finite() {
+            return false;
+        }
+        match self.tolerance {
+            Tolerance::Percent(p) => {
+                (measured - self.paper).abs() <= self.paper.abs() * p / 100.0
+            }
+            Tolerance::Factor(f) => {
+                assert!(f >= 1.0, "factor tolerance must be >= 1");
+                let (lo, hi) = (self.paper / f, self.paper * f);
+                (lo.min(hi)..=lo.max(hi)).contains(&measured)
+            }
+            Tolerance::ShapeOnly => measured > 0.0,
+        }
+    }
+
+    /// Ratio measured/paper (the number a reviewer asks for first).
+    pub fn ratio(&self, measured: f64) -> f64 {
+        measured / self.paper
+    }
+}
+
+/// One filled-in comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    pub anchor: PaperAnchor,
+    pub measured: f64,
+    pub pass: bool,
+}
+
+/// The audit table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Scorecard {
+    pub rows: Vec<Comparison>,
+}
+
+impl Scorecard {
+    pub fn new() -> Scorecard {
+        Scorecard::default()
+    }
+
+    /// Record a measurement against an anchor; returns pass/fail.
+    pub fn record(&mut self, anchor: PaperAnchor, measured: f64) -> bool {
+        let pass = anchor.check(measured);
+        self.rows.push(Comparison { anchor, measured, pass });
+        pass
+    }
+
+    pub fn all_pass(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    pub fn failures(&self) -> Vec<&Comparison> {
+        self.rows.iter().filter(|r| !r.pass).collect()
+    }
+
+    /// Render the audit table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("paper-vs-measured scorecard\n");
+        out.push_str(&format!(
+            "{:<12} {:<42} {:>12} {:>12} {:>7} {:>6}\n",
+            "experiment", "quantity", "paper", "measured", "ratio", "pass"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:<42} {:>12.2} {:>12.2} {:>7.2} {:>6}\n",
+                r.anchor.experiment,
+                r.anchor.quantity,
+                r.anchor.paper,
+                r.measured,
+                r.anchor.ratio(r.measured),
+                if r.pass { "ok" } else { "FAIL" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_tolerance() {
+        let a = PaperAnchor::new("§4.4", "RADABS Mflops", 865.9, Tolerance::Percent(15.0));
+        assert!(a.check(865.9));
+        assert!(a.check(911.6));
+        assert!(a.check(750.0));
+        assert!(!a.check(600.0));
+        assert!(!a.check(1100.0));
+    }
+
+    #[test]
+    fn factor_tolerance() {
+        let a = PaperAnchor::new("Fig 8", "T170/32 Gflops", 24.0, Tolerance::Factor(2.5));
+        assert!(a.check(24.0));
+        assert!(a.check(11.0));
+        assert!(a.check(55.0));
+        assert!(!a.check(9.0));
+        assert!(!a.check(65.0));
+    }
+
+    #[test]
+    fn shape_only_accepts_any_positive() {
+        let a = PaperAnchor::new("Table 3", "EXP Mcalls/s", 0.0, Tolerance::ShapeOnly);
+        assert!(a.check(44.4));
+        assert!(!a.check(-1.0));
+        assert!(!a.check(f64::NAN));
+    }
+
+    #[test]
+    fn nan_never_passes() {
+        for tol in [Tolerance::Percent(1000.0), Tolerance::Factor(1000.0), Tolerance::ShapeOnly] {
+            let a = PaperAnchor::new("x", "y", 1.0, tol);
+            assert!(!a.check(f64::NAN));
+        }
+    }
+
+    #[test]
+    fn scorecard_collects_and_renders() {
+        let mut sc = Scorecard::new();
+        assert!(sc.record(
+            PaperAnchor::new("Table 6", "ensemble degradation %", 1.89, Tolerance::Factor(3.0)),
+            1.80,
+        ));
+        assert!(!sc.record(
+            PaperAnchor::new("Table 7", "speedup at 32", 9.06, Tolerance::Percent(5.0)),
+            7.2,
+        ));
+        assert!(!sc.all_pass());
+        assert_eq!(sc.failures().len(), 1);
+        let text = sc.render();
+        assert!(text.contains("Table 6"));
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor tolerance")]
+    fn sub_unit_factor_rejected() {
+        let a = PaperAnchor::new("x", "y", 1.0, Tolerance::Factor(0.5));
+        a.check(1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! KTRIES best-of repetition, exactly as the paper specifies.
+//!
+//! "For the COPY, IA, XPOSE, RFFT, VFFT, and RADABS benchmark, there is a
+//! parameter in the code that the user can set called KTRIES. This
+//! determines the number of times that a particular experiment within the
+//! benchmark is conducted. For values of KTRIES greater than one, the best
+//! performance for that instance is reported." (paper §4)
+//!
+//! The paper used KTRIES = 20 for all kernels except VFFT (KTRIES = 5).
+
+use sxsim::Cost;
+
+/// KTRIES used by the paper for COPY/IA/XPOSE/RFFT/RADABS.
+pub const KTRIES_DEFAULT: usize = 20;
+/// KTRIES used by the paper for VFFT ("a matter of expedience").
+pub const KTRIES_VFFT: usize = 5;
+
+/// Run `experiment` `ktries` times and return the best (lowest-cycle) cost.
+///
+/// In this reproduction the simulator is deterministic, so every repetition
+/// returns identical cycles; the machinery is kept because it is part of
+/// the benchmark specification (and the repetitions still verify that the
+/// kernel's *functional* result is reproducible, which `best_of` asserts).
+pub fn best_of(ktries: usize, mut experiment: impl FnMut() -> Cost) -> Cost {
+    assert!(ktries >= 1, "KTRIES must be at least 1");
+    let mut best = experiment();
+    for _ in 1..ktries {
+        let c = experiment();
+        assert_eq!(
+            c.flops, best.flops,
+            "experiment is not reproducible across KTRIES repetitions"
+        );
+        if c.cycles < best.cycles {
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_minimum_cycles() {
+        let mut times = vec![5.0, 3.0, 4.0].into_iter();
+        let best = best_of(3, || Cost::cycles(times.next().unwrap()));
+        assert_eq!(best.cycles, 3.0);
+    }
+
+    #[test]
+    fn single_try_returns_that_run() {
+        let best = best_of(1, || Cost::cycles(42.0));
+        assert_eq!(best.cycles, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "KTRIES")]
+    fn zero_tries_rejected() {
+        best_of(0, || Cost::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "reproducible")]
+    fn flop_drift_detected() {
+        let mut flops = vec![10u64, 11].into_iter();
+        best_of(2, || Cost { cycles: 1.0, flops: flops.next().unwrap(), cray_flops: 0.0, bytes: 0 });
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(KTRIES_DEFAULT, 20);
+        assert_eq!(KTRIES_VFFT, 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ncar-suite — the NCAR Benchmark Suite framework
+//!
+//! The paper's primary contribution is a benchmark *suite*: thirteen
+//! kernels and three complete geophysical applications chosen to
+//! characterize NCAR's climate-modeling workload, together with a
+//! measurement discipline (KTRIES best-of repetition, constant-data-volume
+//! parameter ladders, Cray-equivalent Mflops). This crate implements that
+//! framework:
+//!
+//! - [`mod@suite`] — the suite's composition and seven categories (§4);
+//! - [`ktries`] — best-of-KTRIES repetition (§4);
+//! - [`sweep`] — constant-volume (M, N) ladders and the FFT length
+//!   families (§4.2–4.3);
+//! - [`report`] — tables, figures and JSON artifacts the harness emits;
+//! - [`compare`] — paper-vs-measured anchors and the audit scorecard.
+//!
+//! The kernels themselves live in `ncar-kernels`; applications in
+//! `ccm-proxy` and `ocean-models`; the machine under test in `sxsim`.
+
+pub mod compare;
+pub mod ktries;
+pub mod report;
+pub mod suite;
+pub mod sweep;
+
+pub use compare::{Comparison, PaperAnchor, Scorecard, Tolerance};
+pub use ktries::{best_of, KTRIES_DEFAULT, KTRIES_VFFT};
+pub use report::{Artifact, Figure, Series, Table};
+pub use suite::{suite, Category, SuiteEntry};
+pub use sweep::{constant_volume_ladder, rfft_instances, xpose_ladder, FftFamily, Instance, VFFT_M};

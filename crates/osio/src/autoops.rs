@@ -1,0 +1,164 @@
+//! Automatic, unattended operation (paper §2.6.1): "the system can be
+//! preprogrammed to power on, boot, enter multi-user mode, and
+//! shutdown-poweroff under any number of programmable scenarios."
+//!
+//! A small deterministic state machine over simulated time: operators
+//! program scenarios (time → action); the console executes them in order,
+//! enforcing the legal state transitions, and keeps an auditable log.
+
+/// Machine states, in boot order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SystemState {
+    PoweredOff,
+    PoweredOn,
+    Booted,
+    MultiUser,
+}
+
+/// Operator-programmable actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    PowerOn,
+    Boot,
+    EnterMultiUser,
+    Shutdown,
+    PowerOff,
+    /// "Any operation which can be determined by software and responded to
+    /// by closing a relay or executing a script."
+    RunScript(&'static str),
+}
+
+/// One scheduled step of a scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioStep {
+    pub at_s: f64,
+    pub action: Action,
+}
+
+/// The operator console.
+#[derive(Debug)]
+pub struct Console {
+    pub state: SystemState,
+    pub log: Vec<(f64, String)>,
+}
+
+impl Console {
+    pub fn new() -> Console {
+        Console { state: SystemState::PoweredOff, log: Vec::new() }
+    }
+
+    /// Apply one action at simulated time `now_s`. Illegal transitions are
+    /// refused (and logged), as a real sequencer interlock would.
+    pub fn apply(&mut self, now_s: f64, action: Action) -> Result<SystemState, String> {
+        use Action::*;
+        use SystemState::*;
+        let next = match (self.state, action) {
+            (PoweredOff, PowerOn) => Ok(PoweredOn),
+            (PoweredOn, Boot) => Ok(Booted),
+            (Booted, EnterMultiUser) => Ok(MultiUser),
+            (MultiUser, Shutdown) => Ok(Booted),
+            (Booted, PowerOff) | (PoweredOn, PowerOff) => Ok(PoweredOff),
+            (s, RunScript(name)) if s >= Booted => {
+                self.log.push((now_s, format!("script {name}")));
+                return Ok(self.state);
+            }
+            (s, a) => Err(format!("illegal transition: {a:?} while {s:?}")),
+        };
+        match next {
+            Ok(n) => {
+                self.log.push((now_s, format!("{action:?} -> {n:?}")));
+                self.state = n;
+                Ok(n)
+            }
+            Err(e) => {
+                self.log.push((now_s, format!("REFUSED {e}")));
+                Err(e)
+            }
+        }
+    }
+
+    /// Run a programmed scenario (steps sorted by time). Returns the final
+    /// state; refusals do not abort the scenario (the sequencer moves on).
+    pub fn run_scenario(&mut self, steps: &[ScenarioStep]) -> SystemState {
+        let mut sorted = steps.to_vec();
+        sorted.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        for step in sorted {
+            let _ = self.apply(step.at_s, step.action);
+        }
+        self.state
+    }
+}
+
+impl Default for Console {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The standard operatorless week-night scenario: power on before the
+/// batch window, come up multi-user, run the backup script, shut down at
+/// dawn.
+pub fn night_scenario() -> Vec<ScenarioStep> {
+    vec![
+        ScenarioStep { at_s: 0.0, action: Action::PowerOn },
+        ScenarioStep { at_s: 60.0, action: Action::Boot },
+        ScenarioStep { at_s: 180.0, action: Action::EnterMultiUser },
+        ScenarioStep { at_s: 3600.0, action: Action::RunScript("sxbackstore-sweep") },
+        ScenarioStep { at_s: 28_800.0, action: Action::Shutdown },
+        ScenarioStep { at_s: 28_860.0, action: Action::PowerOff },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn night_scenario_round_trips_to_off() {
+        let mut c = Console::new();
+        let end = c.run_scenario(&night_scenario());
+        assert_eq!(end, SystemState::PoweredOff);
+        // Every step including the script is in the audit log.
+        assert_eq!(c.log.len(), 6);
+        assert!(c.log.iter().any(|(_, l)| l.contains("sxbackstore-sweep")));
+    }
+
+    #[test]
+    fn interlock_refuses_illegal_transitions() {
+        let mut c = Console::new();
+        assert!(c.apply(0.0, Action::Boot).is_err(), "cannot boot while off");
+        assert!(c.apply(1.0, Action::EnterMultiUser).is_err());
+        assert_eq!(c.state, SystemState::PoweredOff);
+        assert!(c.log.iter().all(|(_, l)| l.starts_with("REFUSED")));
+    }
+
+    #[test]
+    fn scripts_need_a_booted_system() {
+        let mut c = Console::new();
+        assert!(c.apply(0.0, Action::RunScript("x")).is_err());
+        c.apply(1.0, Action::PowerOn).unwrap();
+        c.apply(2.0, Action::Boot).unwrap();
+        assert!(c.apply(3.0, Action::RunScript("x")).is_ok());
+        assert_eq!(c.state, SystemState::Booted, "scripts do not change state");
+    }
+
+    #[test]
+    fn out_of_order_programming_is_sorted() {
+        let mut c = Console::new();
+        let steps = vec![
+            ScenarioStep { at_s: 60.0, action: Action::Boot },
+            ScenarioStep { at_s: 0.0, action: Action::PowerOn },
+        ];
+        assert_eq!(c.run_scenario(&steps), SystemState::Booted);
+    }
+
+    #[test]
+    fn shutdown_returns_to_single_user_then_off() {
+        let mut c = Console::new();
+        c.apply(0.0, Action::PowerOn).unwrap();
+        c.apply(1.0, Action::Boot).unwrap();
+        c.apply(2.0, Action::EnterMultiUser).unwrap();
+        assert_eq!(c.apply(3.0, Action::Shutdown).unwrap(), SystemState::Booted);
+        assert_eq!(c.apply(4.0, Action::PowerOff).unwrap(), SystemState::PoweredOff);
+    }
+}

@@ -1,0 +1,176 @@
+//! SXBackStore — file archiving management (paper §2.6.5 item 5).
+//!
+//! NCAR's production environment drains model history to the HIPPI-based
+//! Mass Storage System. SXBackStore watches the file system, migrates
+//! cold files over HIPPI, and recalls them on access. The model here is a
+//! policy engine over simulated time: files age, cross a migration
+//! threshold, move at HIPPI rates, and recalls stall the reader for the
+//! transfer — enough to price archiving pressure in the I/O benchmarks.
+
+use crate::chan::Channel;
+
+/// Where a file's payload currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// On SFS disk, immediately readable.
+    Online,
+    /// Migrated to mass storage; only a stub remains.
+    Archived,
+}
+
+/// One managed file.
+#[derive(Debug, Clone)]
+pub struct ManagedFile {
+    pub name: String,
+    pub bytes: u64,
+    pub placement: Placement,
+    /// Last access in simulated seconds.
+    pub last_access_s: f64,
+}
+
+/// The archiver.
+#[derive(Debug)]
+pub struct BackStore {
+    pub hippi: Channel,
+    /// Files idle longer than this migrate (seconds).
+    pub migrate_after_s: f64,
+    /// Online capacity the policy tries to respect (bytes).
+    pub online_capacity: u64,
+    files: Vec<ManagedFile>,
+}
+
+/// Outcome of a recall.
+#[derive(Debug, Clone, Copy)]
+pub struct Recall {
+    /// Seconds the reader stalls waiting for the tape/HIPPI path.
+    pub stall_s: f64,
+}
+
+impl BackStore {
+    pub fn new(online_capacity: u64, migrate_after_s: f64) -> BackStore {
+        BackStore { hippi: Channel::hippi(), migrate_after_s, online_capacity, files: Vec::new() }
+    }
+
+    /// Register a freshly written file.
+    pub fn track(&mut self, name: impl Into<String>, bytes: u64, now_s: f64) {
+        self.files.push(ManagedFile {
+            name: name.into(),
+            bytes,
+            placement: Placement::Online,
+            last_access_s: now_s,
+        });
+    }
+
+    pub fn online_bytes(&self) -> u64 {
+        self.files
+            .iter()
+            .filter(|f| f.placement == Placement::Online)
+            .map(|f| f.bytes)
+            .sum()
+    }
+
+    pub fn file(&self, name: &str) -> Option<&ManagedFile> {
+        self.files.iter().find(|f| f.name == name)
+    }
+
+    /// Run one policy sweep at simulated time `now_s`: migrate files idle
+    /// past the threshold, oldest first, and keep migrating while the
+    /// online set exceeds capacity. Returns (files migrated, HIPPI seconds
+    /// consumed in the background).
+    pub fn sweep(&mut self, now_s: f64) -> (usize, f64) {
+        let mut order: Vec<usize> = (0..self.files.len())
+            .filter(|&i| self.files[i].placement == Placement::Online)
+            .collect();
+        order.sort_by(|&a, &b| self.files[a].last_access_s.total_cmp(&self.files[b].last_access_s));
+
+        let mut migrated = 0;
+        let mut hippi_s = 0.0;
+        for i in order {
+            let idle = now_s - self.files[i].last_access_s;
+            let over_capacity = self.online_bytes() > self.online_capacity;
+            if idle > self.migrate_after_s || over_capacity {
+                hippi_s += self.hippi.transfer_seconds(self.files[i].bytes);
+                self.files[i].placement = Placement::Archived;
+                migrated += 1;
+            }
+        }
+        (migrated, hippi_s)
+    }
+
+    /// Access a file at `now_s`: online access is free; an archived file
+    /// recalls over HIPPI and the caller stalls.
+    pub fn access(&mut self, name: &str, now_s: f64) -> Option<Recall> {
+        let f = self.files.iter_mut().find(|f| f.name == name)?;
+        f.last_access_s = now_s;
+        match f.placement {
+            Placement::Online => Some(Recall { stall_s: 0.0 }),
+            Placement::Archived => {
+                f.placement = Placement::Online;
+                Some(Recall { stall_s: self.hippi.transfer_seconds(f.bytes) })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> BackStore {
+        BackStore::new(10 << 30, 3600.0)
+    }
+
+    #[test]
+    fn idle_files_migrate() {
+        let mut b = store();
+        b.track("history-001", 1 << 30, 0.0);
+        b.track("history-002", 1 << 30, 5000.0);
+        let (n, hippi_s) = b.sweep(6000.0);
+        assert_eq!(n, 1, "only the idle file migrates");
+        assert!(hippi_s > 5.0, "1 GB over HIPPI takes seconds: {hippi_s}");
+        assert_eq!(b.file("history-001").unwrap().placement, Placement::Archived);
+        assert_eq!(b.file("history-002").unwrap().placement, Placement::Online);
+    }
+
+    #[test]
+    fn capacity_pressure_forces_migration() {
+        let mut b = BackStore::new(2 << 30, 1e12); // age threshold never trips
+        for i in 0..4 {
+            b.track(format!("f{i}"), 1 << 30, i as f64);
+        }
+        let (n, _) = b.sweep(10.0);
+        assert!(n >= 2, "must shed to capacity, migrated {n}");
+        assert!(b.online_bytes() <= 2 << 30);
+        // Oldest files went first.
+        assert_eq!(b.file("f0").unwrap().placement, Placement::Archived);
+        assert_eq!(b.file("f3").unwrap().placement, Placement::Online);
+    }
+
+    #[test]
+    fn recall_stalls_then_is_online() {
+        let mut b = store();
+        b.track("old", 512 << 20, 0.0);
+        b.sweep(7200.0);
+        assert_eq!(b.file("old").unwrap().placement, Placement::Archived);
+        let r = b.access("old", 7300.0).unwrap();
+        assert!(r.stall_s > 2.0);
+        // Second access is free.
+        let r2 = b.access("old", 7400.0).unwrap();
+        assert_eq!(r2.stall_s, 0.0);
+    }
+
+    #[test]
+    fn access_refreshes_age() {
+        let mut b = store();
+        b.track("hot", 1 << 30, 0.0);
+        b.access("hot", 3500.0);
+        let (n, _) = b.sweep(4000.0); // idle only 500 s now
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn unknown_file_is_none() {
+        let mut b = store();
+        assert!(b.access("nope", 0.0).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Multilevel Security (paper §2.6.6): "security levels are site definable
+//! as to both names and relationships" — a Bell-LaPadula-style lattice
+//! with site-defined levels and compartments, enforcing no-read-up /
+//! no-write-down on file accesses and gating which NQS jobs a user may
+//! inspect.
+
+use std::collections::BTreeSet;
+
+/// A site-defined sensitivity label: hierarchical level + compartments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// Position in the site's level ordering (higher = more sensitive).
+    pub level: u8,
+    /// Need-to-know compartments.
+    pub compartments: BTreeSet<String>,
+}
+
+impl Label {
+    pub fn new(level: u8, compartments: &[&str]) -> Label {
+        Label { level, compartments: compartments.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// Dominance: self >= other in the lattice (level at least as high and
+    /// a superset of compartments).
+    pub fn dominates(&self, other: &Label) -> bool {
+        self.level >= other.level && other.compartments.is_subset(&self.compartments)
+    }
+}
+
+/// The site policy: named levels in ascending sensitivity.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    pub level_names: Vec<String>,
+}
+
+impl Policy {
+    /// A typical site: public < internal < restricted < classified.
+    pub fn site_default() -> Policy {
+        Policy {
+            level_names: ["public", "internal", "restricted", "classified"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    pub fn level(&self, name: &str) -> Option<u8> {
+        self.level_names.iter().position(|n| n == name).map(|i| i as u8)
+    }
+
+    /// Label helper from a level name.
+    pub fn label(&self, name: &str, compartments: &[&str]) -> Option<Label> {
+        Some(Label::new(self.level(name)?, compartments))
+    }
+}
+
+/// Access decisions under Bell-LaPadula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    Grant,
+    Deny,
+}
+
+/// Simple security property: a subject may read an object only if the
+/// subject's label dominates the object's (no read up).
+pub fn check_read(subject: &Label, object: &Label) -> Decision {
+    if subject.dominates(object) {
+        Decision::Grant
+    } else {
+        Decision::Deny
+    }
+}
+
+/// *-property: a subject may write an object only if the object's label
+/// dominates the subject's (no write down).
+pub fn check_write(subject: &Label, object: &Label) -> Decision {
+    if object.dominates(subject) {
+        Decision::Grant
+    } else {
+        Decision::Deny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> Policy {
+        Policy::site_default()
+    }
+
+    #[test]
+    fn dominance_is_a_partial_order() {
+        let p = policy();
+        let public = p.label("public", &[]).unwrap();
+        let classified = p.label("classified", &[]).unwrap();
+        let climate = p.label("internal", &["climate"]).unwrap();
+        let ocean = p.label("internal", &["ocean"]).unwrap();
+
+        assert!(classified.dominates(&public));
+        assert!(!public.dominates(&classified));
+        // Incomparable compartments: neither dominates.
+        assert!(!climate.dominates(&ocean));
+        assert!(!ocean.dominates(&climate));
+        // Reflexive.
+        assert!(climate.dominates(&climate));
+    }
+
+    #[test]
+    fn no_read_up() {
+        let p = policy();
+        let analyst = p.label("internal", &["climate"]).unwrap();
+        let public_file = p.label("public", &[]).unwrap();
+        let secret_file = p.label("classified", &["climate"]).unwrap();
+        assert_eq!(check_read(&analyst, &public_file), Decision::Grant);
+        assert_eq!(check_read(&analyst, &secret_file), Decision::Deny);
+    }
+
+    #[test]
+    fn no_write_down() {
+        let p = policy();
+        let analyst = p.label("restricted", &[]).unwrap();
+        let public_file = p.label("public", &[]).unwrap();
+        let higher_file = p.label("classified", &[]).unwrap();
+        assert_eq!(check_write(&analyst, &public_file), Decision::Deny);
+        assert_eq!(check_write(&analyst, &higher_file), Decision::Grant);
+    }
+
+    #[test]
+    fn compartments_enforce_need_to_know() {
+        let p = policy();
+        let climate_analyst = p.label("classified", &["climate"]).unwrap();
+        let ocean_file = p.label("internal", &["ocean"]).unwrap();
+        // High level alone is not enough without the compartment.
+        assert_eq!(check_read(&climate_analyst, &ocean_file), Decision::Deny);
+        let cleared = p.label("classified", &["climate", "ocean"]).unwrap();
+        assert_eq!(check_read(&cleared, &ocean_file), Decision::Grant);
+    }
+
+    #[test]
+    fn site_defines_its_own_names() {
+        let custom = Policy {
+            level_names: ["green", "amber", "red"].iter().map(|s| s.to_string()).collect(),
+        };
+        assert_eq!(custom.level("amber"), Some(1));
+        assert_eq!(custom.level("chartreuse"), None);
+        let a = custom.label("red", &[]).unwrap();
+        let b = custom.label("green", &[]).unwrap();
+        assert!(a.dominates(&b));
+    }
+}

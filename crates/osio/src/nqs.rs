@@ -1,0 +1,304 @@
+//! The NQS batch subsystem and SUPER-UX Resource Blocks (paper §2.6.3,
+//! §2.6.4): queued batch jobs, FIFO dispatch within processor/memory
+//! limits, logical scheduling groups ("Resource Blocks") mapped onto the
+//! node's processors, and checkpoint/restart (§2.6.2).
+//!
+//! Scheduling is a discrete-event simulation in simulated seconds: running
+//! jobs progress concurrently, slowed by the node's memory-contention
+//! stretch for the currently co-scheduled set — the effect the ensemble
+//! test (Table 6) measures.
+
+use sxsim::{JobDemand, Node};
+
+/// A Resource Block: a named group of processors and memory jobs can be
+/// confined to ("each Resource Block has a maximum and minimum processor
+/// count, memory limits, and scheduling characteristics", §2.6.4).
+#[derive(Debug, Clone)]
+pub struct ResourceBlock {
+    pub name: String,
+    pub procs: usize,
+    /// Memory available to the block's jobs, bytes. The benchmarked node
+    /// had 8 GB of main memory (Table 2).
+    pub memory_bytes: u64,
+}
+
+/// A batch job description.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub name: String,
+    /// Processors the job occupies while running.
+    pub procs: usize,
+    /// Main memory the job's load module occupies while running, bytes
+    /// (the SX is a real-memory machine — no demand paging, §2.2).
+    pub memory_bytes: u64,
+    /// Runtime if run alone on an idle node.
+    pub solo_seconds: f64,
+    /// Average memory demand per processor (bytes/cycle), for contention.
+    pub bytes_per_cycle_per_proc: f64,
+    /// Resource Block the job must run in (index into the block list).
+    pub block: usize,
+    /// Indices of jobs that must finish before this one starts.
+    pub after: Vec<usize>,
+}
+
+/// Completed-schedule record for one job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobRecord {
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+/// Result of a batch run.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    pub records: Vec<JobRecord>,
+    pub makespan_s: f64,
+}
+
+/// The scheduler.
+pub struct Nqs<'a> {
+    pub node: &'a Node,
+    pub blocks: Vec<ResourceBlock>,
+}
+
+impl<'a> Nqs<'a> {
+    /// One block spanning the whole node (the default configuration):
+    /// all processors, the benchmarked 8 GB of memory.
+    pub fn whole_node(node: &'a Node) -> Nqs<'a> {
+        let procs = node.model().procs;
+        Nqs {
+            node,
+            blocks: vec![ResourceBlock { name: "batch".into(), procs, memory_bytes: 8 << 30 }],
+        }
+    }
+
+    /// Partitioned configuration.
+    pub fn with_blocks(node: &'a Node, blocks: Vec<ResourceBlock>) -> Nqs<'a> {
+        let total: usize = blocks.iter().map(|b| b.procs).sum();
+        assert!(total <= node.model().procs, "Resource Blocks oversubscribe the node");
+        Nqs { node, blocks }
+    }
+
+    /// Run the job set to completion (FIFO within each block, dependency-
+    /// aware) and return the schedule.
+    pub fn run(&self, jobs: &[JobSpec]) -> Schedule {
+        let n = jobs.len();
+        for j in jobs {
+            assert!(j.block < self.blocks.len(), "job {} names a missing block", j.name);
+            assert!(
+                j.procs <= self.blocks[j.block].procs,
+                "job {} needs {} procs but block {} has {}",
+                j.name,
+                j.procs,
+                self.blocks[j.block].name,
+                self.blocks[j.block].procs
+            );
+            assert!(
+                j.memory_bytes <= self.blocks[j.block].memory_bytes,
+                "job {} does not fit block {}'s memory (real-memory machine, no paging)",
+                j.name,
+                self.blocks[j.block].name
+            );
+        }
+        let mut remaining: Vec<f64> = jobs.iter().map(|j| j.solo_seconds).collect();
+        let mut records = vec![JobRecord { start_s: f64::NAN, end_s: f64::NAN }; n];
+        let mut done = vec![false; n];
+        let mut running: Vec<usize> = Vec::new();
+        let mut now = 0.0f64;
+
+        loop {
+            // Dispatch: FIFO over submission order, per-block processor
+            // AND memory capacity (no demand paging: a job must fit whole).
+            let mut free: Vec<usize> = self.blocks.iter().map(|b| b.procs).collect();
+            let mut free_mem: Vec<u64> = self.blocks.iter().map(|b| b.memory_bytes).collect();
+            for &r in &running {
+                free[jobs[r].block] -= jobs[r].procs;
+                free_mem[jobs[r].block] -= jobs[r].memory_bytes;
+            }
+            for (i, job) in jobs.iter().enumerate() {
+                if done[i] || running.contains(&i) {
+                    continue;
+                }
+                if !job.after.iter().all(|&d| done[d]) {
+                    continue;
+                }
+                if job.procs <= free[job.block] && job.memory_bytes <= free_mem[job.block] {
+                    free[job.block] -= job.procs;
+                    free_mem[job.block] -= job.memory_bytes;
+                    running.push(i);
+                    if records[i].start_s.is_nan() {
+                        records[i].start_s = now;
+                    }
+                }
+            }
+            if running.is_empty() {
+                if done.iter().all(|&d| d) {
+                    break;
+                }
+                // Dependency deadlock would spin forever; fail loudly.
+                panic!("NQS deadlock: jobs remain but none can run");
+            }
+
+            // Current contention stretch for the co-scheduled set.
+            let demands: Vec<JobDemand> = running
+                .iter()
+                .map(|&r| JobDemand {
+                    solo_cycles: 0.0,
+                    procs: jobs[r].procs,
+                    bytes_per_cycle_per_proc: jobs[r].bytes_per_cycle_per_proc,
+                })
+                .collect();
+            let stretch = self.node.coschedule_stretch(&demands);
+
+            // Advance to the next completion.
+            let (next_pos, dt) = running
+                .iter()
+                .enumerate()
+                .map(|(pos, &r)| (pos, remaining[r] * stretch))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("running set is non-empty");
+            now += dt;
+            // Progress everyone by dt of wall time.
+            for &r in &running {
+                remaining[r] -= dt / stretch;
+            }
+            let finished = running.remove(next_pos);
+            remaining[finished] = 0.0;
+            done[finished] = true;
+            records[finished].end_s = now;
+        }
+
+        Schedule { records, makespan_s: now }
+    }
+}
+
+/// Split a job at a checkpoint: returns (completed-part spec with the
+/// checkpoint write appended, restart spec for the remainder). Checkpoint
+/// and restart both move `state_bytes` through the file system; the caller
+/// adds those seconds (from [`crate::sfs::Sfs`]) to the halves.
+pub fn checkpoint_split(job: &JobSpec, fraction_done: f64, ckpt_seconds: f64, restart_seconds: f64) -> (JobSpec, JobSpec) {
+    assert!((0.0..1.0).contains(&fraction_done));
+    let mut first = job.clone();
+    first.name = format!("{}-ckpt", job.name);
+    first.solo_seconds = job.solo_seconds * fraction_done + ckpt_seconds;
+    let mut rest = job.clone();
+    rest.name = format!("{}-restart", job.name);
+    rest.solo_seconds = job.solo_seconds * (1.0 - fraction_done) + restart_seconds;
+    (first, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxsim::presets;
+
+    fn node() -> Node {
+        Node::new(presets::sx4_benchmarked())
+    }
+
+    fn job(name: &str, procs: usize, secs: f64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            procs,
+            memory_bytes: 256 << 20,
+            solo_seconds: secs,
+            bytes_per_cycle_per_proc: 30.0,
+            block: 0,
+            after: vec![],
+        }
+    }
+
+    #[test]
+    fn independent_jobs_run_concurrently() {
+        let n = node();
+        let nqs = Nqs::whole_node(&n);
+        let jobs = vec![job("a", 8, 100.0), job("b", 8, 100.0), job("c", 8, 100.0)];
+        let s = nqs.run(&jobs);
+        // All fit at once: makespan ~ 100s (plus small contention).
+        assert!(s.makespan_s < 110.0, "{}", s.makespan_s);
+        for r in &s.records {
+            assert_eq!(r.start_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn oversubscription_queues_fifo() {
+        let n = node();
+        let nqs = Nqs::whole_node(&n);
+        let jobs = vec![job("a", 24, 100.0), job("b", 24, 100.0)];
+        let s = nqs.run(&jobs);
+        assert!(s.records[1].start_s >= s.records[0].end_s - 1e-9);
+        assert!(s.makespan_s > 195.0);
+    }
+
+    #[test]
+    fn dependencies_are_honoured() {
+        let n = node();
+        let nqs = Nqs::whole_node(&n);
+        let mut b = job("b", 4, 50.0);
+        b.after = vec![0];
+        let jobs = vec![job("a", 4, 50.0), b];
+        let s = nqs.run(&jobs);
+        assert!(s.records[1].start_s >= s.records[0].end_s - 1e-9);
+    }
+
+    #[test]
+    fn resource_blocks_confine_jobs() {
+        let n = node();
+        let nqs = Nqs::with_blocks(
+            &n,
+            vec![
+                ResourceBlock { name: "interactive".into(), procs: 8, memory_bytes: 4 << 30 },
+                ResourceBlock { name: "batch".into(), procs: 24, memory_bytes: 4 << 30 },
+            ],
+        );
+        let mut a = job("a", 8, 100.0);
+        a.block = 0;
+        let mut b = job("b", 8, 100.0);
+        b.block = 0; // must wait for a despite free procs in the other block
+        let mut c = job("c", 24, 100.0);
+        c.block = 1;
+        let s = nqs.run(&[a, b, c]);
+        assert!(s.records[1].start_s >= s.records[0].end_s - 1e-9);
+        assert_eq!(s.records[2].start_s, 0.0);
+    }
+
+    #[test]
+    fn contention_stretches_coscheduled_jobs() {
+        let n = node();
+        let nqs = Nqs::whole_node(&n);
+        let solo = nqs.run(&[job("a", 4, 100.0)]).makespan_s;
+        let eight: Vec<JobSpec> = (0..8).map(|i| job(&format!("j{i}"), 4, 100.0)).collect();
+        let packed = nqs.run(&eight).makespan_s;
+        assert!(packed > solo, "co-scheduled jobs must feel contention");
+        assert!(packed < 1.1 * solo, "but only a few percent: {packed} vs {solo}");
+    }
+
+    #[test]
+    fn checkpoint_split_preserves_total_work() {
+        let j = job("long", 8, 1000.0);
+        let (a, b) = checkpoint_split(&j, 0.4, 5.0, 3.0);
+        assert!((a.solo_seconds + b.solo_seconds - (1000.0 + 8.0)).abs() < 1e-9);
+        assert!(a.name.contains("ckpt") && b.name.contains("restart"));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribe")]
+    fn blocks_cannot_exceed_node() {
+        let n = node();
+        let _ = Nqs::with_blocks(
+            &n,
+            vec![ResourceBlock { name: "x".into(), procs: 20, memory_bytes: 4 << 30 }, ResourceBlock { name: "y".into(), procs: 20, memory_bytes: 4 << 30 }],
+        );
+    }
+
+    #[test]
+    fn deterministic_schedule() {
+        let n = node();
+        let nqs = Nqs::whole_node(&n);
+        let jobs: Vec<JobSpec> = (0..6).map(|i| job(&format!("j{i}"), 12, 50.0 + i as f64)).collect();
+        let a = nqs.run(&jobs);
+        let b = nqs.run(&jobs);
+        assert_eq!(a.makespan_s, b.makespan_s);
+    }
+}

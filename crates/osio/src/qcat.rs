@@ -1,0 +1,150 @@
+//! `qcat` — "recently added commands include qcat which will copy the
+//! stdout or stderr file from an executing batch script and present it to
+//! the user" (paper §2.6.3).
+//!
+//! Jobs append to per-job stdout/stderr spool files as they run; `qcat`
+//! snapshots a spool *while the job is still executing*, which is the
+//! whole point of the command (watching a climate run's diagnostics
+//! mid-flight without waiting for completion).
+
+use std::collections::BTreeMap;
+
+/// Which spool to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stream {
+    Stdout,
+    Stderr,
+}
+
+/// Job output state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Running,
+    Finished,
+}
+
+#[derive(Debug, Default)]
+struct Spool {
+    stdout: String,
+    stderr: String,
+    state: Option<JobState>,
+}
+
+/// The spool directory the NQS daemons write and `qcat` reads.
+#[derive(Debug, Default)]
+pub struct SpoolDir {
+    jobs: BTreeMap<String, Spool>,
+}
+
+/// Errors `qcat` can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QcatError {
+    NoSuchJob(String),
+}
+
+impl SpoolDir {
+    pub fn new() -> SpoolDir {
+        SpoolDir::default()
+    }
+
+    /// A job starts: its spools are created empty.
+    pub fn job_started(&mut self, job: &str) {
+        let s = self.jobs.entry(job.to_string()).or_default();
+        s.state = Some(JobState::Running);
+    }
+
+    /// The executing script writes a line.
+    pub fn append(&mut self, job: &str, stream: Stream, line: &str) {
+        let s = self.jobs.entry(job.to_string()).or_default();
+        s.state.get_or_insert(JobState::Running);
+        let buf = match stream {
+            Stream::Stdout => &mut s.stdout,
+            Stream::Stderr => &mut s.stderr,
+        };
+        buf.push_str(line);
+        buf.push('\n');
+    }
+
+    /// The job completes; spools remain readable.
+    pub fn job_finished(&mut self, job: &str) {
+        if let Some(s) = self.jobs.get_mut(job) {
+            s.state = Some(JobState::Finished);
+        }
+    }
+
+    /// `qcat <job>`: snapshot the spool, running or not.
+    pub fn qcat(&self, job: &str, stream: Stream) -> Result<(JobState, String), QcatError> {
+        let s = self.jobs.get(job).ok_or_else(|| QcatError::NoSuchJob(job.to_string()))?;
+        let state = s.state.unwrap_or(JobState::Running);
+        let text = match stream {
+            Stream::Stdout => s.stdout.clone(),
+            Stream::Stderr => s.stderr.clone(),
+        };
+        Ok((state, text))
+    }
+
+    /// `qcat -t <job>`: only the last `lines` lines (tail mode).
+    pub fn qcat_tail(&self, job: &str, stream: Stream, lines: usize) -> Result<String, QcatError> {
+        let (_, text) = self.qcat(job, stream)?;
+        let all: Vec<&str> = text.lines().collect();
+        let start = all.len().saturating_sub(lines);
+        Ok(all[start..].join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qcat_reads_an_executing_jobs_output() {
+        let mut spool = SpoolDir::new();
+        spool.job_started("ccm2-t42");
+        spool.append("ccm2-t42", Stream::Stdout, " step 12  Tbar = 14.2");
+        let (state, text) = spool.qcat("ccm2-t42", Stream::Stdout).unwrap();
+        assert_eq!(state, JobState::Running, "qcat works mid-flight");
+        assert!(text.contains("Tbar"));
+    }
+
+    #[test]
+    fn stdout_and_stderr_are_separate() {
+        let mut spool = SpoolDir::new();
+        spool.append("j", Stream::Stdout, "progress");
+        spool.append("j", Stream::Stderr, "warning: slow disk");
+        assert!(spool.qcat("j", Stream::Stdout).unwrap().1.contains("progress"));
+        assert!(!spool.qcat("j", Stream::Stdout).unwrap().1.contains("warning"));
+        assert!(spool.qcat("j", Stream::Stderr).unwrap().1.contains("warning"));
+    }
+
+    #[test]
+    fn finished_jobs_remain_readable() {
+        let mut spool = SpoolDir::new();
+        spool.append("done-job", Stream::Stdout, "bye");
+        spool.job_finished("done-job");
+        let (state, text) = spool.qcat("done-job", Stream::Stdout).unwrap();
+        assert_eq!(state, JobState::Finished);
+        assert_eq!(text, "bye\n");
+    }
+
+    #[test]
+    fn missing_job_is_an_error() {
+        let spool = SpoolDir::new();
+        assert_eq!(
+            spool.qcat("ghost", Stream::Stdout),
+            Err(QcatError::NoSuchJob("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn tail_mode_returns_last_lines() {
+        let mut spool = SpoolDir::new();
+        for i in 0..100 {
+            spool.append("chatty", Stream::Stdout, &format!("line {i}"));
+        }
+        let tail = spool.qcat_tail("chatty", Stream::Stdout, 3).unwrap();
+        assert_eq!(tail, "line 97\nline 98\nline 99");
+        // Asking for more lines than exist returns everything.
+        let all = spool.qcat_tail("chatty", Stream::Stdout, 1000).unwrap();
+        assert_eq!(all.lines().count(), 100);
+    }
+}

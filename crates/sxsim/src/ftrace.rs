@@ -1,0 +1,210 @@
+//! FTRACE — the SUPER-UX per-routine execution analyzer.
+//!
+//! Real SX-4 development ran with `-ftrace`, which printed a per-routine
+//! table of exclusive time, MFLOPS, vector operation ratio and average
+//! vector length. The same report falls out of the simulator by
+//! snapshotting a [`Vm`]'s lifetime ledger and op statistics at region
+//! boundaries. The CCM2 proxy uses it to show where a timestep goes
+//! (synthesis / grid tendencies / physics / SLT / analysis / solve).
+
+use crate::cost::Cost;
+use crate::proginf::OpStats;
+use crate::vm::Vm;
+use std::collections::BTreeMap;
+
+/// Accumulated exclusive totals for one named region.
+#[derive(Debug, Clone, Default)]
+pub struct RegionTotals {
+    pub calls: u64,
+    pub cost: Cost,
+    pub stats: OpStats,
+}
+
+impl RegionTotals {
+    /// Exclusive seconds at a clock.
+    pub fn seconds(&self, clock_ns: f64) -> f64 {
+        self.cost.seconds(clock_ns)
+    }
+
+    /// MFLOPS over the region's own time.
+    pub fn mflops(&self, clock_ns: f64) -> f64 {
+        self.cost.mflops(clock_ns)
+    }
+
+    /// Average vector length inside the region.
+    pub fn average_vector_length(&self) -> f64 {
+        if self.stats.vector_ops == 0 {
+            0.0
+        } else {
+            self.stats.vector_elements as f64 / self.stats.vector_ops as f64
+        }
+    }
+
+    /// Vector operation ratio (%) inside the region.
+    pub fn vector_ratio_pct(&self) -> f64 {
+        let v = self.stats.vector_elements as f64;
+        let s = self.stats.scalar_iters as f64;
+        if v + s == 0.0 {
+            0.0
+        } else {
+            100.0 * v / (v + s)
+        }
+    }
+}
+
+/// The analyzer: wraps region entry/exit around work done on a [`Vm`].
+#[derive(Debug, Default)]
+pub struct Ftrace {
+    regions: BTreeMap<String, RegionTotals>,
+    open: Option<(String, Cost, OpStats)>,
+}
+
+impl Ftrace {
+    pub fn new() -> Ftrace {
+        Ftrace::default()
+    }
+
+    /// Enter a region: snapshot the Vm. Regions may not nest (FTRACE
+    /// exclusive-time semantics); entering while open panics.
+    pub fn enter(&mut self, name: &str, vm: &Vm) {
+        assert!(self.open.is_none(), "FTRACE regions do not nest");
+        self.open = Some((name.to_string(), vm.lifetime_cost(), *vm.stats()));
+    }
+
+    /// Exit the open region, attributing everything charged since `enter`.
+    pub fn exit(&mut self, vm: &Vm) {
+        let (name, c0, s0) = self.open.take().expect("FTRACE exit without enter");
+        let c1 = vm.lifetime_cost();
+        let s1 = vm.stats();
+        let entry = self.regions.entry(name).or_default();
+        entry.calls += 1;
+        entry.cost.add(Cost {
+            cycles: c1.cycles - c0.cycles,
+            flops: c1.flops - c0.flops,
+            cray_flops: c1.cray_flops - c0.cray_flops,
+            bytes: c1.bytes - c0.bytes,
+        });
+        entry.stats.add(&OpStats {
+            vector_ops: s1.vector_ops - s0.vector_ops,
+            vector_elements: s1.vector_elements - s0.vector_elements,
+            vector_cycles: s1.vector_cycles - s0.vector_cycles,
+            scalar_cycles: s1.scalar_cycles - s0.scalar_cycles,
+            scalar_iters: s1.scalar_iters - s0.scalar_iters,
+            intrinsic_calls: s1.intrinsic_calls - s0.intrinsic_calls,
+            indexed_elements: s1.indexed_elements - s0.indexed_elements,
+            other_cycles: s1.other_cycles - s0.other_cycles,
+        });
+    }
+
+    /// Run `work` inside a region (the convenient form).
+    pub fn region<R>(&mut self, name: &str, vm: &mut Vm, work: impl FnOnce(&mut Vm) -> R) -> R {
+        self.enter(name, vm);
+        let out = work(vm);
+        self.exit(vm);
+        out
+    }
+
+    /// All regions, by name.
+    pub fn regions(&self) -> &BTreeMap<String, RegionTotals> {
+        &self.regions
+    }
+
+    /// Render the classic FTRACE table, sorted by exclusive time.
+    pub fn render(&self, clock_ns: f64) -> String {
+        let mut rows: Vec<(&String, &RegionTotals)> = self.regions.iter().collect();
+        rows.sort_by(|a, b| b.1.cost.cycles.total_cmp(&a.1.cost.cycles));
+        let total: f64 = rows.iter().map(|(_, r)| r.cost.cycles).sum();
+        let mut out = String::from(
+            "*----------------------*\n|  FTRACE ANALYSIS LIST |\n*----------------------*\n",
+        );
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>12} {:>7} {:>10} {:>8} {:>8}\n",
+            "REGION", "CALLS", "EXCL.TIME(s)", "TIME%", "MFLOPS", "V.OP%", "AVG.VL"
+        ));
+        for (name, r) in rows {
+            out.push_str(&format!(
+                "{:<20} {:>6} {:>12.6} {:>7.1} {:>10.1} {:>8.1} {:>8.1}\n",
+                name,
+                r.calls,
+                r.seconds(clock_ns),
+                if total > 0.0 { 100.0 * r.cost.cycles / total } else { 0.0 },
+                r.mflops(clock_ns),
+                r.vector_ratio_pct(),
+                r.average_vector_length(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::timing::LocalityPattern;
+
+    fn vm() -> Vm {
+        Vm::new(presets::sx4_benchmarked())
+    }
+
+    #[test]
+    fn regions_attribute_exclusive_work() {
+        let mut vm = vm();
+        let mut ft = Ftrace::new();
+        let a = vec![1.0f64; 10_000];
+        let mut b = vec![0.0f64; 10_000];
+        ft.region("vector-copy", &mut vm, |vm| vm.copy(&mut b, &a));
+        ft.region("scalar-loop", &mut vm, |vm| {
+            vm.charge_scalar_loop(5_000, 2.0, 2.0, 1.0, LocalityPattern::Streaming)
+        });
+        let regions = ft.regions();
+        assert_eq!(regions.len(), 2);
+        let copy = &regions["vector-copy"];
+        let scalar = &regions["scalar-loop"];
+        assert_eq!(copy.calls, 1);
+        assert!(copy.vector_ratio_pct() > 99.9);
+        assert!((copy.average_vector_length() - 10_000.0).abs() < 1.0);
+        assert_eq!(scalar.vector_ratio_pct(), 0.0);
+        // Exclusive split: the two regions account for everything.
+        let total = copy.cost.cycles + scalar.cost.cycles;
+        assert!((total - vm.lifetime_cost().cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_entries_accumulate_calls() {
+        let mut vm = vm();
+        let mut ft = Ftrace::new();
+        let a = vec![1.0f64; 64];
+        let mut b = vec![0.0f64; 64];
+        for _ in 0..5 {
+            ft.region("copy", &mut vm, |vm| vm.copy(&mut b, &a));
+        }
+        assert_eq!(ft.regions()["copy"].calls, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nest")]
+    fn nesting_rejected() {
+        let mut ft = Ftrace::new();
+        let vm = vm();
+        ft.enter("outer", &vm);
+        ft.enter("inner", &vm);
+    }
+
+    #[test]
+    fn render_sorts_by_time() {
+        let mut vm = vm();
+        let mut ft = Ftrace::new();
+        let small = vec![1.0f64; 100];
+        let big = vec![1.0f64; 100_000];
+        let mut out_s = vec![0.0f64; 100];
+        let mut out_b = vec![0.0f64; 100_000];
+        ft.region("small", &mut vm, |vm| vm.copy(&mut out_s, &small));
+        ft.region("big", &mut vm, |vm| vm.copy(&mut out_b, &big));
+        let table = ft.render(9.2);
+        let big_pos = table.find("big").unwrap();
+        let small_pos = table.find("small").unwrap();
+        assert!(big_pos < small_pos, "bigger region must print first:\n{table}");
+        assert!(table.contains("FTRACE ANALYSIS LIST"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # sxsim — a functional + analytic-timing simulator of the NEC SX-4
+//!
+//! This crate is the hardware substrate for the NCAR Benchmark Suite
+//! reproduction. The real SX-4 is long gone, so every benchmark in this
+//! workspace runs against a *simulated* machine: kernels perform their real
+//! computation on real data through the [`Vm`] facade, and every primitive
+//! operation is charged cycles by an analytic model of the machine —
+//! strip-mined vector chimes, pipe-set rates, memory-port bandwidth, bank
+//! conflicts, gather/scatter hardware, scalar caches, node-level
+//! contention, the XMU semiconductor disk and the IXS internode crossbar.
+//!
+//! ## Layout
+//!
+//! - [`model`] — [`MachineModel`] and its components;
+//! - [`presets`] — the machines of the paper: SX-4 (8.0/9.2 ns), CRI Y-MP,
+//!   CRI J90, Sun SPARC20, IBM RS6000/590;
+//! - [`cost`] — the cycle/flop/byte ledger; all simulated time derives
+//!   from it (no wall clocks — runs are bit-reproducible);
+//! - [`timing`] — the analytic cost of vector ops, scalar loops and
+//!   intrinsic calls;
+//! - [`vm`] — the functional facade kernels program against;
+//! - [`node`] — multi-processor regions, barriers, contention,
+//!   co-scheduling;
+//! - [`xmu`], [`ixs`] — extended memory and internode crossbar.
+//!
+//! ## Example
+//!
+//! ```
+//! use sxsim::{presets, Vm};
+//!
+//! let mut vm = Vm::new(presets::sx4_benchmarked());
+//! let a = vec![1.0f64; 1 << 16];
+//! let b = vec![2.0f64; 1 << 16];
+//! let mut c = vec![0.0f64; 1 << 16];
+//! vm.add(&mut c, &a, &b);          // really computes c = a + b
+//! assert_eq!(c[0], 3.0);
+//! let t = vm.seconds();             // simulated SX-4 time, not host time
+//! assert!(t > 0.0);
+//! ```
+
+pub mod commreg;
+pub mod cost;
+pub mod ftrace;
+pub mod ixs;
+pub mod model;
+pub mod node;
+pub mod presets;
+pub mod proginf;
+pub mod timing;
+pub mod vm;
+pub mod xmu;
+
+pub use commreg::{CommRegisters, RegisterSet, SpinLock};
+pub use cost::Cost;
+pub use ftrace::Ftrace;
+pub use ixs::Ixs;
+pub use model::{Intrinsic, MachineModel, VopClass};
+pub use node::{JobDemand, Node, NodeTiming, Region};
+pub use proginf::{OpStats, Proginf};
+pub use timing::{Access, LocalityPattern, VecOp};
+pub use vm::Vm;
+pub use xmu::Xmu;

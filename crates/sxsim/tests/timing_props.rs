@@ -1,0 +1,144 @@
+//! Property tests on the timing model: the invariants every analytic cost
+//! function must satisfy regardless of parameters.
+
+use proptest::prelude::*;
+use sxsim::{presets, Access, Intrinsic, LocalityPattern, MachineModel, VecOp, Vm, VopClass};
+
+fn machines() -> Vec<MachineModel> {
+    let mut v = vec![presets::sx4_benchmarked(), presets::sx4_production()];
+    v.extend(presets::table1_machines());
+    v
+}
+
+fn any_class() -> impl Strategy<Value = VopClass> {
+    prop_oneof![
+        Just(VopClass::Add),
+        Just(VopClass::Mul),
+        Just(VopClass::Fma),
+        Just(VopClass::Div),
+        Just(VopClass::Logical),
+    ]
+}
+
+fn any_access() -> impl Strategy<Value = Access> {
+    prop_oneof![
+        (1usize..4096).prop_map(Access::Stride),
+        Just(Access::Indexed),
+        Just(Access::None),
+    ]
+}
+
+proptest! {
+    /// Cost is finite, non-negative, and monotone in n on every machine.
+    #[test]
+    fn vector_cost_sane_everywhere(
+        n in 1usize..500_000,
+        class in any_class(),
+        load in any_access(),
+        store in any_access(),
+    ) {
+        for m in machines() {
+            let cost = |len: usize| {
+                let mut vm = Vm::new(m.clone());
+                vm.charge_vector_op(&VecOp::new(len, class, &[load], &[store]));
+                vm.cost()
+            };
+            let c = cost(n);
+            prop_assert!(c.cycles.is_finite() && c.cycles > 0.0, "{}: {:?}", m.name, c);
+            let c2 = cost(n + n / 2 + 1);
+            prop_assert!(c2.cycles >= c.cycles, "{} not monotone", m.name);
+        }
+    }
+
+    /// Throughput never exceeds the machine's physical ceilings.
+    #[test]
+    fn no_machine_beats_its_peak(n in 1024usize..1_000_000) {
+        for m in machines() {
+            let mut vm = Vm::new(m.clone());
+            vm.charge_vector_op(&VecOp::new(
+                n,
+                VopClass::Fma,
+                &[Access::Stride(1), Access::Stride(1)],
+                &[],
+            ));
+            let c = vm.cost();
+            let flops_per_cycle = c.flops as f64 / c.cycles;
+            let peak = m.peak_gflops_per_proc() * m.clock_ns; // flops per cycle
+            prop_assert!(
+                flops_per_cycle <= peak * 1.0001,
+                "{}: {flops_per_cycle} > peak {peak}",
+                m.name
+            );
+        }
+    }
+
+    /// Intrinsics: cost scales superlinearly never, sublinearly never —
+    /// within a tolerance, doubling n doubles the streaming part.
+    #[test]
+    fn intrinsic_cost_roughly_linear(n in 4096usize..100_000) {
+        for m in machines() {
+            let cost = |len: usize| {
+                let mut vm = Vm::new(m.clone());
+                vm.charge_intrinsic(Intrinsic::Exp, len);
+                vm.cost().cycles
+            };
+            let c1 = cost(n);
+            let c2 = cost(2 * n);
+            let ratio = c2 / c1;
+            prop_assert!((1.8..2.2).contains(&ratio), "{}: ratio {ratio}", m.name);
+        }
+    }
+
+    /// The scalar model: more cache never hurts, bigger working sets never
+    /// help.
+    #[test]
+    fn cache_monotonicity(ws1 in 1024usize..1_000_000, ws2 in 1024usize..1_000_000) {
+        let (small, large) = if ws1 <= ws2 { (ws1, ws2) } else { (ws2, ws1) };
+        for m in machines() {
+            let cost = |ws: usize| {
+                let mut vm = Vm::new(m.clone());
+                vm.charge_scalar_loop(
+                    10_000,
+                    2.0,
+                    3.0,
+                    1.0,
+                    LocalityPattern::Random { working_set_bytes: ws },
+                );
+                vm.cost().cycles
+            };
+            prop_assert!(cost(small) <= cost(large) + 1e-6, "{}", m.name);
+        }
+    }
+
+    /// Gather is never cheaper than the equivalent unit-stride load on a
+    /// vector machine.
+    #[test]
+    fn gather_never_beats_unit_stride(n in 64usize..200_000) {
+        for m in machines().into_iter().filter(|m| m.is_vector()) {
+            let cost = |access: Access| {
+                let mut vm = Vm::new(m.clone());
+                vm.charge_vector_op(&VecOp::new(n, VopClass::Logical, &[access], &[Access::Stride(1)]));
+                vm.cost().cycles
+            };
+            prop_assert!(cost(Access::Indexed) >= cost(Access::Stride(1)), "{}", m.name);
+        }
+    }
+
+    /// PROGINF bookkeeping: vector + scalar + other time always equals
+    /// real time.
+    #[test]
+    fn proginf_time_partition(
+        nvec in 1usize..50_000,
+        nscalar in 1usize..50_000,
+        nintr in 1usize..50_000,
+    ) {
+        let mut vm = Vm::new(presets::sx4_benchmarked());
+        vm.charge_vector_op(&VecOp::new(nvec, VopClass::Add, &[Access::Stride(1)], &[Access::Stride(1)]));
+        vm.charge_scalar_loop(nscalar, 2.0, 2.0, 1.0, LocalityPattern::Streaming);
+        vm.charge_intrinsic(Intrinsic::Sqrt, nintr);
+        let p = vm.proginf();
+        let parts = p.vector_time_s + p.scalar_time_s;
+        prop_assert!((parts - p.real_time_s).abs() < 1e-12 * p.real_time_s.max(1e-30));
+        prop_assert!(p.vector_operation_ratio_pct >= 0.0 && p.vector_operation_ratio_pct <= 100.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Ocean models: MOM fixed-size scaling (the shape of the paper's Table 7)
+//! at the low "porting verification" resolution, and the POP CSHIFT
+//! compiler ablation (§4.7.3).
+//!
+//! Run with: `cargo run --release --example ocean_scaling`
+
+use ncar_sx4::ocean::{Mom, MomConfig, Pop, PopConfig};
+use ncar_sx4::sim::presets;
+
+fn main() {
+    println!("MOM (3-degree, 25 levels), 40 time steps:");
+    println!("{:>6} {:>12} {:>9}", "CPUs", "seconds", "speedup");
+    let mut base = None;
+    for procs in [1usize, 2, 4, 8, 16, 32] {
+        let mut m = Mom::new(MomConfig::low_resolution(), presets::sx4_benchmarked());
+        let secs = m.run(40, procs);
+        let one = *base.get_or_insert(secs);
+        println!("{procs:>6} {secs:>12.2} {:>9.2}", one / secs);
+    }
+
+    println!("\nPOP (2-degree), 5 steps on one processor:");
+    for (label, vectorized) in [("scalar CSHIFT (pre-release F90)", false), ("vectorized CSHIFT", true)] {
+        let mut cfg = PopConfig::two_degree();
+        cfg.cshift_vectorized = vectorized;
+        let mut p = Pop::new(cfg, presets::sx4_benchmarked());
+        let rate = p.mflops(5);
+        println!("  {label:<34} {rate:>7.0} Mflops");
+    }
+    println!("  paper (scalar CSHIFT)                  537 Mflops");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: simulate a few operations on the benchmarked SX-4, compare
+//! against the paper's comparison machines, and price a multi-node
+//! exchange over the IXS.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ncar_sx4::kernels::radabs::radabs_benchmark;
+use ncar_sx4::sim::{presets, Ixs, Vm};
+
+fn main() {
+    // --- one processor of the February-1996 benchmark system ------------
+    let machine = presets::sx4_benchmarked();
+    println!("machine: {}", machine.name);
+    println!("  peak {:.2} Gflops/processor, {} processors/node", machine.peak_gflops_per_proc(), machine.procs);
+
+    let mut vm = Vm::new(machine.clone());
+    let n = 1 << 20;
+    let a = vec![1.0f64; n];
+    let b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+    vm.add(&mut c, &a, &b);
+    vm.mul(&mut c, &a, &b);
+    let t = vm.take_cost();
+    println!(
+        "  2 x {n}-element vector ops: {:.1} simulated microseconds ({:.0} Mflops)",
+        t.seconds(machine.clock_ns) * 1e6,
+        t.mflops(machine.clock_ns)
+    );
+
+    let mut ex = vec![0.0f64; n];
+    vm.exp(&mut ex, &a);
+    let t = vm.take_cost();
+    println!(
+        "  vectorized EXP over {n} elements: {:.1} simulated microseconds ({:.1} Mcalls/s)",
+        t.seconds(machine.clock_ns) * 1e6,
+        n as f64 / t.seconds(machine.clock_ns) / 1e6
+    );
+
+    // --- the RADABS yardstick across the paper's machines ----------------
+    println!("\nRADABS (Cray Y-MP equivalent Mflops):");
+    for m in std::iter::once(machine).chain(presets::table1_machines()) {
+        println!("  {:<22} {:>8.1}", m.name.clone(), radabs_benchmark(&m));
+    }
+
+    // --- the PROGINF epilogue for this processor --------------------------
+    println!();
+    print!("{}", vm.proginf());
+
+    // --- a multi-node exchange over the IXS ------------------------------
+    println!("\nIXS internode crossbar:");
+    for nodes in [2usize, 4, 16] {
+        let ixs = Ixs::new(nodes);
+        let secs = ixs.all_to_all_seconds(64 << 20);
+        println!("  {nodes:>2}-node all-to-all of 64 MB/pair: {:.1} ms (barrier {:.1} us)",
+            secs * 1e3, ixs.barrier_seconds() * 1e6);
+    }
+}

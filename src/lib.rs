@@ -1,0 +1,41 @@
+//! # ncar-sx4 — reproduction of "Architecture and Application: The
+//! Performance of the NEC SX-4 on the NCAR Benchmark Suite" (SC'96)
+//!
+//! This crate re-exports the workspace's public API in one place:
+//!
+//! - [`sim`] (`sxsim`) — the functional + analytic-timing machine
+//!   simulator: the NEC SX-4 and the paper's four comparison machines;
+//! - [`suite`] (`ncar-suite`) — the benchmark-suite framework (KTRIES,
+//!   constant-volume sweeps, report artifacts);
+//! - [`kernels`] (`ncar-kernels`) — PARANOIA, ELEFUNT, COPY/IA/XPOSE,
+//!   RFFT/VFFT, RADABS;
+//! - [`climate`] (`ccm-proxy`) — the spectral-transform CCM2 proxy;
+//! - [`ocean`] (`ocean-models`) — the MOM and POP proxies;
+//! - [`os`] (`superux`) — NQS, Resource Blocks, SFS/XMU, channels,
+//!   PRODLOAD;
+//! - [`others`] (`othersuites`) — LINPACK, STREAM, HINT.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ncar_sx4::sim::{presets, Vm};
+//!
+//! // A simulated SX-4 processor (the 9.2 ns system the paper benchmarked).
+//! let mut vm = Vm::new(presets::sx4_benchmarked());
+//! let a = vec![1.0f64; 100_000];
+//! let mut b = vec![0.0f64; 100_000];
+//! vm.copy(&mut b, &a);
+//! assert_eq!(b[0], 1.0);
+//! println!("copied 100k doubles in {:.3} simulated microseconds", vm.seconds() * 1e6);
+//! ```
+//!
+//! The `ncar-bench` binary (in `crates/bench`) regenerates every table and
+//! figure; see EXPERIMENTS.md for the paper-vs-measured record.
+
+pub use ccm_proxy as climate;
+pub use ncar_kernels as kernels;
+pub use ncar_suite as suite;
+pub use ocean_models as ocean;
+pub use othersuites as others;
+pub use superux as os;
+pub use sxsim as sim;
