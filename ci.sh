@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local CI gate. Everything runs offline against the committed Cargo.lock —
+# the build is hermetic (zero external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo clippy --offline --workspace --all-targets --features sxcheck/audit,ncar-bench/audit -- -D warnings
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+cargo test --offline -q -p sxcheck -p ncar-bench --features sxcheck/audit,ncar-bench/audit
+
+echo "==> ncar-bench check --deny-warnings (fixtures must flag, reports deterministic)"
+out1="$(cargo run --offline -q -p ncar-bench --features audit -- check --deny-warnings)" && rc=0 || rc=$?
+# Findings are expected (the seeded pathologies report), so --deny-warnings
+# must fail with exit 1; exit 2 would mean the checker missed a pathology.
+if [ "$rc" -ne 1 ]; then
+    echo "expected exit 1 from check --deny-warnings, got $rc" >&2
+    exit 1
+fi
+out2="$(cargo run --offline -q -p ncar-bench --features audit -- check --deny-warnings)" || true
+if [ "$out1" != "$out2" ]; then
+    echo "check report is not byte-identical across runs" >&2
+    exit 1
+fi
+
+echo "==> CI OK"

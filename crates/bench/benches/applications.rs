@@ -1,57 +1,46 @@
-//! Criterion benches for the application models (Figure 8, Tables 5-7,
-//! POP): native wall clock of one model step, by resolution and processor
+//! Wall-clock benches for the application models (Figure 8, Tables 5-7,
+//! POP): native timing of one model step, by resolution and processor
 //! count.
+//!
+//! Plain `fn main` harness (`harness = false`): each case is warmed up,
+//! then timed over enough iterations to fill ~200 ms, reporting the mean.
 
-use ccm_proxy::{Ccm2Config, Ccm2Proxy, Resolution};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ccm_proxy::{Ccm2Config, Ccm2Proxy, Resolution, SphericalTransform};
 use ocean_models::{Mom, MomConfig, Pop, PopConfig};
-use sxsim::presets;
+use std::time::Instant;
+use sxsim::{presets, Vm};
 
-fn bench_ccm2_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ccm2_step");
-    g.sample_size(10);
-    for procs in [1usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::new("T42", procs), &procs, |b, &procs| {
-            let mut m =
-                Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
-            m.step(procs);
-            b.iter(|| m.step(procs));
-        });
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        std::hint::black_box(f());
+        iters += 1;
     }
-    g.finish();
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
 }
 
-fn bench_spectral_transform(c: &mut Criterion) {
-    use ccm_proxy::SphericalTransform;
-    use sxsim::Vm;
-    let mut g = c.benchmark_group("spherical_transform");
-    g.sample_size(10);
+fn main() {
+    for procs in [1usize, 8, 32] {
+        let mut m =
+            Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+        m.step(procs);
+        bench(&format!("ccm2_step/T42/{procs}"), || m.step(procs));
+    }
+
     for (trunc, nlat, nlon) in [(42usize, 64usize, 128usize), (85, 128, 256)] {
         let t = SphericalTransform::new(trunc, nlat, nlon);
         let grid: Vec<f64> = (0..nlat * nlon).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
-        g.bench_with_input(BenchmarkId::new("analyze", trunc), &grid, |b, grid| {
-            b.iter(|| {
-                let mut vm = Vm::new(presets::sx4_benchmarked());
-                t.analyze(&mut vm, grid)
-            })
+        bench(&format!("spherical_transform/analyze/{trunc}"), || {
+            let mut vm = Vm::new(presets::sx4_benchmarked());
+            t.analyze(&mut vm, &grid)
         });
     }
-    g.finish();
-}
 
-fn bench_ocean_steps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ocean_step");
-    g.sample_size(10);
-    g.bench_function("mom_low_res_8p", |b| {
-        let mut m = Mom::new(MomConfig::low_resolution(), presets::sx4_benchmarked());
-        b.iter(|| m.step(8));
-    });
-    g.bench_function("pop_two_degree_1p", |b| {
-        let mut m = Pop::new(PopConfig::two_degree(), presets::sx4_benchmarked());
-        b.iter(|| m.step(1));
-    });
-    g.finish();
+    let mut mom = Mom::new(MomConfig::low_resolution(), presets::sx4_benchmarked());
+    bench("ocean_step/mom_low_res_8p", || mom.step(8));
+    let mut pop = Pop::new(PopConfig::two_degree(), presets::sx4_benchmarked());
+    bench("ocean_step/pop_two_degree_1p", || pop.step(1));
 }
-
-criterion_group!(benches, bench_ccm2_step, bench_spectral_transform, bench_ocean_steps);
-criterion_main!(benches);

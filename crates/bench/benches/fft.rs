@@ -1,51 +1,44 @@
-//! Criterion benches for the FFT pair (Figures 6 and 7): native wall clock
+//! Wall-clock benches for the FFT pair (Figures 6 and 7): native timing
 //! of the mixed-radix transform and of the two charged loop orders.
+//!
+//! Plain `fn main` harness (`harness = false`): each case is warmed up,
+//! then timed over enough iterations to fill ~200 ms, reporting the mean.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ncar_kernels::fft::{fft, run_fft_point, rfft_spectrum, C64, Direction, LoopOrder};
+use ncar_kernels::fft::{fft, rfft_spectrum, run_fft_point, Direction, LoopOrder, C64};
+use std::time::Instant;
 use sxsim::presets;
 
-fn bench_complex_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("complex_fft");
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
+}
+
+fn main() {
     for n in [64usize, 240, 1024, 1280] {
         let input: Vec<C64> =
             (0..n).map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
-            b.iter(|| {
-                let mut x = input.clone();
-                fft(&mut x, Direction::Forward);
-                x
-            })
+        bench(&format!("complex_fft/{n}"), || {
+            let mut x = input.clone();
+            fft(&mut x, Direction::Forward);
+            x
         });
     }
-    g.finish();
-}
 
-fn bench_real_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rfft_spectrum");
     for n in [128usize, 640, 1280] {
         let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
-            b.iter(|| rfft_spectrum(s))
-        });
+        bench(&format!("rfft_spectrum/{n}"), || rfft_spectrum(&signal));
     }
-    g.finish();
-}
 
-fn bench_loop_orders(c: &mut Criterion) {
     let m = presets::sx4_benchmarked();
-    let mut g = c.benchmark_group("fig6_fig7_points");
-    g.sample_size(20);
-    g.bench_function("rfft_point_n256", |b| {
-        b.iter(|| run_fft_point(&m, 256, 100, LoopOrder::AxisFastest))
+    bench("fig6_fig7/rfft_point_n256", || run_fft_point(&m, 256, 100, LoopOrder::AxisFastest));
+    bench("fig6_fig7/vfft_point_n256_m500", || {
+        run_fft_point(&m, 256, 500, LoopOrder::InstanceFastest)
     });
-    g.bench_function("vfft_point_n256_m500", |b| {
-        b.iter(|| run_fft_point(&m, 256, 500, LoopOrder::InstanceFastest))
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_complex_fft, bench_real_fft, bench_loop_orders);
-criterion_main!(benches);

@@ -1,52 +1,48 @@
-//! Criterion benches for the kernel suite: host-native wall clock of the
+//! Wall-clock benches for the kernel suite: host-native timing of the
 //! real Rust computations behind Table 1, Table 3, Figure 5 and §4.4
-//! (the simulated-machine numbers come from `ncar-bench`, not Criterion).
+//! (the simulated-machine numbers come from `ncar-bench`, not from here).
+//!
+//! Plain `fn main` harness (`harness = false`): each case is warmed up,
+//! then timed over enough iterations to fill ~200 ms, reporting the mean.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncar_kernels::membw::{run_point, MembwKind};
 use ncar_kernels::radabs::radabs_mflops;
 use ncar_suite::Instance;
 use othersuites::hint::run_hint;
 use othersuites::linpack::linpack;
 use othersuites::stream::{run_op, StreamOp};
+use std::time::Instant;
 use sxsim::presets;
 
-fn bench_membw(c: &mut Criterion) {
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
+}
+
+fn main() {
     let m = presets::sx4_benchmarked();
-    let mut g = c.benchmark_group("fig5_membw");
     for kind in [MembwKind::Copy, MembwKind::Ia, MembwKind::Xpose] {
         let inst = match kind {
             MembwKind::Xpose => Instance { n: 128, m: 8 },
             _ => Instance { n: 65_536, m: 4 },
         };
-        g.bench_with_input(BenchmarkId::new(kind.label(), inst.n), &inst, |b, &inst| {
-            b.iter(|| run_point(&m, kind, inst, 1));
-        });
+        bench(&format!("fig5_membw/{}/{}", kind.label(), inst.n), || run_point(&m, kind, inst, 1));
     }
-    g.finish();
-}
 
-fn bench_radabs(c: &mut Criterion) {
-    let machines = [presets::sx4_benchmarked(), presets::cray_ymp(), presets::sparc20()];
-    let mut g = c.benchmark_group("radabs");
-    for m in &machines {
-        g.bench_function(m.name.clone(), |b| b.iter(|| radabs_mflops(m, 1024, 1)));
+    for mach in [presets::sx4_benchmarked(), presets::cray_ymp(), presets::sparc20()] {
+        bench(&format!("radabs/{}", mach.name), || radabs_mflops(&mach, 1024, 1));
     }
-    g.finish();
-}
 
-fn bench_table1_suites(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
-    g.bench_function("hint_sparc20_20k_splits", |b| {
-        b.iter(|| run_hint(&presets::sparc20(), 20_000))
+    bench("table1/hint_sparc20_20k_splits", || run_hint(&presets::sparc20(), 20_000));
+    bench("table1/linpack_n100_sx4", || linpack(&presets::sx4_benchmarked(), 100));
+    bench("table1/stream_triad_sx4", || {
+        run_op(&presets::sx4_benchmarked(), StreamOp::Triad, 200_000)
     });
-    g.bench_function("linpack_n100_sx4", |b| b.iter(|| linpack(&presets::sx4_benchmarked(), 100)));
-    g.bench_function("stream_triad_sx4", |b| {
-        b.iter(|| run_op(&presets::sx4_benchmarked(), StreamOp::Triad, 200_000))
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_membw, bench_radabs, bench_table1_suites);
-criterion_main!(benches);

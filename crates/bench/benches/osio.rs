@@ -1,51 +1,48 @@
-//! Criterion benches for the SUPER-UX substrate: scheduler throughput,
+//! Wall-clock benches for the SUPER-UX substrate: scheduler throughput,
 //! SFS write path, and the PRODLOAD composition (with fixed rates).
+//!
+//! Plain `fn main` harness (`harness = false`): each case is warmed up,
+//! then timed over enough iterations to fill ~200 ms, reporting the mean.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 use superux::prodload::{prodload, CcmRates};
 use superux::{JobSpec, Nqs, Sfs};
 use sxsim::{presets, Node};
 
-fn bench_nqs(c: &mut Criterion) {
-    let node = Node::new(presets::sx4_benchmarked());
-    let mut g = c.benchmark_group("nqs");
-    g.bench_function("schedule_64_jobs", |b| {
-        let jobs: Vec<JobSpec> = (0..64)
-            .map(|i| JobSpec {
-                name: format!("j{i}"),
-                procs: 1 + (i % 8),
-                memory_bytes: 128 << 20,
-                solo_seconds: 10.0 + i as f64,
-                bytes_per_cycle_per_proc: 30.0,
-                block: 0,
-                after: if i >= 8 { vec![i - 8] } else { vec![] },
-            })
-            .collect();
-        let nqs = Nqs::whole_node(&node);
-        b.iter(|| nqs.run(&jobs));
-    });
-    g.finish();
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per * 1e6);
 }
 
-fn bench_sfs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sfs");
-    g.bench_function("write_1gb_staged", |b| {
-        b.iter(|| {
-            let mut fs = Sfs::benchmarked();
-            fs.write(0.0, 1 << 30, 64)
+fn main() {
+    let node = Node::new(presets::sx4_benchmarked());
+
+    let jobs: Vec<JobSpec> = (0..64)
+        .map(|i| JobSpec {
+            name: format!("j{i}"),
+            procs: 1 + (i % 8),
+            memory_bytes: 128 << 20,
+            solo_seconds: 10.0 + i as f64,
+            bytes_per_cycle_per_proc: 30.0,
+            block: 0,
+            after: if i >= 8 { vec![i - 8] } else { vec![] },
         })
+        .collect();
+    let nqs = Nqs::whole_node(&node);
+    bench("nqs/schedule_64_jobs", || nqs.run(&jobs).expect("mix is schedulable"));
+
+    bench("sfs/write_1gb_staged", || {
+        let mut fs = Sfs::benchmarked();
+        fs.write(0.0, 1 << 30, 64)
     });
-    g.finish();
-}
 
-fn bench_prodload(c: &mut Criterion) {
-    let node = Node::new(presets::sx4_benchmarked());
     let rates = CcmRates::synthetic();
-    let mut g = c.benchmark_group("prodload");
-    g.sample_size(10);
-    g.bench_function("full_composition", |b| b.iter(|| prodload(&node, &rates)));
-    g.finish();
+    bench("prodload/full_composition", || prodload(&node, &rates));
 }
-
-criterion_group!(benches, bench_nqs, bench_sfs, bench_prodload);
-criterion_main!(benches);

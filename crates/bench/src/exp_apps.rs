@@ -39,16 +39,12 @@ pub fn fig8() -> Vec<Artifact> {
         "Figure 8: CCM2 performance (Cray-equivalent Gflops) vs processors on the SX-4/32",
     );
     for res in [Resolution::T42, Resolution::T106, Resolution::T170] {
-        use rayon::prelude::*;
         // Each (resolution, procs) run is an independent model: fan the six
         // processor counts out across host cores.
-        let pts: Vec<(f64, f64)> = [1usize, 2, 4, 8, 16, 32]
-            .into_par_iter()
-            .map(|procs| {
-                let t = ccm2_step(res, procs);
-                (procs as f64, t.timing.cray_gflops(clock))
-            })
-            .collect();
+        let pts: Vec<(f64, f64)> = ncar_suite::par_map(vec![1usize, 2, 4, 8, 16, 32], |procs| {
+            let t = ccm2_step(res, procs);
+            (procs as f64, t.timing.cray_gflops(clock))
+        });
         let mut s = Series::new(res.name(), "processors", "Cray-equivalent Gflops");
         for (x, y) in pts {
             s.push(x, y);
@@ -111,7 +107,7 @@ pub fn table6() -> Vec<Artifact> {
         procs: 4,
         bytes_per_cycle_per_proc: step.bytes_per_cycle_per_proc,
     };
-    let stretch = node.coschedule_stretch(&[job; 8]);
+    let stretch = node.coschedule_stretch(&[job; 8]).expect("8 x 4 procs fit a 32-processor node");
     let multi = single * stretch;
     let degradation = (multi / single - 1.0) * 100.0;
 

@@ -1,0 +1,129 @@
+//! `ncar-bench check` — run the `sxcheck` analyzer: seeded-pathology
+//! fixtures first (the checker's own self-test), then a traced run of the
+//! stock kernel suite, then (with the `audit` feature) the cost-ledger
+//! audit. All output is byte-identical across runs.
+
+use ncar_kernels::membw::{copy_kernel, ia_kernel, xpose_kernel};
+use ncar_kernels::radabs::radabs;
+use ncar_suite::Instance;
+use sxsim::{presets, Ftrace, Vm};
+
+/// Trace the representative kernels of the suite under FTRACE regions.
+/// Returns the Vm (ledger + trace still attached) and its Ftrace.
+fn stock_suite() -> (Vm, Ftrace) {
+    let mut vm = Vm::new(presets::sx4_benchmarked());
+    vm.start_trace();
+    let mut ft = Ftrace::new();
+    ft.region("copy", &mut vm, |vm| {
+        copy_kernel(vm, Instance { n: 100_000, m: 10 });
+    });
+    ft.region("ia", &mut vm, |vm| {
+        ia_kernel(vm, Instance { n: 100_000, m: 10 }, 42);
+    });
+    ft.region("xpose", &mut vm, |vm| {
+        xpose_kernel(vm, Instance { n: 1_000, m: 1_000 });
+    });
+    ft.region("radabs", &mut vm, |vm| {
+        radabs(vm, 512, 18);
+    });
+    (vm, ft)
+}
+
+/// Run the full check. Returns the process exit code:
+/// - `2` if a seeded pathology was not flagged or a clean fixture was
+///   (the checker itself is broken);
+/// - `1` if `--deny-warnings` and any findings exist;
+/// - `0` otherwise.
+pub fn run(deny_warnings: bool) -> i32 {
+    let mut findings = 0usize;
+    let mut self_test_ok = true;
+
+    println!("==> sxcheck fixtures (seeded pathologies + clean controls)");
+    for mut f in sxcheck::fixtures::run_all() {
+        let expect = if f.expect.is_empty() {
+            "expects no findings".to_string()
+        } else {
+            format!("expects {}", f.expect.join(", "))
+        };
+        println!("[{}] {expect}", f.name);
+        print!("{}", f.report.render());
+        findings += f.report.len();
+        if !f.satisfied() {
+            self_test_ok = false;
+            println!("FIXTURE FAILED: {} did not produce the expected report", f.name);
+        }
+    }
+
+    println!("\n==> sxcheck stock suite (COPY/IA/XPOSE/RADABS traced)");
+    let (mut vm, ft) = stock_suite();
+    let model = vm.model().clone();
+    let trace = vm.take_trace().expect("stock suite runs traced");
+    let mut report = sxcheck::check_trace(&model, &trace);
+    print!("{}", report.render());
+    findings += report.len();
+
+    audit_section(&vm, &trace, &ft, &mut findings);
+
+    if !self_test_ok {
+        println!("\nsxcheck self-test FAILED");
+        return 2;
+    }
+    if deny_warnings && findings > 0 {
+        println!("\n--deny-warnings: {findings} findings, failing");
+        return 1;
+    }
+    0
+}
+
+#[cfg(feature = "audit")]
+fn audit_section(vm: &Vm, trace: &sxsim::OpTrace, ft: &Ftrace, findings: &mut usize) {
+    println!("\n==> ledger audit (feature `audit`)");
+    let mut report = sxcheck::Report::new();
+    report.extend(sxcheck::audit::audit_vm(vm, trace));
+    report.extend(sxcheck::audit::audit_ftrace(vm, ft));
+    print!("{}", report.render());
+    *findings += report.len();
+}
+
+#[cfg(not(feature = "audit"))]
+fn audit_section(_vm: &Vm, _trace: &sxsim::OpTrace, _ft: &Ftrace, _findings: &mut usize) {
+    println!("\n==> ledger audit skipped (rebuild with `--features audit`)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_suite_report_is_deterministic() {
+        let render = || {
+            let (mut vm, _ft) = stock_suite();
+            let model = vm.model().clone();
+            let trace = vm.take_trace().unwrap();
+            sxcheck::check_trace(&model, &trace).render()
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn stock_suite_flags_only_the_gather_probe() {
+        let (mut vm, _ft) = stock_suite();
+        let model = vm.model().clone();
+        let trace = vm.take_trace().unwrap();
+        let mut report = sxcheck::check_trace(&model, &trace);
+        // IA is a gather-bandwidth probe, so SXC003 on `ia` is the expected
+        // (and correct) characterization; nothing else should fire.
+        for d in report.diagnostics() {
+            assert_eq!((d.code, d.region.as_str()), ("SXC003", "ia"), "{d}");
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn stock_suite_ledger_audits_clean() {
+        let (mut vm, ft) = stock_suite();
+        let trace = vm.take_trace().unwrap();
+        assert!(sxcheck::audit::audit_vm(&vm, &trace).is_empty());
+        assert!(sxcheck::audit::audit_ftrace(&vm, &ft).is_empty());
+    }
+}

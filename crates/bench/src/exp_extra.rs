@@ -9,8 +9,8 @@
 //!   node.
 
 use ccm_proxy::{Ccm2Config, Ccm2Proxy, Resolution};
-use ncar_kernels::fft::{charge_transform, LoopOrder};
 use ncar_kernels::fft::run_fft_point;
+use ncar_kernels::fft::{charge_transform, LoopOrder};
 use ncar_kernels::membw::{run_point, MembwKind};
 use ncar_kernels::radabs::radabs;
 use ncar_suite::{Artifact, Instance, Table};
@@ -23,10 +23,7 @@ pub fn projection() -> Vec<Artifact> {
         &["Clock", "Sim s/step", "Speedup vs 9.2 ns"],
     );
     let step = |clock: f64| {
-        let mut m = Ccm2Proxy::new(
-            Ccm2Config::benchmark(Resolution::T42),
-            presets::sx4(clock),
-        );
+        let mut m = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4(clock));
         m.step(32);
         m.step(32).seconds
     };
@@ -151,10 +148,7 @@ pub fn multinode() -> Vec<Artifact> {
 /// FTRACE of one CCM2 timestep: where the time goes, phase by phase —
 /// the per-routine view behind the paper's Figure 8 analysis.
 pub fn ftrace() -> Vec<Artifact> {
-    let mut m = Ccm2Proxy::new(
-        Ccm2Config::benchmark(Resolution::T42),
-        presets::sx4_benchmarked(),
-    );
+    let mut m = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
     m.step(4); // spin-up
     let (_t, ft) = m.step_traced(4);
     let mut table = Table::new(

@@ -22,10 +22,8 @@ pub fn table1() -> Vec<Artifact> {
         "Table 1: HINT (MQUIPS) vs RADABS (Cray-equivalent Mflops), single processors",
         &["Benchmark", "SUN SPARC20", "IBM RS6K 590", "CRI J90", "CRI YMP"],
     );
-    let hint: Vec<String> =
-        machines.iter().map(|m| format!("{:.1}", hint_mquips(m))).collect();
-    let rad: Vec<String> =
-        machines.iter().map(|m| format!("{:.1}", radabs_benchmark(m))).collect();
+    let hint: Vec<String> = machines.iter().map(|m| format!("{:.1}", hint_mquips(m))).collect();
+    let rad: Vec<String> = machines.iter().map(|m| format!("{:.1}", radabs_benchmark(m))).collect();
     t.row(&[vec!["HINT (MQUIPS)".to_string()], hint].concat());
     t.row(&[vec!["RADABS (MFLOPS)".to_string()], rad].concat());
     let mut paper = Table::new(
@@ -33,7 +31,13 @@ pub fn table1() -> Vec<Artifact> {
         &["Benchmark", "SUN SPARC20", "IBM RS6K 590", "CRI J90", "CRI YMP"],
     );
     paper.row(&["HINT (MQUIPS)".into(), "3.5".into(), "5.2".into(), "1.7".into(), "3.1".into()]);
-    paper.row(&["RADABS (MFLOPS)".into(), "12.8".into(), "16.5".into(), "60.8".into(), "178.1".into()]);
+    paper.row(&[
+        "RADABS (MFLOPS)".into(),
+        "12.8".into(),
+        "16.5".into(),
+        "60.8".into(),
+        "178.1".into(),
+    ]);
     vec![Artifact::Table(t), Artifact::Table(paper)]
 }
 
@@ -109,14 +113,10 @@ pub fn fig6() -> Vec<Artifact> {
     let mut fig =
         Figure::new("Figure 6: RFFT (\"scalar\" loop order) Mflops on an SX-4/1 (KTRIES=20)");
     for family in FftFamily::ALL {
-        use rayon::prelude::*;
-        let pts: Vec<(f64, f64)> = rfft_instances(family, 1_000_000)
-            .into_par_iter()
-            .map(|inst| {
-                let p = run_fft_point(&m, inst.n, inst.m, LoopOrder::AxisFastest);
-                (inst.n as f64, p.mflops)
-            })
-            .collect();
+        let pts: Vec<(f64, f64)> = ncar_suite::par_map(rfft_instances(family, 1_000_000), |inst| {
+            let p = run_fft_point(&m, inst.n, inst.m, LoopOrder::AxisFastest);
+            (inst.n as f64, p.mflops)
+        });
         let mut s = Series::new(family.label(), "N", "Mflops");
         for (x, y) in pts {
             s.push(x, y);
@@ -136,7 +136,8 @@ pub fn fig7() -> Vec<Artifact> {
         // One curve per family at its largest paper length, swept over the
         // paper's vector lengths M.
         let n = *family.vfft_lengths().last().unwrap();
-        let mut s = Series::new(format!("{} (N={n})", family.label()), "M (vector length)", "Mflops");
+        let mut s =
+            Series::new(format!("{} (N={n})", family.label()), "M (vector length)", "Mflops");
         for &mm in VFFT_M.iter() {
             let p = run_fft_point(&m, n, mm, LoopOrder::InstanceFastest);
             s.push(mm as f64, p.mflops);

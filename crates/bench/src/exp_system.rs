@@ -4,8 +4,8 @@
 use ncar_suite::{Artifact, Figure, Table};
 use othersuites::stream::stream_table;
 use othersuites::{hint_mquips, linpack, linpack_tpp, run_hint};
-use superux::iobench::{hippi_benchmark, io_table, network_table};
 use superux::accounting::qacct_table;
+use superux::iobench::{hippi_benchmark, io_table, network_table};
 use superux::nqs::Nqs;
 use superux::prodload::{prodload, CcmRates};
 use superux::queues::QueueManager;
@@ -51,7 +51,7 @@ pub fn prodload_experiment(measured: bool) -> Vec<Artifact> {
     qm.submit("regular", job("ccm2-T42-a", 4, 900.0)).expect("fits");
     qm.submit("regular", job("ccm2-T42-b", 4, 900.0)).expect("fits");
     qm.submit("standby", job("mom-spinup", 16, 400.0)).expect("fits");
-    let (jobs, schedule) = qm.run(&nqs);
+    let (jobs, schedule) = qm.run(&nqs).expect("site mix is schedulable");
     vec![Artifact::Table(t), Artifact::Table(qacct_table(&jobs, &schedule))]
 }
 
@@ -100,15 +100,14 @@ pub fn other_suites() -> Vec<Artifact> {
         format!("{:.0}", linpack_tpp(&rs6k, 1000, 32)),
     ]);
 
-    let mut st = Table::new(
-        "STREAM (fixed-size long-vector bandwidth), SX-4/1",
-        &["Operation", "MB/s"],
-    );
+    let mut st =
+        Table::new("STREAM (fixed-size long-vector bandwidth), SX-4/1", &["Operation", "MB/s"]);
     for r in stream_table(&sx4) {
         st.row(&[r.op.name().to_string(), format!("{:.0}", r.mb_per_s)]);
     }
 
-    let mut hint_fig = Figure::new("HINT QUIPS trajectory (cache machines peak early, Crays run flat)");
+    let mut hint_fig =
+        Figure::new("HINT QUIPS trajectory (cache machines peak early, Crays run flat)");
     for m in [presets::rs6000_590(), presets::cray_ymp()] {
         let r = run_hint(&m, 200_000);
         let mut s = ncar_suite::Series::new(m.name.clone(), "subdivisions", "MQUIPS");

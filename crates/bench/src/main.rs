@@ -9,6 +9,7 @@
 //! ```
 
 mod exp_apps;
+mod exp_check;
 mod exp_extra;
 mod exp_kernels;
 mod exp_system;
@@ -55,8 +56,14 @@ fn main() {
     let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let exps = experiments();
 
+    if names.iter().any(|n| n.as_str() == "check") {
+        let deny = args.iter().any(|a| a == "--deny-warnings");
+        std::process::exit(exp_check::run(deny));
+    }
+
     if names.is_empty() || names.iter().any(|n| n.as_str() == "list") {
         eprintln!("usage: ncar-bench [--json] <experiment>... | all | list\n");
+        eprintln!("       ncar-bench check [--deny-warnings]   # run the sxcheck analyzer");
         eprintln!("experiments:");
         for (name, desc, _) in &exps {
             eprintln!("  {name:<12} {desc}");

@@ -10,12 +10,12 @@
 //! This module implements both for the proxy model: a binary history-tape
 //! encoding with one record per latitude, and a restart record that
 //! round-trips the full model state bit-exactly. The encodings are real
-//! (written with `bytes`, parsed back, checksummed) so the I/O benchmark
-//! moves honest payloads.
+//! (written with [`crate::wire`], parsed back, checksummed) so the I/O
+//! benchmark moves honest payloads.
 
 use crate::model::Ccm2Proxy;
 use crate::resolution::Resolution;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::wire::{WireReader, WireWriter};
 use ncar_kernels::fft::C64;
 
 /// Magic number at the head of every record ("NCAR" in ASCII).
@@ -32,8 +32,8 @@ pub struct TapeHeader {
 }
 
 impl TapeHeader {
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(32);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = WireWriter::with_capacity(32);
         b.put_u32(MAGIC);
         b.put_u16(VERSION);
         b.put_u16(self.fields_per_record);
@@ -41,10 +41,11 @@ impl TapeHeader {
         b.put_u32(self.resolution.truncation() as u32);
         b.put_u32(self.resolution.nlat() as u32);
         b.put_u32(self.resolution.nlon() as u32);
-        b.freeze()
+        b.into_vec()
     }
 
-    pub fn decode(mut buf: Bytes) -> Result<TapeHeader, String> {
+    pub fn decode(data: &[u8]) -> Result<TapeHeader, String> {
+        let mut buf = WireReader::new(data);
         if buf.remaining() < 28 {
             return Err("header truncated".into());
         }
@@ -70,10 +71,10 @@ impl TapeHeader {
 
 /// One direct-access record: every field's values along one latitude
 /// circle (all levels), plus a checksum.
-pub fn encode_latitude_record(model: &Ccm2Proxy, lat: usize) -> Bytes {
+pub fn encode_latitude_record(model: &Ccm2Proxy, lat: usize) -> Vec<u8> {
     let res = model.config.resolution;
     let (nlon, nlev) = (res.nlon(), res.nlev());
-    let mut b = BytesMut::with_capacity(16 + nlev * nlon * 8);
+    let mut b = WireWriter::with_capacity(16 + nlev * nlon * 8);
     b.put_u32(MAGIC);
     b.put_u32(lat as u32);
     let mut checksum = 0.0f64;
@@ -84,11 +85,16 @@ pub fn encode_latitude_record(model: &Ccm2Proxy, lat: usize) -> Bytes {
         }
     }
     b.put_f64(checksum);
-    b.freeze()
+    b.into_vec()
 }
 
 /// Parse a latitude record back; verifies magic and checksum.
-pub fn decode_latitude_record(mut buf: Bytes, nlon: usize, nlev: usize) -> Result<(usize, Vec<f64>), String> {
+pub fn decode_latitude_record(
+    data: &[u8],
+    nlon: usize,
+    nlev: usize,
+) -> Result<(usize, Vec<f64>), String> {
+    let mut buf = WireReader::new(data);
     if buf.remaining() < 8 + nlev * nlon * 8 + 8 {
         return Err("record truncated".into());
     }
@@ -125,17 +131,13 @@ pub struct Restart {
 }
 
 /// Write the model's state as a restart record.
-pub fn checkpoint(model: &Ccm2Proxy) -> Bytes {
+pub fn checkpoint(model: &Ccm2Proxy) -> Vec<u8> {
     let res = model.config.resolution;
-    let header = TapeHeader {
-        resolution: res,
-        step: model.steps as u64,
-        fields_per_record: 7,
-    };
-    let mut b = BytesMut::new();
-    b.put(header.encode());
+    let header = TapeHeader { resolution: res, step: model.steps as u64, fields_per_record: 7 };
+    let mut b = WireWriter::default();
+    b.put_bytes(&header.encode());
     let state = model.state();
-    let put_spec = |b: &mut BytesMut, field: &Vec<Vec<C64>>| {
+    let put_spec = |b: &mut WireWriter, field: &[Vec<C64>]| {
         for lev in field {
             for c in lev {
                 b.put_f64(c.re);
@@ -143,7 +145,9 @@ pub fn checkpoint(model: &Ccm2Proxy) -> Bytes {
             }
         }
     };
-    for field in [state.phi, state.phi_prev, state.delta, state.delta_prev, state.zeta, state.zeta_prev] {
+    for field in
+        [state.phi, state.phi_prev, state.delta, state.delta_prev, state.zeta, state.zeta_prev]
+    {
         put_spec(&mut b, field);
     }
     for lev in state.q {
@@ -151,22 +155,23 @@ pub fn checkpoint(model: &Ccm2Proxy) -> Bytes {
             b.put_f64(v);
         }
     }
-    b.freeze()
+    b.into_vec()
 }
 
 /// Read a restart record back into structured state.
-pub fn read_checkpoint(mut buf: Bytes, nspec: usize) -> Result<Restart, String> {
-    if buf.remaining() < 28 {
+pub fn read_checkpoint(data: &[u8], nspec: usize) -> Result<Restart, String> {
+    if data.len() < 28 {
         return Err("restart record shorter than its header".into());
     }
-    let header = TapeHeader::decode(buf.copy_to_bytes(28))?;
+    let header = TapeHeader::decode(&data[..28])?;
+    let mut buf = WireReader::new(&data[28..]);
     let res = header.resolution;
     let (nlev, nlon, nlat) = (res.nlev(), res.nlon(), res.nlat());
     let need = 6 * nlev * nspec * 16 + nlev * nlat * nlon * 8;
     if buf.remaining() < need {
         return Err(format!("restart truncated: {} < {need}", buf.remaining()));
     }
-    let get_spec = |buf: &mut Bytes| -> Vec<Vec<C64>> {
+    let get_spec = |buf: &mut WireReader| -> Vec<Vec<C64>> {
         (0..nlev)
             .map(|_| (0..nspec).map(|_| C64::new(buf.get_f64(), buf.get_f64())).collect())
             .collect()
@@ -177,9 +182,7 @@ pub fn read_checkpoint(mut buf: Bytes, nspec: usize) -> Result<Restart, String> 
     let delta_prev = get_spec(&mut buf);
     let zeta = get_spec(&mut buf);
     let zeta_prev = get_spec(&mut buf);
-    let q = (0..nlev)
-        .map(|_| (0..nlat * nlon).map(|_| buf.get_f64()).collect())
-        .collect();
+    let q = (0..nlev).map(|_| (0..nlat * nlon).map(|_| buf.get_f64()).collect()).collect();
     Ok(Restart { header, phi, phi_prev, delta, delta_prev, zeta, zeta_prev, q })
 }
 
@@ -211,16 +214,16 @@ mod tests {
     #[test]
     fn header_roundtrip() {
         let h = TapeHeader { resolution: Resolution::T106, step: 12345, fields_per_record: 7 };
-        let back = TapeHeader::decode(h.encode()).unwrap();
+        let back = TapeHeader::decode(&h.encode()).unwrap();
         assert_eq!(h, back);
     }
 
     #[test]
     fn header_rejects_corruption() {
         let h = TapeHeader { resolution: Resolution::T42, step: 1, fields_per_record: 4 };
-        let mut bytes = h.encode().to_vec();
+        let mut bytes = h.encode();
         bytes[0] ^= 0xFF;
-        assert!(TapeHeader::decode(Bytes::from(bytes)).is_err());
+        assert!(TapeHeader::decode(&bytes).is_err());
     }
 
     #[test]
@@ -228,7 +231,7 @@ mod tests {
         let m = model();
         let res = m.config.resolution;
         let rec = encode_latitude_record(&m, 10);
-        let (lat, values) = decode_latitude_record(rec, res.nlon(), res.nlev()).unwrap();
+        let (lat, values) = decode_latitude_record(&rec, res.nlon(), res.nlev()).unwrap();
         assert_eq!(lat, 10);
         assert_eq!(values.len(), res.nlev() * res.nlon());
         assert_eq!(values[0], m.q[0][10 * res.nlon()]);
@@ -238,10 +241,10 @@ mod tests {
     fn latitude_record_detects_bitflips() {
         let m = model();
         let res = m.config.resolution;
-        let mut bytes = encode_latitude_record(&m, 3).to_vec();
+        let mut bytes = encode_latitude_record(&m, 3);
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
-        let r = decode_latitude_record(Bytes::from(bytes), res.nlon(), res.nlev());
+        let r = decode_latitude_record(&bytes, res.nlon(), res.nlev());
         assert!(r.is_err(), "corrupted record must not decode");
     }
 
@@ -254,7 +257,7 @@ mod tests {
             a.step(4);
         }
         let ckpt = checkpoint(&a);
-        let restart = read_checkpoint(ckpt, a.transform.nspec()).unwrap();
+        let restart = read_checkpoint(&ckpt, a.transform.nspec()).unwrap();
         let mut b = model();
         restore(&mut b, &restart);
         assert_eq!(b.steps, a.steps);
@@ -269,10 +272,10 @@ mod tests {
 
     #[test]
     fn truncated_checkpoint_is_an_error_not_a_panic() {
-        assert!(read_checkpoint(Bytes::from_static(b"short"), 10).is_err());
+        assert!(read_checkpoint(b"short", 10).is_err());
         let m = model();
         let full = checkpoint(&m);
-        let cut = full.slice(0..full.len() / 2);
+        let cut = &full[0..full.len() / 2];
         assert!(read_checkpoint(cut, m.transform.nspec()).is_err());
     }
 

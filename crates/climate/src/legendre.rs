@@ -107,10 +107,7 @@ mod tests {
                         })
                         .sum();
                     let expect = if n1 == n2 { 1.0 } else { 0.0 };
-                    assert!(
-                        (dot - expect).abs() < 1e-10,
-                        "m={m} n1={n1} n2={n2}: {dot}"
-                    );
+                    assert!((dot - expect).abs() < 1e-10, "m={m} n1={n1} n2={n2}: {dot}");
                 }
             }
         }

@@ -328,7 +328,7 @@ impl Ccm2Proxy {
                 let mut ddelta_g = vec![0.0; nlat * nlon];
                 let mut dphi_g = vec![0.0; nlat * nlon];
                 if let Some(ft) = trace.as_deref_mut() {
-                    ft.enter("synthesis", &vm);
+                    ft.enter("synthesis", &mut vm).expect("no region is open");
                 }
                 t.synthesize_partial(&mut vm, &self.zeta[k], &mut zeta_g, chunk.clone());
                 t.synthesize_partial(&mut vm, &self.delta[k], &mut delta_g, chunk.clone());
@@ -339,7 +339,8 @@ impl Ccm2Proxy {
                         for n in m..=t.trunc {
                             let i = t.index(m, n);
                             let a = spec[i];
-                            d[i] = C64::new(-(m as f64) * a.im, m as f64 * a.re); // i*m*a
+                            d[i] = C64::new(-(m as f64) * a.im, m as f64 * a.re);
+                            // i*m*a
                         }
                     }
                     d
@@ -365,12 +366,22 @@ impl Ccm2Proxy {
                 };
                 let mut u_div_g = vec![0.0; nlat * nlon];
                 let mut v_rot_g = vec![0.0; nlat * nlon];
-                t.synthesize_partial(&mut vm, &ddl(&invlap(&self.delta[k])), &mut u_div_g, chunk.clone());
-                t.synthesize_partial(&mut vm, &ddl(&invlap(&self.zeta[k])), &mut v_rot_g, chunk.clone());
+                t.synthesize_partial(
+                    &mut vm,
+                    &ddl(&invlap(&self.delta[k])),
+                    &mut u_div_g,
+                    chunk.clone(),
+                );
+                t.synthesize_partial(
+                    &mut vm,
+                    &ddl(&invlap(&self.zeta[k])),
+                    &mut v_rot_g,
+                    chunk.clone(),
+                );
 
                 if let Some(ft) = trace.as_deref_mut() {
-                    ft.exit(&vm);
-                    ft.enter("grid tendencies", &vm);
+                    ft.exit(&mut vm).expect("region is open");
+                    ft.enter("grid tendencies", &mut vm).expect("no region is open");
                 }
                 // Grid-space tendencies on the chunk's rows.
                 let mut g_zeta = vec![0.0; nlat * nlon];
@@ -391,8 +402,7 @@ impl Ccm2Proxy {
                     for j in 0..nlon {
                         let i = row + j;
                         let inv = 1.0 / (EARTH_RADIUS * cos_phi);
-                        let u = self.config.u0 * cos_phi
-                            - self.config.wind_feedback * dphi_g[i];
+                        let u = self.config.u0 * cos_phi - self.config.wind_feedback * dphi_g[i];
                         g_zeta[i] = -u * dzeta_g[i] * inv - f_cor * delta_g[i];
                         g_delta[i] = -u * ddelta_g[i] * inv + f_cor * zeta_g[i];
                         g_phi[i] = -u * dphi_g[i] * inv;
@@ -410,8 +420,8 @@ impl Ccm2Proxy {
                 }
 
                 if let Some(ft) = trace.as_deref_mut() {
-                    ft.exit(&vm);
-                    ft.enter("physics", &vm);
+                    ft.exit(&mut vm).expect("region is open");
+                    ft.enter("physics", &mut vm).expect("no region is open");
                 }
                 // Physics (level-mean forcing computed once, on k == 0).
                 if self.config.physics && k == 0 {
@@ -427,15 +437,16 @@ impl Ccm2Proxy {
                         for j in 0..nlon {
                             let h = ph.heating[ci * nlon + j] / dt;
                             g_phi[l * nlon + j] += h;
-                            self.q[nlev - 1][l * nlon + j] =
-                                (self.q[nlev - 1][l * nlon + j] + ph.moistening[ci * nlon + j]).max(0.0);
+                            self.q[nlev - 1][l * nlon + j] = (self.q[nlev - 1][l * nlon + j]
+                                + ph.moistening[ci * nlon + j])
+                                .max(0.0);
                         }
                     }
                 }
 
                 if let Some(ft) = trace.as_deref_mut() {
-                    ft.exit(&vm);
-                    ft.enter("SLT transport", &vm);
+                    ft.exit(&mut vm).expect("region is open");
+                    ft.enter("SLT transport", &mut vm).expect("no region is open");
                 }
                 // SLT moisture transport: a zonal pass along the chunk's
                 // rows, then a (weak) meridional correction pass using the
@@ -449,8 +460,7 @@ impl Ccm2Proxy {
                             / (2.0 * std::f64::consts::PI * EARTH_RADIUS * cos_phi);
                         // Recovered winds enter tapered by cos^2(phi), which
                         // cancels the polar 1/cos factors.
-                        let wgt =
-                            if self.config.recovered_winds { cos_phi * cos_phi } else { 0.0 };
+                        let wgt = if self.config.recovered_winds { cos_phi * cos_phi } else { 0.0 };
                         let u_cells: Vec<f64> = (0..nlon)
                             .map(|j| {
                                 let i = l * nlon + j;
@@ -469,8 +479,7 @@ impl Ccm2Proxy {
                         // scheme performs; same gather/interpolate cost).
                         let v_cells: Vec<f64> = (0..nlon)
                             .map(|j| {
-                                let v = (wgt * v_rot_g[l * nlon + j]
-                                    / (EARTH_RADIUS * cos_phi))
+                                let v = (wgt * v_rot_g[l * nlon + j] / (EARTH_RADIUS * cos_phi))
                                     .clamp(-40.0, 40.0);
                                 (v * dt * nlon as f64
                                     / (2.0 * std::f64::consts::PI * EARTH_RADIUS * cos_phi))
@@ -484,8 +493,8 @@ impl Ccm2Proxy {
                 }
 
                 if let Some(ft) = trace.as_deref_mut() {
-                    ft.exit(&vm);
-                    ft.enter("analysis", &vm);
+                    ft.exit(&mut vm).expect("region is open");
+                    ft.enter("analysis", &mut vm).expect("no region is open");
                 }
                 // Partial analysis of the tendencies.
                 let pz = t.analyze_partial(&mut vm, &g_zeta, chunk.clone());
@@ -497,7 +506,7 @@ impl Ccm2Proxy {
                     tend_phi[k][i] = tend_phi[k][i] + pp[i];
                 }
                 if let Some(ft) = trace.as_deref_mut() {
-                    ft.exit(&vm);
+                    ft.exit(&mut vm).expect("region is open");
                 }
             }
             phase1.push(vm.take_cost());
@@ -557,7 +566,7 @@ impl Ccm2Proxy {
             }
             let mut trace = if sc_idx == 0 { ftrace.as_deref_mut() } else { None };
             if let Some(ft) = trace.as_deref_mut() {
-                ft.enter("semi-implicit solve", &vm);
+                ft.enter("semi-implicit solve", &mut vm).expect("no region is open");
             }
             for k in 0..nlev {
                 let pb = self.phibar[k];
@@ -597,8 +606,8 @@ impl Ccm2Proxy {
                     &[Access::Stride(1)],
                 ));
             }
-            if let Some(ft) = trace.as_deref_mut() {
-                ft.exit(&vm);
+            if let Some(ft) = trace {
+                ft.exit(&mut vm).expect("region is open");
             }
             phase3.push(vm.take_cost());
         }
@@ -642,7 +651,8 @@ impl Ccm2Proxy {
         }
         let clock_ns = timing_machine.clock_ns;
         let node = Node::new(timing_machine);
-        let mut timing = node.time_regions(&regions);
+        let mut timing =
+            node.time_regions(&regions).expect("partitioned within the node's processor count");
         if nodes > 1 {
             let ixs = sxsim::Ixs::new(nodes);
             // The 3 tendency fields' partial sums cross the crossbar, split
@@ -748,10 +758,7 @@ mod tests {
             m.step(2);
         }
         let e1: f64 = (0..3).map(|k| m.energy(k)).sum();
-        assert!(
-            (e1 - e0).abs() < 0.02 * e0,
-            "gravity-wave energy drifted: {e0} -> {e1}"
-        );
+        assert!((e1 - e0).abs() < 0.02 * e0, "gravity-wave energy drifted: {e0} -> {e1}");
     }
 
     #[test]
@@ -845,11 +852,7 @@ mod tests {
             let mut m = small_model(Ccm2Config::benchmark);
             m.step(procs); // spin-up (forward step)
             let t = m.step(procs);
-            assert!(
-                t.seconds < prev * 1.02,
-                "{procs} procs took {} vs previous {prev}",
-                t.seconds
-            );
+            assert!(t.seconds < prev * 1.02, "{procs} procs took {} vs previous {prev}", t.seconds);
             prev = t.seconds;
         }
     }
@@ -872,13 +875,19 @@ mod multinode_tests {
     fn two_nodes_beat_one_on_a_big_problem() {
         // T85 has enough latitudes (128) to feed 64 processors; comparing
         // first (forward) steps keeps the test cheap and is apples-to-apples.
-        let mk = || Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T85), presets::sx4_benchmarked());
+        let mk =
+            || Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T85), presets::sx4_benchmarked());
         let t1 = mk().step(32);
         let t2 = mk().step_multinode(2, 32);
         assert!(t2.seconds < t1.seconds, "2 nodes {} vs 1 node {}", t2.seconds, t1.seconds);
         // ...but below perfect scaling: the IXS exchange and shorter
         // per-processor vectors cost something.
-        assert!(t2.seconds > 0.5 * t1.seconds, "suspiciously superlinear: {} vs {}", t2.seconds, t1.seconds);
+        assert!(
+            t2.seconds > 0.5 * t1.seconds,
+            "suspiciously superlinear: {} vs {}",
+            t2.seconds,
+            t1.seconds
+        );
     }
 
     #[test]
@@ -900,7 +909,8 @@ mod multinode_tests {
     #[test]
     fn multinode_state_matches_single_node() {
         // The decomposition must not change the answer.
-        let mk = || Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+        let mk =
+            || Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
         let mut a = mk();
         let mut b = mk();
         for _ in 0..3 {
@@ -921,7 +931,8 @@ mod multinode_tests {
     #[test]
     #[should_panic(expected = "16")]
     fn too_many_nodes_rejected() {
-        let mut m = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+        let mut m =
+            Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
         m.step_multinode(17, 4);
     }
 }
@@ -933,10 +944,18 @@ mod ftrace_tests {
 
     #[test]
     fn traced_step_breaks_down_the_phases() {
-        let mut m = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+        let mut m =
+            Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
         let (_t, ft) = m.step_traced(4);
         let regions = ft.regions();
-        for name in ["synthesis", "grid tendencies", "physics", "SLT transport", "analysis", "semi-implicit solve"] {
+        for name in [
+            "synthesis",
+            "grid tendencies",
+            "physics",
+            "SLT transport",
+            "analysis",
+            "semi-implicit solve",
+        ] {
             assert!(regions.contains_key(name), "missing region {name}");
             assert!(regions[name].cost.cycles > 0.0, "{name} empty");
         }
@@ -953,7 +972,8 @@ mod ftrace_tests {
 
     #[test]
     fn traced_and_untraced_steps_agree() {
-        let mk = || Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+        let mk =
+            || Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
         let mut a = mk();
         let mut b = mk();
         let ta = a.step(4);
@@ -974,11 +994,9 @@ mod anchor_calibration {
     #[ignore = "calibration printout, not an assertion"]
     fn print_fig8_anchors() {
         let clock = presets::sx4_benchmarked().clock_ns;
-        for (res, procs) in [
-            (Resolution::T42, 32usize),
-            (Resolution::T106, 32),
-            (Resolution::T170, 32),
-        ] {
+        for (res, procs) in
+            [(Resolution::T42, 32usize), (Resolution::T106, 32), (Resolution::T170, 32)]
+        {
             let mut m = Ccm2Proxy::new(Ccm2Config::benchmark(res), presets::sx4_benchmarked());
             m.step(procs);
             let t = m.step(procs);

@@ -40,7 +40,8 @@ pub fn column_physics(vm: &mut Vm, phi: &[f64], q: &[f64], nlev: usize) -> Physi
     let sw = radabs(vm, ncol, nlev);
     // Column radiative forcing: longwave absorption seen by the surface
     // level, offset by the column-mean shortwave transmission.
-    let col_abs: f64 = (0..nlev).map(|k| lw.absorptivity[(nlev - 1) * nlev + k]).sum::<f64>() / nlev as f64;
+    let col_abs: f64 =
+        (0..nlev).map(|k| lw.absorptivity[(nlev - 1) * nlev + k]).sum::<f64>() / nlev as f64;
     let col_sw: f64 = (0..nlev).map(|k| sw.absorptivity[k]).sum::<f64>() / nlev as f64;
     let col_abs = 0.7 * col_abs + 0.3 * col_sw;
 
@@ -131,7 +132,10 @@ mod tests {
         let phi = vec![0.1; 256];
         let q = vec![0.01; 256];
         let r = column_physics(&mut vm, &phi, &q, 18);
-        assert!(r.cost.cray_flops > 1.5 * r.cost.flops as f64, "physics should be dominated by intrinsics");
+        assert!(
+            r.cost.cray_flops > 1.5 * r.cost.flops as f64,
+            "physics should be dominated by intrinsics"
+        );
     }
 
     #[test]

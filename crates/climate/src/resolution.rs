@@ -4,10 +4,8 @@
 //! vertical level count: T42L18 uses a 64 x 128 Gaussian grid, 18 levels,
 //! and a 20-minute timestep.
 
-use serde::{Deserialize, Serialize};
-
 /// The five resolutions of Table 4, all with 18 levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resolution {
     T42,
     T63,

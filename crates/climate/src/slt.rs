@@ -77,11 +77,21 @@ pub fn advect_row(vm: &mut Vm, q: &[f64], u_cells: &[f64]) -> Vec<f64> {
     use sxsim::{Access, VecOp, VopClass};
     // departure points: ~4 ops
     for _ in 0..4 {
-        vm.charge_vector_op(&VecOp::new(n, VopClass::Add, &[Access::Stride(1)], &[Access::Stride(1)]));
+        vm.charge_vector_op(&VecOp::new(
+            n,
+            VopClass::Add,
+            &[Access::Stride(1)],
+            &[Access::Stride(1)],
+        ));
     }
     // four gathers
     for _ in 0..4 {
-        vm.charge_vector_op(&VecOp::new(n, VopClass::Logical, &[Access::Indexed], &[Access::Stride(1)]));
+        vm.charge_vector_op(&VecOp::new(
+            n,
+            VopClass::Logical,
+            &[Access::Indexed],
+            &[Access::Stride(1)],
+        ));
     }
     // slopes + limiter (~6 ops) and Hermite (~10 fused ops)
     for _ in 0..6 {

@@ -102,7 +102,8 @@ mod tests {
     fn hyperdiffusion_suppresses_the_tail() {
         // Run the benchmark model a day; the smallest scales must hold a
         // tiny fraction of the geopotential power.
-        let mut m = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
+        let mut m =
+            Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked());
         for _ in 0..24 {
             m.step(8);
         }

@@ -129,12 +129,7 @@ impl SphericalTransform {
         let len_avg = (total_elems / sweeps).max(1); // ~ (trunc + 2) / 2
         let vec_len = len_avg * fused;
         let ops = total_elems.div_ceil(vec_len).max(1);
-        let op = VecOp::new(
-            vec_len,
-            VopClass::Fma,
-            &[Access::Stride(1), Access::Stride(1)],
-            &[],
-        );
+        let op = VecOp::new(vec_len, VopClass::Fma, &[Access::Stride(1), Access::Stride(1)], &[]);
         for _ in 0..local_lats {
             for _ in 0..ops {
                 vm.charge_vector_op(&op);
@@ -149,7 +144,13 @@ impl SphericalTransform {
 
     /// Synthesize the latitude rows in `lats` from spectral coefficients
     /// into `grid` (only those rows are written).
-    pub fn synthesize_partial(&self, vm: &mut Vm, spec: &[C64], grid: &mut [f64], lats: Range<usize>) {
+    pub fn synthesize_partial(
+        &self,
+        vm: &mut Vm,
+        spec: &[C64],
+        grid: &mut [f64],
+        lats: Range<usize>,
+    ) {
         assert_eq!(spec.len(), self.nspec());
         assert_eq!(grid.len(), self.nlat * self.nlon);
         let nspec = self.nspec();
@@ -280,7 +281,8 @@ mod tests {
     fn partial_analysis_sums_to_full() {
         let t = small();
         let mut vm = vm();
-        let grid: Vec<f64> = (0..t.nlat * t.nlon).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let grid: Vec<f64> =
+            (0..t.nlat * t.nlon).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
         let full = t.analyze(&mut vm, &grid);
         let a = t.analyze_partial(&mut vm, &grid, 0..7);
         let b = t.analyze_partial(&mut vm, &grid, 7..16);

@@ -135,7 +135,8 @@ mod tests {
         let e = vec![-1.0; n - 1];
         let eig = sym_tridiag_eigenvalues(&d, &e);
         for (i, &l) in eig.iter().enumerate() {
-            let exact = 2.0 - 2.0 * ((i + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let exact =
+                2.0 - 2.0 * ((i + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!((l - exact).abs() < 1e-10, "eig[{i}] = {l} vs {exact}");
         }
     }

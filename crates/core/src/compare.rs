@@ -7,10 +7,8 @@
 //! [`Scorecard`] collects comparisons and renders the audit table. The
 //! `paper_scorecard` integration test drives the whole suite through it.
 
-use serde::{Deserialize, Serialize};
-
 /// How close a reproduction claims to land.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Tolerance {
     /// Within `pct` percent of the paper's value.
     Percent(f64),
@@ -22,7 +20,7 @@ pub enum Tolerance {
 }
 
 /// One published value and the band the reproduction claims.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PaperAnchor {
     /// Which experiment this belongs to (e.g. "Table 7").
     pub experiment: String,
@@ -40,12 +38,7 @@ impl PaperAnchor {
         paper: f64,
         tolerance: Tolerance,
     ) -> PaperAnchor {
-        PaperAnchor {
-            experiment: experiment.into(),
-            quantity: quantity.into(),
-            paper,
-            tolerance,
-        }
+        PaperAnchor { experiment: experiment.into(), quantity: quantity.into(), paper, tolerance }
     }
 
     /// Does `measured` fall inside the claimed band?
@@ -54,9 +47,7 @@ impl PaperAnchor {
             return false;
         }
         match self.tolerance {
-            Tolerance::Percent(p) => {
-                (measured - self.paper).abs() <= self.paper.abs() * p / 100.0
-            }
+            Tolerance::Percent(p) => (measured - self.paper).abs() <= self.paper.abs() * p / 100.0,
             Tolerance::Factor(f) => {
                 assert!(f >= 1.0, "factor tolerance must be >= 1");
                 let (lo, hi) = (self.paper / f, self.paper * f);
@@ -73,7 +64,7 @@ impl PaperAnchor {
 }
 
 /// One filled-in comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Comparison {
     pub anchor: PaperAnchor,
     pub measured: f64,
@@ -81,7 +72,7 @@ pub struct Comparison {
 }
 
 /// The audit table.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Scorecard {
     pub rows: Vec<Comparison>,
 }

@@ -26,10 +26,7 @@ pub fn best_of(ktries: usize, mut experiment: impl FnMut() -> Cost) -> Cost {
     let mut best = experiment();
     for _ in 1..ktries {
         let c = experiment();
-        assert_eq!(
-            c.flops, best.flops,
-            "experiment is not reproducible across KTRIES repetitions"
-        );
+        assert_eq!(c.flops, best.flops, "experiment is not reproducible across KTRIES repetitions");
         if c.cycles < best.cycles {
             best = c;
         }
@@ -64,7 +61,12 @@ mod tests {
     #[should_panic(expected = "reproducible")]
     fn flop_drift_detected() {
         let mut flops = vec![10u64, 11].into_iter();
-        best_of(2, || Cost { cycles: 1.0, flops: flops.next().unwrap(), cray_flops: 0.0, bytes: 0 });
+        best_of(2, || Cost {
+            cycles: 1.0,
+            flops: flops.next().unwrap(),
+            cray_flops: 0.0,
+            bytes: 0,
+        });
     }
 
     #[test]

@@ -19,12 +19,18 @@
 
 pub mod compare;
 pub mod ktries;
+pub mod par;
 pub mod report;
+pub mod rng;
 pub mod suite;
 pub mod sweep;
 
 pub use compare::{Comparison, PaperAnchor, Scorecard, Tolerance};
 pub use ktries::{best_of, KTRIES_DEFAULT, KTRIES_VFFT};
+pub use par::{par_map, par_map_with};
 pub use report::{Artifact, Figure, Series, Table};
+pub use rng::SmallRng;
 pub use suite::{suite, Category, SuiteEntry};
-pub use sweep::{constant_volume_ladder, rfft_instances, xpose_ladder, FftFamily, Instance, VFFT_M};
+pub use sweep::{
+    constant_volume_ladder, rfft_instances, xpose_ladder, FftFamily, Instance, VFFT_M,
+};

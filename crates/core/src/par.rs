@@ -1,0 +1,94 @@
+//! Host-parallel helpers over `std::thread` (the workspace builds with no
+//! external crates, so this replaces the former `rayon` fan-outs).
+//!
+//! Simulated time never depends on host parallelism — every ladder point
+//! builds its own `Vm` — so `par_map` only shortens wall-clock time of the
+//! harness. Results always come back in input order.
+
+/// Map `f` over `items` using up to `available_parallelism` host threads,
+/// preserving input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    par_map_with(items, threads, f)
+}
+
+/// [`par_map`] with an explicit thread cap (1 = sequential).
+pub fn par_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Work queue: (index, item) pairs pulled by worker threads; results are
+    // reassembled by index so output order matches input order.
+    let queue: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
+    let f = &f;
+    let queue = &queue;
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let results: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::with_capacity(n));
+    let results_ref = &results;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let next = queue.lock().expect("worker panicked holding queue").pop();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results_ref.lock().expect("worker panicked holding results").push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    for (i, r) in results.into_inner().expect("worker panicked holding results") {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect::<Vec<usize>>(), |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = par_map(Vec::<usize>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sequential_cap_matches_parallel() {
+        let items: Vec<usize> = (0..37).collect();
+        let seq = par_map_with(items.clone(), 1, |x| x + 1);
+        let par = par_map_with(items, 8, |x| x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map_with(vec![1, 2, 3], 64, |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

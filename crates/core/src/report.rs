@@ -1,11 +1,46 @@
 //! Result containers and rendering: fixed-width text tables (what the
 //! harness prints, mirroring the paper's tables) and JSON series for
 //! mechanical comparison in EXPERIMENTS.md.
+//!
+//! JSON is emitted by a small hand-rolled serializer (the workspace builds
+//! hermetically, with no external crates), producing the same tagged shape
+//! `serde` with `#[serde(tag = "kind", rename_all = "snake_case")]` would.
 
-use serde::{Deserialize, Serialize};
+/// Escape a string for inclusion in a JSON document (RFC 8259 §7).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 as a JSON number (finite values only; non-finite values
+/// become `null`, which JSON has no number for).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+    format!("[{}]", cells.join(","))
+}
 
 /// A table of results, one per paper table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     pub title: String,
     pub headers: Vec<String>,
@@ -66,7 +101,7 @@ impl Table {
 }
 
 /// A labelled (x, y) series, one per curve of a paper figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     pub label: String,
     /// Axis names, e.g. ("N", "MB/sec").
@@ -76,8 +111,17 @@ pub struct Series {
 }
 
 impl Series {
-    pub fn new(label: impl Into<String>, x_name: impl Into<String>, y_name: impl Into<String>) -> Series {
-        Series { label: label.into(), x_name: x_name.into(), y_name: y_name.into(), points: Vec::new() }
+    pub fn new(
+        label: impl Into<String>,
+        x_name: impl Into<String>,
+        y_name: impl Into<String>,
+    ) -> Series {
+        Series {
+            label: label.into(),
+            x_name: x_name.into(),
+            y_name: y_name.into(),
+            points: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, x: f64, y: f64) {
@@ -100,7 +144,7 @@ impl Series {
 }
 
 /// A figure: several series plotted together.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     pub title: String,
     pub series: Vec<Series>,
@@ -125,15 +169,22 @@ impl Figure {
 }
 
 /// Any experiment artifact the harness can emit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum Artifact {
     Table(Table),
     Figure(Figure),
     /// A single headline number (e.g. RADABS Cray-equivalent Mflops).
-    Scalar { title: String, value: f64, unit: String },
+    Scalar {
+        title: String,
+        value: f64,
+        unit: String,
+    },
     /// A pass/fail verdict with detail lines (PARANOIA, ELEFUNT accuracy).
-    Verdict { title: String, passed: bool, details: Vec<String> },
+    Verdict {
+        title: String,
+        passed: bool,
+        details: Vec<String>,
+    },
 }
 
 impl Artifact {
@@ -152,8 +203,56 @@ impl Artifact {
         }
     }
 
+    /// Serialize as a tagged JSON object: `{"kind": "...", ...}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("artifacts are always serializable")
+        match self {
+            Artifact::Table(t) => {
+                let rows: Vec<String> = t.rows.iter().map(|r| json_str_array(r)).collect();
+                format!(
+                    "{{\"kind\":\"table\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
+                    json_escape(&t.title),
+                    json_str_array(&t.headers),
+                    rows.join(",")
+                )
+            }
+            Artifact::Figure(f) => {
+                let series: Vec<String> = f
+                    .series
+                    .iter()
+                    .map(|s| {
+                        let pts: Vec<String> = s
+                            .points
+                            .iter()
+                            .map(|&(x, y)| format!("[{},{}]", json_f64(x), json_f64(y)))
+                            .collect();
+                        format!(
+                            "{{\"label\":\"{}\",\"x_name\":\"{}\",\"y_name\":\"{}\",\"points\":[{}]}}",
+                            json_escape(&s.label),
+                            json_escape(&s.x_name),
+                            json_escape(&s.y_name),
+                            pts.join(",")
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"kind\":\"figure\",\"title\":\"{}\",\"series\":[{}]}}",
+                    json_escape(&f.title),
+                    series.join(",")
+                )
+            }
+            Artifact::Scalar { title, value, unit } => format!(
+                "{{\"kind\":\"scalar\",\"title\":\"{}\",\"value\":{},\"unit\":\"{}\"}}",
+                json_escape(title),
+                json_f64(*value),
+                json_escape(unit)
+            ),
+            Artifact::Verdict { title, passed, details } => format!(
+                "{{\"kind\":\"verdict\",\"title\":\"{}\",\"passed\":{},\"details\":{}}}",
+                json_escape(title),
+                passed,
+                json_str_array(details)
+            ),
+        }
     }
 }
 
@@ -191,19 +290,38 @@ mod tests {
     }
 
     #[test]
-    fn artifact_json_roundtrip() {
-        let a = Artifact::Scalar { title: "RADABS".into(), value: 865.9, unit: "Cray-equivalent Mflops".into() };
+    fn artifact_json_shape() {
+        let a = Artifact::Scalar {
+            title: "RADABS".into(),
+            value: 865.9,
+            unit: "Cray-equivalent Mflops".into(),
+        };
         let j = a.to_json();
-        let back: Artifact = serde_json::from_str(&j).unwrap();
-        match back {
-            Artifact::Scalar { value, .. } => assert_eq!(value, 865.9),
-            _ => panic!("wrong variant"),
-        }
+        assert_eq!(
+            j,
+            "{\"kind\":\"scalar\",\"title\":\"RADABS\",\"value\":865.9,\"unit\":\"Cray-equivalent Mflops\"}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_and_nonfinite() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+        let mut t = Table::new("quote \" here", &["h"]);
+        t.row(&["cell\n".into()]);
+        let j = Artifact::Table(t).to_json();
+        assert!(j.contains("quote \\\" here"));
+        assert!(j.contains("cell\\n"));
     }
 
     #[test]
     fn verdict_render_shows_pass() {
-        let a = Artifact::Verdict { title: "PARANOIA".into(), passed: true, details: vec!["no flaws".into()] };
+        let a = Artifact::Verdict {
+            title: "PARANOIA".into(),
+            passed: true,
+            details: vec!["no flaws".into()],
+        };
         let r = a.render();
         assert!(r.contains("PASSED"));
         assert!(r.contains("no flaws"));

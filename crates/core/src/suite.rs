@@ -2,10 +2,8 @@
 //! complete geophysical simulation codes, grouped into the paper's seven
 //! categories (§4).
 
-use serde::{Deserialize, Serialize};
-
 /// The seven categories of §4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Correctness of arithmetic and accuracy/performance of intrinsics.
     Correctness,
@@ -40,7 +38,7 @@ impl Category {
 }
 
 /// One entry of the suite.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SuiteEntry {
     /// The benchmark's name as the paper spells it.
     pub name: &'static str,
@@ -54,21 +52,96 @@ pub struct SuiteEntry {
 pub fn suite() -> Vec<SuiteEntry> {
     use Category::*;
     vec![
-        SuiteEntry { name: "PARANOIA", category: Correctness, description: "arithmetic operation test", is_application: false },
-        SuiteEntry { name: "ELEFUNT", category: Correctness, description: "elementary function test", is_application: false },
-        SuiteEntry { name: "COPY", category: MemoryBandwidth, description: "memory to memory", is_application: false },
-        SuiteEntry { name: "IA", category: MemoryBandwidth, description: "indirect addressing speed", is_application: false },
-        SuiteEntry { name: "XPOSE", category: MemoryBandwidth, description: "array transpose", is_application: false },
-        SuiteEntry { name: "RFFT", category: CodingStyle, description: "\"scalar\" FFT", is_application: false },
-        SuiteEntry { name: "VFFT", category: CodingStyle, description: "\"vectorized\" FFT", is_application: false },
-        SuiteEntry { name: "RADABS", category: RawPerformance, description: "processor performance", is_application: false },
-        SuiteEntry { name: "I/O", category: InputOutput, description: "memory to disk", is_application: false },
-        SuiteEntry { name: "HIPPI", category: InputOutput, description: "HIPPI throughput", is_application: false },
-        SuiteEntry { name: "NETWORK", category: InputOutput, description: "external network evaluation", is_application: false },
-        SuiteEntry { name: "PRODLOAD", category: ProductionMix, description: "simulated production job load", is_application: false },
-        SuiteEntry { name: "CCM2", category: Applications, description: "global climate model", is_application: true },
-        SuiteEntry { name: "MOM", category: Applications, description: "F77 ocean model", is_application: true },
-        SuiteEntry { name: "POP", category: Applications, description: "F90 ocean model", is_application: true },
+        SuiteEntry {
+            name: "PARANOIA",
+            category: Correctness,
+            description: "arithmetic operation test",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "ELEFUNT",
+            category: Correctness,
+            description: "elementary function test",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "COPY",
+            category: MemoryBandwidth,
+            description: "memory to memory",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "IA",
+            category: MemoryBandwidth,
+            description: "indirect addressing speed",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "XPOSE",
+            category: MemoryBandwidth,
+            description: "array transpose",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "RFFT",
+            category: CodingStyle,
+            description: "\"scalar\" FFT",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "VFFT",
+            category: CodingStyle,
+            description: "\"vectorized\" FFT",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "RADABS",
+            category: RawPerformance,
+            description: "processor performance",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "I/O",
+            category: InputOutput,
+            description: "memory to disk",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "HIPPI",
+            category: InputOutput,
+            description: "HIPPI throughput",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "NETWORK",
+            category: InputOutput,
+            description: "external network evaluation",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "PRODLOAD",
+            category: ProductionMix,
+            description: "simulated production job load",
+            is_application: false,
+        },
+        SuiteEntry {
+            name: "CCM2",
+            category: Applications,
+            description: "global climate model",
+            is_application: true,
+        },
+        SuiteEntry {
+            name: "MOM",
+            category: Applications,
+            description: "F77 ocean model",
+            is_application: true,
+        },
+        SuiteEntry {
+            name: "POP",
+            category: Applications,
+            description: "F90 ocean model",
+            is_application: true,
+        },
     ]
 }
 
@@ -98,7 +171,10 @@ mod tests {
     #[test]
     fn names_match_paper() {
         let names: Vec<&str> = suite().iter().map(|e| e.name).collect();
-        for expect in ["PARANOIA", "ELEFUNT", "COPY", "IA", "XPOSE", "RFFT", "VFFT", "RADABS", "I/O", "HIPPI", "NETWORK", "PRODLOAD", "CCM2", "MOM", "POP"] {
+        for expect in [
+            "PARANOIA", "ELEFUNT", "COPY", "IA", "XPOSE", "RFFT", "VFFT", "RADABS", "I/O", "HIPPI",
+            "NETWORK", "PRODLOAD", "CCM2", "MOM", "POP",
+        ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
     }

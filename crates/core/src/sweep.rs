@@ -68,7 +68,8 @@ pub enum FftFamily {
 }
 
 impl FftFamily {
-    pub const ALL: [FftFamily; 3] = [FftFamily::PowerOfTwo, FftFamily::FactorThree, FftFamily::FactorFive];
+    pub const ALL: [FftFamily; 3] =
+        [FftFamily::PowerOfTwo, FftFamily::FactorThree, FftFamily::FactorFive];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -143,7 +144,10 @@ mod tests {
 
     #[test]
     fn rfft_lengths_match_paper() {
-        assert_eq!(FftFamily::PowerOfTwo.rfft_lengths(), vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]);
+        assert_eq!(
+            FftFamily::PowerOfTwo.rfft_lengths(),
+            vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        );
         assert_eq!(FftFamily::FactorThree.rfft_lengths()[0], 3);
         assert_eq!(*FftFamily::FactorFive.rfft_lengths().last().unwrap(), 5 * 256);
     }
@@ -158,20 +162,14 @@ mod tests {
     #[test]
     fn vfft_max_length_is_1280_as_stated() {
         // "The size of the FFT axis to be transformed ranges from 2 to 1280."
-        let max = FftFamily::ALL
-            .iter()
-            .flat_map(|f| f.vfft_lengths())
-            .max()
-            .unwrap();
+        let max = FftFamily::ALL.iter().flat_map(|f| f.vfft_lengths()).max().unwrap();
         assert_eq!(max, 1280);
     }
 
     #[test]
     fn rfft_instance_bounds_match_paper() {
-        let all: Vec<Instance> = FftFamily::ALL
-            .iter()
-            .flat_map(|&f| rfft_instances(f, 1_000_000))
-            .collect();
+        let all: Vec<Instance> =
+            FftFamily::ALL.iter().flat_map(|&f| rfft_instances(f, 1_000_000)).collect();
         let max_m = all.iter().map(|i| i.m).max().unwrap();
         let min_m = all.iter().map(|i| i.m).min().unwrap();
         assert_eq!(max_m, 500_000, "paper: M up to 500,000");

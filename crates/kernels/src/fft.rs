@@ -122,13 +122,21 @@ pub fn fft(x: &mut [C64], dir: Direction) {
     if n <= 1 {
         return;
     }
-    let factors = factorize(n).unwrap_or_else(|| panic!("FFT length {n} has a factor other than 2, 3, 5"));
+    let factors =
+        factorize(n).unwrap_or_else(|| panic!("FFT length {n} has a factor other than 2, 3, 5"));
     let mut scratch = vec![C64::ZERO; n];
     fft_rec(x, &mut scratch, n, 1, dir.sign(), &factors);
 }
 
 /// Recursive worker: transforms `x[0], x[stride], ..., x[(n-1)*stride]`.
-fn fft_rec(x: &mut [C64], scratch: &mut [C64], n: usize, stride: usize, sign: f64, factors: &[usize]) {
+fn fft_rec(
+    x: &mut [C64],
+    scratch: &mut [C64],
+    n: usize,
+    stride: usize,
+    sign: f64,
+    factors: &[usize],
+) {
     if n == 1 {
         return;
     }
@@ -192,7 +200,10 @@ pub fn naive_dft(input: &[C64], dir: Direction) -> Vec<C64> {
         .map(|k| {
             let mut acc = C64::ZERO;
             for (j, &v) in input.iter().enumerate() {
-                acc = acc + v * C64::cis(sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64);
+                acc = acc
+                    + v * C64::cis(
+                        sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64,
+                    );
             }
             acc
         })
@@ -345,16 +356,11 @@ pub struct FftPoint {
 /// in the requested loop order.
 pub fn run_fft_point(model: &MachineModel, n: usize, m: usize, order: LoopOrder) -> FftPoint {
     // Functional leg: a deterministic real signal, transformed and inverted.
-    let signal: Vec<f64> = (0..n)
-        .map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.13).cos())
-        .collect();
+    let signal: Vec<f64> =
+        (0..n).map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.13).cos()).collect();
     let spec = rfft_spectrum(&signal);
     let back = irfft(&spec, n);
-    let err = signal
-        .iter()
-        .zip(&back)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let err = signal.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     assert!(err < 1e-9, "FFT round-trip failed for n={n}: err={err}");
 
     // Timing leg.
@@ -396,9 +402,8 @@ mod tests {
     #[test]
     fn fft_matches_naive_dft_all_families() {
         for n in [2usize, 3, 4, 5, 6, 8, 10, 12, 15, 16, 20, 24, 30, 48, 60, 64, 80, 96] {
-            let input: Vec<C64> = (0..n)
-                .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
-                .collect();
+            let input: Vec<C64> =
+                (0..n).map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
             let mut x = input.clone();
             fft(&mut x, Direction::Forward);
             let expect = naive_dft(&input, Direction::Forward);
@@ -456,7 +461,8 @@ mod tests {
     #[test]
     fn irfft_inverts_rfft() {
         for n in [6usize, 20, 48, 160, 384, 640] {
-            let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin() * (i as f64 * 0.11).cos()).collect();
+            let signal: Vec<f64> =
+                (0..n).map(|i| (i as f64 * 0.9).sin() * (i as f64 * 0.11).cos()).collect();
             let back = irfft(&rfft_spectrum(&signal), n);
             for (a, b) in signal.iter().zip(&back) {
                 assert!((a - b).abs() < 1e-9, "n={n}");

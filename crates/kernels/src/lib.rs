@@ -19,6 +19,6 @@ pub mod membw;
 pub mod paranoia;
 pub mod radabs;
 
-pub use fft::{fft, irfft, rfft_spectrum, C64, Direction, LoopOrder};
+pub use fft::{fft, irfft, rfft_spectrum, Direction, LoopOrder, C64};
 pub use membw::MembwKind;
 pub use radabs::{radabs, radabs_mflops, NLEV};

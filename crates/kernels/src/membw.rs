@@ -7,9 +7,7 @@
 //! `a` moved to `b` — "we only count the elements of the array a being
 //! moved to the array b and not the index values used" (§4.2.3).
 
-use ncar_suite::{best_of, Instance, Series};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use ncar_suite::{best_of, Instance, Series, SmallRng};
 use sxsim::{Cost, MachineModel, Vm};
 
 /// Result of one (N, M) instance of a memory kernel.
@@ -55,9 +53,9 @@ pub fn copy_kernel(vm: &mut Vm, inst: Instance) -> Cost {
 /// IA: `b(i,j) = a(indx(i),j)` — a gather through a shuffled index vector.
 pub fn ia_kernel(vm: &mut Vm, inst: Instance, seed: u64) -> Cost {
     let Instance { n, m } = inst;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.shuffle(&mut rng);
+    rng.shuffle(&mut idx);
     let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
     let mut b = vec![0.0f64; n];
     vm.gather(&mut b, &a, &idx);
@@ -113,7 +111,12 @@ impl MembwKind {
 }
 
 /// Run one kernel instance with KTRIES best-of and report bandwidth.
-pub fn run_point(model: &MachineModel, kind: MembwKind, inst: Instance, ktries: usize) -> MembwPoint {
+pub fn run_point(
+    model: &MachineModel,
+    kind: MembwKind,
+    inst: Instance,
+    ktries: usize,
+) -> MembwPoint {
     let clock = model.clock_ns;
     let cost = best_of(ktries, || {
         let mut vm = Vm::new(model.clone());
@@ -131,17 +134,13 @@ pub fn run_point(model: &MachineModel, kind: MembwKind, inst: Instance, ktries: 
 }
 
 /// Sweep a kernel over its constant-volume ladder, producing one curve of
-/// Figure 5. Ladder points are independent, so they run host-parallel
-/// (rayon); results stay in ladder order.
+/// Figure 5. Ladder points are independent, so they run host-parallel;
+/// results stay in ladder order.
 pub fn sweep(model: &MachineModel, kind: MembwKind, ladder: &[Instance], ktries: usize) -> Series {
-    use rayon::prelude::*;
-    let points: Vec<(f64, f64)> = ladder
-        .par_iter()
-        .map(|&inst| {
-            let p = run_point(model, kind, inst, ktries);
-            (inst.n as f64, p.mb_per_s)
-        })
-        .collect();
+    let points: Vec<(f64, f64)> = ncar_suite::par_map(ladder.to_vec(), |inst| {
+        let p = run_point(model, kind, inst, ktries);
+        (inst.n as f64, p.mb_per_s)
+    });
     let mut s = Series::new(kind.label(), "N", "MB/sec");
     for (x, y) in points {
         s.push(x, y);

@@ -116,14 +116,29 @@ pub fn run() -> ParanoiaReport {
     // Guard digit in subtraction: 1 - eps/2 must not collapse to 1 - eps.
     let eps = f64::EPSILON;
     let g = black_box(1.0 - black_box(eps / 2.0));
-    check(g == 1.0 - eps / 2.0 && g != 1.0 - eps && g < 1.0, Severity::SeriousDefect, "guard digit on subtraction", &mut log);
+    check(
+        g == 1.0 - eps / 2.0 && g != 1.0 - eps && g < 1.0,
+        Severity::SeriousDefect,
+        "guard digit on subtraction",
+        &mut log,
+    );
 
     // Round-to-nearest-even on addition.
     let one_plus_half_ulp = black_box(1.0 + eps / 2.0);
-    check(one_plus_half_ulp == 1.0, Severity::Defect, "halfway add rounds to even (1 + eps/2 == 1)", &mut log);
+    check(
+        one_plus_half_ulp == 1.0,
+        Severity::Defect,
+        "halfway add rounds to even (1 + eps/2 == 1)",
+        &mut log,
+    );
     let odd = black_box(1.0 + eps); // last bit set
     let rounded = black_box(odd + eps / 2.0);
-    check(rounded == 1.0 + 2.0 * eps, Severity::Defect, "halfway add rounds to even (odd case rounds up)", &mut log);
+    check(
+        rounded == 1.0 + 2.0 * eps,
+        Severity::Defect,
+        "halfway add rounds to even (odd case rounds up)",
+        &mut log,
+    );
 
     // Multiplication/division rounding: x*y within half an ULP.
     let mut mul_ok = true;
@@ -149,13 +164,23 @@ pub fn run() -> ParanoiaReport {
     // Underflow is gradual (denormals exist and are ordered).
     let tiny = black_box(f64::MIN_POSITIVE);
     let denorm = black_box(tiny / 4.0);
-    check(denorm > 0.0 && denorm < tiny, Severity::Defect, "gradual underflow (denormals)", &mut log);
+    check(
+        denorm > 0.0 && denorm < tiny,
+        Severity::Defect,
+        "gradual underflow (denormals)",
+        &mut log,
+    );
     check(black_box(denorm * 4.0) == tiny, Severity::Flaw, "denormal scaling exact", &mut log);
 
     // Overflow saturates to infinity, not garbage.
     let huge = black_box(f64::MAX);
     let inf = black_box(huge * 2.0);
-    check(inf.is_infinite() && inf > 0.0, Severity::SeriousDefect, "overflow produces +inf", &mut log);
+    check(
+        inf.is_infinite() && inf > 0.0,
+        Severity::SeriousDefect,
+        "overflow produces +inf",
+        &mut log,
+    );
 
     // Comparisons are a total order on non-NaN values around the probe set.
     // (Probing the comparison operators themselves is the point here, so
@@ -197,7 +222,10 @@ mod tests {
     fn log_mentions_every_check() {
         let r = run();
         assert!(r.log.len() >= 14);
-        assert!(r.log.iter().all(|l| l.starts_with("ok:") || l.starts_with("BAD:") || l.starts_with("discovered")));
+        assert!(r
+            .log
+            .iter()
+            .all(|l| l.starts_with("ok:") || l.starts_with("BAD:") || l.starts_with("discovered")));
     }
 
     #[test]

@@ -111,7 +111,7 @@ pub fn radabs(vm: &mut Vm, ncol: usize, nlev: usize) -> RadabsResult {
             vm.scale_in_place(&mut a, c2);
             vm.scale(&mut negs, -1.0, &a);
             vm.exp(&mut tau, &negs); // EXP
-            // Absorptivity = (1 - transmission), Planck- and zenith-weighted.
+                                     // Absorptivity = (1 - transmission), Planck- and zenith-weighted.
             vm.sub(&mut contrib, &ones, &tau);
             vm.mul_in_place(&mut contrib, &zen[k2]);
             let w = planck[k2][0] / (planck[nlev - 1][0] + 1e-30);

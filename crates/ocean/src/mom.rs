@@ -288,7 +288,15 @@ impl Mom {
                 for (field, out) in
                     [(&self.temp[k], &mut new_temp[k]), (&self.salt[k], &mut new_salt[k])]
                 {
-                    self.tracer_tendency(field, &self.u[k], &self.v[k], &mut tend, chunk.clone(), nlat, nlon);
+                    self.tracer_tendency(
+                        field,
+                        &self.u[k],
+                        &self.v[k],
+                        &mut tend,
+                        chunk.clone(),
+                        nlat,
+                        nlon,
+                    );
                     for i in chunk.clone() {
                         for j in 0..nlon {
                             let idx = i * nlon + j;
@@ -335,7 +343,11 @@ impl Mom {
             // levels (EOS comparison per interface).
             for k in 0..nlev - 1 {
                 for idx in chunk.start * nlon..chunk.end * nlon {
-                    let r_up = crate::eos::density_point(new_temp[k][idx], new_salt[k][idx], k as f64 * 100.0);
+                    let r_up = crate::eos::density_point(
+                        new_temp[k][idx],
+                        new_salt[k][idx],
+                        k as f64 * 100.0,
+                    );
                     let r_dn = crate::eos::density_point(
                         new_temp[k + 1][idx],
                         new_salt[k + 1][idx],
@@ -415,18 +427,13 @@ impl Mom {
             let diag = crate::diagnostics::compute(self);
             assert!(diag.mean_temp.is_finite() && diag.kinetic_energy.is_finite());
             self.last_diagnostics = Some(diag);
-            vm.charge_scalar_loop(
-                self.config.points(),
-                8.0,
-                8.0,
-                0.0,
-                LocalityPattern::Streaming,
-            );
+            vm.charge_scalar_loop(self.config.points(), 8.0, 8.0, 0.0, LocalityPattern::Streaming);
             regions.push(Region::Serial(vm.take_cost()));
         }
 
         let node = Node::new(self.machine.clone());
-        let timing = node.time_regions(&regions);
+        let timing =
+            node.time_regions(&regions).expect("partitioned within the node's processor count");
         MomStepTiming { timing, seconds: timing.seconds(self.machine.clock_ns) }
     }
 

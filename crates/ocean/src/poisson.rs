@@ -181,7 +181,12 @@ fn grid_axpy(vm: &mut Vm, y: &mut Grid2, s: f64, x: &Grid2) {
 }
 
 /// Solve `(alpha - lap) x = rhs` by CG.
-pub fn conjugate_gradient(vm: &mut Vm, x: &mut Grid2, rhs: &Grid2, opt: &CgOptions) -> (usize, f64) {
+pub fn conjugate_gradient(
+    vm: &mut Vm,
+    x: &mut Grid2,
+    rhs: &Grid2,
+    opt: &CgOptions,
+) -> (usize, f64) {
     let (nlat, nlon) = (x.nlat, x.nlon);
     let mut ax = Grid2::zeros(nlat, nlon);
     apply_helmholtz(vm, &mut ax, x, opt);
@@ -263,12 +268,7 @@ mod tests {
         );
         assert!(iters < 2000, "CG did not converge");
         assert!(res < 1e-6);
-        let err = x
-            .data
-            .iter()
-            .zip(&star.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let err = x.data.iter().zip(&star.data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(err < 1e-6, "max error {err}");
     }
 
@@ -302,7 +302,13 @@ mod tests {
                 &mut vm,
                 &mut x,
                 &rhs,
-                &CgOptions { alpha: 1.0, tol: 1e-8, max_iter: 500, scalar_cshift: scalar, neumann: false },
+                &CgOptions {
+                    alpha: 1.0,
+                    tol: 1e-8,
+                    max_iter: 500,
+                    scalar_cshift: scalar,
+                    neumann: false,
+                },
             );
             vm.cost().cycles
         };

@@ -18,7 +18,9 @@
 use crate::eos::density;
 use crate::poisson::{conjugate_gradient, CgOptions, Grid2};
 use sxsim::node::partition;
-use sxsim::{Access, Cost, LocalityPattern, MachineModel, Node, NodeTiming, Region, VecOp, Vm, VopClass};
+use sxsim::{
+    Access, Cost, LocalityPattern, MachineModel, Node, NodeTiming, Region, VecOp, Vm, VopClass,
+};
 
 /// POP configuration.
 #[derive(Debug, Clone)]
@@ -50,7 +52,14 @@ impl PopConfig {
 
     /// A small configuration for tests.
     pub fn tiny() -> PopConfig {
-        PopConfig { nlat: 16, nlon: 32, nlev: 4, dt: 1800.0, cshift_vectorized: false, cg_tol: 1e-9 }
+        PopConfig {
+            nlat: 16,
+            nlon: 32,
+            nlev: 4,
+            dt: 1800.0,
+            cshift_vectorized: false,
+            cg_tol: 1e-9,
+        }
     }
 }
 
@@ -186,9 +195,18 @@ impl Pop {
                         let idx = i * nlon + j;
                         let jp = i * nlon + (j + 1) % nlon;
                         let jm = i * nlon + (j + nlon - 1) % nlon;
-                        let up = if i + 1 < nlat { self.temp[k][(i + 1) * nlon + j] } else { self.temp[k][idx] };
-                        let dn = if i > 0 { self.temp[k][(i - 1) * nlon + j] } else { self.temp[k][idx] };
-                        let lap = up + dn + self.temp[k][jp] + self.temp[k][jm] - 4.0 * self.temp[k][idx];
+                        let up = if i + 1 < nlat {
+                            self.temp[k][(i + 1) * nlon + j]
+                        } else {
+                            self.temp[k][idx]
+                        };
+                        let dn = if i > 0 {
+                            self.temp[k][(i - 1) * nlon + j]
+                        } else {
+                            self.temp[k][idx]
+                        };
+                        let lap =
+                            up + dn + self.temp[k][jp] + self.temp[k][jm] - 4.0 * self.temp[k][idx];
                         new_temp[k][idx] = self.temp[k][idx] + 0.05 * lap - 1e-6 * rho[idx];
                     }
                 }
@@ -226,8 +244,13 @@ impl Pop {
                 let jm = (j + nlon - 1) % nlon;
                 let ue = 0.5 * (self.ubar.at(i, j) + self.ubar.at(i, jp));
                 let uw = 0.5 * (self.ubar.at(i, jm) + self.ubar.at(i, j));
-                let vn = if i + 1 < nlat { 0.5 * (self.vbar.at(i, j) + self.vbar.at(i + 1, j)) } else { 0.0 };
-                let vs = if i > 0 { 0.5 * (self.vbar.at(i - 1, j) + self.vbar.at(i, j)) } else { 0.0 };
+                let vn = if i + 1 < nlat {
+                    0.5 * (self.vbar.at(i, j) + self.vbar.at(i + 1, j))
+                } else {
+                    0.0
+                };
+                let vs =
+                    if i > 0 { 0.5 * (self.vbar.at(i - 1, j) + self.vbar.at(i, j)) } else { 0.0 };
                 let div = (ue - uw) + (vn - vs);
                 rhs.set(i, j, alpha * (self.eta.at(i, j) - dtn * div));
             }
@@ -302,7 +325,8 @@ impl Pop {
 
         self.steps += 1;
         let node = Node::new(self.machine.clone());
-        let timing = node.time_regions(&regions);
+        let timing =
+            node.time_regions(&regions).expect("partitioned within the node's processor count");
         PopStepTiming { timing, seconds: timing.seconds(self.machine.clock_ns), cg_iters: iters }
     }
 
@@ -364,10 +388,7 @@ mod tests {
     fn two_degree_single_proc_lands_near_537_mflops() {
         let mut m = model(PopConfig::two_degree());
         let rate = m.mflops(3);
-        assert!(
-            (300.0..900.0).contains(&rate),
-            "2-degree POP {rate} Mflops vs the paper's 537"
-        );
+        assert!((300.0..900.0).contains(&rate), "2-degree POP {rate} Mflops vs the paper's 537");
     }
 
     #[test]

@@ -33,11 +33,8 @@ pub fn account(jobs: &[JobSpec], schedule: &Schedule) -> Vec<JobAccount> {
         .map(|(job, rec)| {
             // Wait = dispatch minus the instant the job became eligible
             // (after its dependencies finished).
-            let eligible = job
-                .after
-                .iter()
-                .map(|&d| schedule.records[d].end_s)
-                .fold(0.0f64, f64::max);
+            let eligible =
+                job.after.iter().map(|&d| schedule.records[d].end_s).fold(0.0f64, f64::max);
             let wall = rec.end_s - rec.start_s;
             JobAccount {
                 name: job.name.clone(),
@@ -62,10 +59,8 @@ pub fn utilization(jobs: &[JobSpec], schedule: &Schedule, node_procs: usize) -> 
 
 /// Render a qacct-style table.
 pub fn qacct_table(jobs: &[JobSpec], schedule: &Schedule) -> Table {
-    let mut t = Table::new(
-        "NQS accounting",
-        &["Job", "Procs", "Wait s", "Wall s", "CPU s", "Stretch"],
-    );
+    let mut t =
+        Table::new("NQS accounting", &["Job", "Procs", "Wait s", "Wall s", "CPU s", "Stretch"]);
     for a in account(jobs, schedule) {
         t.row(&[
             a.name,
@@ -102,7 +97,7 @@ mod tests {
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
         let jobs = vec![job("a", 8, 100.0, vec![]), job("b", 8, 100.0, vec![])];
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         let acc = account(&jobs, &s);
         assert_eq!(acc[0].wait_s, 0.0);
         assert_eq!(acc[1].wait_s, 0.0);
@@ -115,7 +110,7 @@ mod tests {
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
         let jobs = vec![job("big-a", 24, 100.0, vec![]), job("big-b", 24, 100.0, vec![])];
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         let acc = account(&jobs, &s);
         assert!(acc[1].wait_s > 90.0, "second job must queue: {}", acc[1].wait_s);
         // Once running alone, it runs at solo speed.
@@ -127,7 +122,7 @@ mod tests {
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
         let jobs = vec![job("first", 4, 50.0, vec![]), job("second", 4, 50.0, vec![0])];
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         let acc = account(&jobs, &s);
         // It became eligible exactly when its dependency finished and the
         // node was free, so it never *waited*.
@@ -139,7 +134,7 @@ mod tests {
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
         let jobs: Vec<JobSpec> = (0..4).map(|i| job(&format!("j{i}"), 8, 100.0, vec![])).collect();
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         let u = utilization(&jobs, &s, 32);
         assert!(u > 0.9 && u <= 1.0, "four 8-proc jobs should pack the node: {u}");
     }
@@ -149,7 +144,7 @@ mod tests {
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
         let jobs = vec![job("render-me", 2, 10.0, vec![])];
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         let text = qacct_table(&jobs, &s).render();
         assert!(text.contains("render-me"));
         assert!(text.contains("Stretch"));

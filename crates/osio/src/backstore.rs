@@ -62,11 +62,7 @@ impl BackStore {
     }
 
     pub fn online_bytes(&self) -> u64 {
-        self.files
-            .iter()
-            .filter(|f| f.placement == Placement::Online)
-            .map(|f| f.bytes)
-            .sum()
+        self.files.iter().filter(|f| f.placement == Placement::Online).map(|f| f.bytes).sum()
     }
 
     pub fn file(&self, name: &str) -> Option<&ManagedFile> {

@@ -32,7 +32,7 @@ pub use autoops::{Action, Console, SystemState};
 pub use backstore::BackStore;
 pub use chan::{Channel, DiskArray};
 pub use mls::{check_read, check_write, Decision, Label, Policy};
-pub use nqs::{JobSpec, Nqs, ResourceBlock, Schedule};
+pub use nqs::{JobSpec, Nqs, NqsError, ResourceBlock, Schedule};
 pub use prodload::{prodload, CcmRates, ProdloadResult};
 pub use qcat::{SpoolDir, Stream};
 pub use queues::{Queue, QueueComplex, QueueManager, SubmitError};

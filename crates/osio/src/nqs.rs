@@ -55,7 +55,51 @@ pub struct Schedule {
     pub makespan_s: f64,
 }
 
+/// Why a job mix could not be scheduled. These used to be panics; they are
+/// values so operators driving NQS from job files get a message, not an
+/// abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NqsError {
+    /// The Resource Blocks together exceed the node's processors.
+    BlocksOversubscribed { requested: usize, available: usize },
+    /// A job names a block index that does not exist.
+    UnknownBlock { job: String, block: usize, blocks: usize },
+    /// A job wants more processors than its Resource Block has.
+    JobTooWide { job: String, needs: usize, block: String, has: usize },
+    /// A job's load module does not fit its block's memory (real-memory
+    /// machine: no demand paging, the whole module must be resident).
+    JobTooBig { job: String, needs: u64, block: String, has: u64 },
+    /// Jobs remain but none can ever start (dependency cycle).
+    Deadlock { waiting: Vec<String> },
+}
+
+impl std::fmt::Display for NqsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NqsError::BlocksOversubscribed { requested, available } => {
+                write!(f, "Resource Blocks claim {requested} processors; the node has {available}")
+            }
+            NqsError::UnknownBlock { job, block, blocks } => {
+                write!(f, "job {job} names Resource Block {block}, but only {blocks} exist")
+            }
+            NqsError::JobTooWide { job, needs, block, has } => {
+                write!(f, "job {job} needs {needs} procs but block {block} has {has}")
+            }
+            NqsError::JobTooBig { job, needs, block, has } => write!(
+                f,
+                "job {job} needs {needs} bytes resident but block {block} has {has} (no paging)"
+            ),
+            NqsError::Deadlock { waiting } => {
+                write!(f, "NQS deadlock: jobs remain but none can run: {}", waiting.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for NqsError {}
+
 /// The scheduler.
+#[derive(Debug)]
 pub struct Nqs<'a> {
     pub node: &'a Node,
     pub blocks: Vec<ResourceBlock>,
@@ -72,33 +116,47 @@ impl<'a> Nqs<'a> {
         }
     }
 
-    /// Partitioned configuration.
-    pub fn with_blocks(node: &'a Node, blocks: Vec<ResourceBlock>) -> Nqs<'a> {
+    /// Partitioned configuration. Errors if the blocks together claim more
+    /// processors than the node has.
+    pub fn with_blocks(node: &'a Node, blocks: Vec<ResourceBlock>) -> Result<Nqs<'a>, NqsError> {
         let total: usize = blocks.iter().map(|b| b.procs).sum();
-        assert!(total <= node.model().procs, "Resource Blocks oversubscribe the node");
-        Nqs { node, blocks }
+        if total > node.model().procs {
+            return Err(NqsError::BlocksOversubscribed {
+                requested: total,
+                available: node.model().procs,
+            });
+        }
+        Ok(Nqs { node, blocks })
     }
 
     /// Run the job set to completion (FIFO within each block, dependency-
     /// aware) and return the schedule.
-    pub fn run(&self, jobs: &[JobSpec]) -> Schedule {
+    pub fn run(&self, jobs: &[JobSpec]) -> Result<Schedule, NqsError> {
         let n = jobs.len();
         for j in jobs {
-            assert!(j.block < self.blocks.len(), "job {} names a missing block", j.name);
-            assert!(
-                j.procs <= self.blocks[j.block].procs,
-                "job {} needs {} procs but block {} has {}",
-                j.name,
-                j.procs,
-                self.blocks[j.block].name,
-                self.blocks[j.block].procs
-            );
-            assert!(
-                j.memory_bytes <= self.blocks[j.block].memory_bytes,
-                "job {} does not fit block {}'s memory (real-memory machine, no paging)",
-                j.name,
-                self.blocks[j.block].name
-            );
+            let Some(block) = self.blocks.get(j.block) else {
+                return Err(NqsError::UnknownBlock {
+                    job: j.name.clone(),
+                    block: j.block,
+                    blocks: self.blocks.len(),
+                });
+            };
+            if j.procs > block.procs {
+                return Err(NqsError::JobTooWide {
+                    job: j.name.clone(),
+                    needs: j.procs,
+                    block: block.name.clone(),
+                    has: block.procs,
+                });
+            }
+            if j.memory_bytes > block.memory_bytes {
+                return Err(NqsError::JobTooBig {
+                    job: j.name.clone(),
+                    needs: j.memory_bytes,
+                    block: block.name.clone(),
+                    has: block.memory_bytes,
+                });
+            }
         }
         let mut remaining: Vec<f64> = jobs.iter().map(|j| j.solo_seconds).collect();
         let mut records = vec![JobRecord { start_s: f64::NAN, end_s: f64::NAN }; n];
@@ -135,8 +193,15 @@ impl<'a> Nqs<'a> {
                 if done.iter().all(|&d| d) {
                     break;
                 }
-                // Dependency deadlock would spin forever; fail loudly.
-                panic!("NQS deadlock: jobs remain but none can run");
+                // A dependency cycle would spin forever; surface it.
+                return Err(NqsError::Deadlock {
+                    waiting: jobs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !done[*i])
+                        .map(|(_, j)| j.name.clone())
+                        .collect(),
+                });
             }
 
             // Current contention stretch for the co-scheduled set.
@@ -148,7 +213,10 @@ impl<'a> Nqs<'a> {
                     bytes_per_cycle_per_proc: jobs[r].bytes_per_cycle_per_proc,
                 })
                 .collect();
-            let stretch = self.node.coschedule_stretch(&demands);
+            let stretch = self
+                .node
+                .coschedule_stretch(&demands)
+                .expect("scheduler never oversubscribes the node");
 
             // Advance to the next completion.
             let (next_pos, dt) = running
@@ -168,7 +236,7 @@ impl<'a> Nqs<'a> {
             records[finished].end_s = now;
         }
 
-        Schedule { records, makespan_s: now }
+        Ok(Schedule { records, makespan_s: now })
     }
 }
 
@@ -176,7 +244,12 @@ impl<'a> Nqs<'a> {
 /// checkpoint write appended, restart spec for the remainder). Checkpoint
 /// and restart both move `state_bytes` through the file system; the caller
 /// adds those seconds (from [`crate::sfs::Sfs`]) to the halves.
-pub fn checkpoint_split(job: &JobSpec, fraction_done: f64, ckpt_seconds: f64, restart_seconds: f64) -> (JobSpec, JobSpec) {
+pub fn checkpoint_split(
+    job: &JobSpec,
+    fraction_done: f64,
+    ckpt_seconds: f64,
+    restart_seconds: f64,
+) -> (JobSpec, JobSpec) {
     assert!((0.0..1.0).contains(&fraction_done));
     let mut first = job.clone();
     first.name = format!("{}-ckpt", job.name);
@@ -213,7 +286,7 @@ mod tests {
         let n = node();
         let nqs = Nqs::whole_node(&n);
         let jobs = vec![job("a", 8, 100.0), job("b", 8, 100.0), job("c", 8, 100.0)];
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         // All fit at once: makespan ~ 100s (plus small contention).
         assert!(s.makespan_s < 110.0, "{}", s.makespan_s);
         for r in &s.records {
@@ -226,7 +299,7 @@ mod tests {
         let n = node();
         let nqs = Nqs::whole_node(&n);
         let jobs = vec![job("a", 24, 100.0), job("b", 24, 100.0)];
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         assert!(s.records[1].start_s >= s.records[0].end_s - 1e-9);
         assert!(s.makespan_s > 195.0);
     }
@@ -238,7 +311,7 @@ mod tests {
         let mut b = job("b", 4, 50.0);
         b.after = vec![0];
         let jobs = vec![job("a", 4, 50.0), b];
-        let s = nqs.run(&jobs);
+        let s = nqs.run(&jobs).unwrap();
         assert!(s.records[1].start_s >= s.records[0].end_s - 1e-9);
     }
 
@@ -251,14 +324,15 @@ mod tests {
                 ResourceBlock { name: "interactive".into(), procs: 8, memory_bytes: 4 << 30 },
                 ResourceBlock { name: "batch".into(), procs: 24, memory_bytes: 4 << 30 },
             ],
-        );
+        )
+        .unwrap();
         let mut a = job("a", 8, 100.0);
         a.block = 0;
         let mut b = job("b", 8, 100.0);
         b.block = 0; // must wait for a despite free procs in the other block
         let mut c = job("c", 24, 100.0);
         c.block = 1;
-        let s = nqs.run(&[a, b, c]);
+        let s = nqs.run(&[a, b, c]).unwrap();
         assert!(s.records[1].start_s >= s.records[0].end_s - 1e-9);
         assert_eq!(s.records[2].start_s, 0.0);
     }
@@ -267,9 +341,9 @@ mod tests {
     fn contention_stretches_coscheduled_jobs() {
         let n = node();
         let nqs = Nqs::whole_node(&n);
-        let solo = nqs.run(&[job("a", 4, 100.0)]).makespan_s;
+        let solo = nqs.run(&[job("a", 4, 100.0)]).unwrap().makespan_s;
         let eight: Vec<JobSpec> = (0..8).map(|i| job(&format!("j{i}"), 4, 100.0)).collect();
-        let packed = nqs.run(&eight).makespan_s;
+        let packed = nqs.run(&eight).unwrap().makespan_s;
         assert!(packed > solo, "co-scheduled jobs must feel contention");
         assert!(packed < 1.1 * solo, "but only a few percent: {packed} vs {solo}");
     }
@@ -283,22 +357,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "oversubscribe")]
     fn blocks_cannot_exceed_node() {
         let n = node();
-        let _ = Nqs::with_blocks(
+        let err = Nqs::with_blocks(
             &n,
-            vec![ResourceBlock { name: "x".into(), procs: 20, memory_bytes: 4 << 30 }, ResourceBlock { name: "y".into(), procs: 20, memory_bytes: 4 << 30 }],
-        );
+            vec![
+                ResourceBlock { name: "x".into(), procs: 20, memory_bytes: 4 << 30 },
+                ResourceBlock { name: "y".into(), procs: 20, memory_bytes: 4 << 30 },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, NqsError::BlocksOversubscribed { requested: 40, available: 32 });
+    }
+
+    #[test]
+    fn dependency_cycle_is_a_deadlock_error() {
+        let n = node();
+        let nqs = Nqs::whole_node(&n);
+        let mut a = job("a", 4, 10.0);
+        a.after = vec![1];
+        let mut b = job("b", 4, 10.0);
+        b.after = vec![0];
+        let err = nqs.run(&[a, b]).unwrap_err();
+        assert!(matches!(err, NqsError::Deadlock { ref waiting } if waiting.len() == 2), "{err}");
     }
 
     #[test]
     fn deterministic_schedule() {
         let n = node();
         let nqs = Nqs::whole_node(&n);
-        let jobs: Vec<JobSpec> = (0..6).map(|i| job(&format!("j{i}"), 12, 50.0 + i as f64)).collect();
-        let a = nqs.run(&jobs);
-        let b = nqs.run(&jobs);
+        let jobs: Vec<JobSpec> =
+            (0..6).map(|i| job(&format!("j{i}"), 12, 50.0 + i as f64)).collect();
+        let a = nqs.run(&jobs).unwrap();
+        let b = nqs.run(&jobs).unwrap();
         assert_eq!(a.makespan_s, b.makespan_s);
     }
 }

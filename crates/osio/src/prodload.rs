@@ -124,7 +124,7 @@ pub fn prodload(node: &Node, rates: &CcmRates) -> ProdloadResult {
     let mut test_seconds = [0.0f64; 4];
     for (i, sequences) in [1usize, 2, 4].into_iter().enumerate() {
         let jobs = sequence_jobs(rates, sequences, hippi_s);
-        test_seconds[i] = nqs.run(&jobs).makespan_s;
+        test_seconds[i] = nqs.run(&jobs).expect("PRODLOAD mix fits the node").makespan_s;
     }
     // Test four: two concurrent 2-day T170 runs.
     let t170_secs = 2.0 * Resolution::T170.steps_per_day() as f64 * rates.t170_16p;
@@ -137,7 +137,8 @@ pub fn prodload(node: &Node, rates: &CcmRates) -> ProdloadResult {
         block: 0,
         after: vec![],
     };
-    test_seconds[3] = nqs.run(&[t170("t170-a"), t170("t170-b")]).makespan_s;
+    test_seconds[3] =
+        nqs.run(&[t170("t170-a"), t170("t170-b")]).expect("PRODLOAD mix fits the node").makespan_s;
 
     ProdloadResult { test_seconds, total_seconds: test_seconds.iter().sum() }
 }

@@ -129,10 +129,7 @@ mod tests {
     #[test]
     fn missing_job_is_an_error() {
         let spool = SpoolDir::new();
-        assert_eq!(
-            spool.qcat("ghost", Stream::Stdout),
-            Err(QcatError::NoSuchJob("ghost".into()))
-        );
+        assert_eq!(spool.qcat("ghost", Stream::Stdout), Err(QcatError::NoSuchJob("ghost".into())));
     }
 
     #[test]

@@ -93,9 +93,7 @@ impl QueueManager {
 
     /// qsub: validate and accept a job.
     pub fn submit(&mut self, queue: &str, spec: JobSpec) -> Result<(), SubmitError> {
-        let q = self
-            .queue(queue)
-            .ok_or_else(|| SubmitError::NoSuchQueue(queue.to_string()))?;
+        let q = self.queue(queue).ok_or_else(|| SubmitError::NoSuchQueue(queue.to_string()))?;
         if spec.procs > q.max_procs_per_job {
             return Err(SubmitError::TooManyProcs {
                 queue: queue.to_string(),
@@ -151,10 +149,10 @@ impl QueueManager {
     }
 
     /// Run the accepted mix through the dispatcher.
-    pub fn run(&self, nqs: &Nqs) -> (Vec<JobSpec>, Schedule) {
+    pub fn run(&self, nqs: &Nqs) -> Result<(Vec<JobSpec>, Schedule), crate::nqs::NqsError> {
         let jobs = self.build_jobs();
-        let schedule = nqs.run(&jobs);
-        (jobs, schedule)
+        let schedule = nqs.run(&jobs)?;
+        Ok((jobs, schedule))
     }
 }
 
@@ -207,7 +205,7 @@ mod tests {
         }
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
-        let (_jobs, s) = qm.run(&nqs);
+        let (_jobs, s) = qm.run(&nqs).unwrap();
         // With run_limit 1, the three 60 s jobs run strictly one after
         // another despite ample free processors.
         assert!(s.makespan_s >= 179.0, "{}", s.makespan_s);
@@ -231,7 +229,7 @@ mod tests {
         }
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
-        let (_jobs, s) = qm.run(&nqs);
+        let (_jobs, s) = qm.run(&nqs).unwrap();
         // 4 jobs, at most 2 at a time => two waves of ~100 s.
         assert!(s.makespan_s >= 199.0 && s.makespan_s < 230.0, "{}", s.makespan_s);
     }
@@ -243,7 +241,7 @@ mod tests {
         qm.submit("regular", spec("r1", 8, 50.0)).unwrap();
         let node = Node::new(presets::sx4_benchmarked());
         let nqs = Nqs::whole_node(&node);
-        let (_jobs, s) = qm.run(&nqs);
+        let (_jobs, s) = qm.run(&nqs).unwrap();
         assert!(s.makespan_s < 60.0, "{}", s.makespan_s);
     }
 

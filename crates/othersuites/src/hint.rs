@@ -160,7 +160,13 @@ pub fn run_hint(model: &MachineModel, max_splits: usize) -> HintResult {
     }
 
     let net = QUALITY_PER_SPLIT * max_splits as f64 / vm.seconds() / 1e6;
-    HintResult { mquips: net, peak_mquips: peak, lower: total_lower, upper: total_upper, trajectory }
+    HintResult {
+        mquips: net,
+        peak_mquips: peak,
+        lower: total_lower,
+        upper: total_upper,
+        trajectory,
+    }
 }
 
 /// The paper's Table 1 leg: HINT MQUIPS with the benchmark's standard
@@ -219,7 +225,12 @@ mod tests {
         let r = run_hint(&presets::rs6000_590(), 400_000);
         assert!(r.peak_mquips > 1.5 * r.mquips, "peak {} vs net {}", r.peak_mquips, r.mquips);
         let flat = run_hint(&presets::cray_ymp(), 100_000);
-        assert!(flat.peak_mquips < 1.2 * flat.mquips, "Y-MP should run flat: peak {} net {}", flat.peak_mquips, flat.mquips);
+        assert!(
+            flat.peak_mquips < 1.2 * flat.mquips,
+            "Y-MP should run flat: peak {} net {}",
+            flat.peak_mquips,
+            flat.mquips
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@
 // Matrix index loops mirror the Fortran original.
 #![allow(clippy::needless_range_loop)]
 
-use rand::Rng;
-use rand::SeedableRng;
+use ncar_suite::SmallRng;
 use sxsim::{MachineModel, Vm};
 
 /// Column-major dense matrix.
@@ -27,8 +26,8 @@ pub struct Matrix {
 impl Matrix {
     /// The LINPACK random test matrix (entries in [-0.5, 0.5]), fixed seed.
     pub fn linpack(n: usize, seed: u64) -> Matrix {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let data = (0..n * n).map(|_| rng.random::<f64>() - 0.5).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
         Matrix { n, data }
     }
 
@@ -107,7 +106,12 @@ pub fn dgesl(vm: &mut Vm, a: &Matrix, pivots: &[usize], b: &mut [f64]) {
     // Back substitution: apply U.
     for k in (0..n).rev() {
         b[k] /= a.at(k, k);
-        vm.charge_vector_op(&sxsim::VecOp::new(1, sxsim::VopClass::Div, &[sxsim::Access::Stride(1)], &[sxsim::Access::Stride(1)]));
+        vm.charge_vector_op(&sxsim::VecOp::new(
+            1,
+            sxsim::VopClass::Div,
+            &[sxsim::Access::Stride(1)],
+            &[sxsim::Access::Stride(1)],
+        ));
         let bk = b[k];
         if k > 0 {
             let col = &a.data[k * n..k * n + k];
@@ -225,17 +229,26 @@ mod debug_tests {
         let mut vm = Vm::new(model);
         let n = 3;
         // A = [[2,1,1],[4,3,3],[8,7,9]] column-major
-        let mut a = Matrix { n, data: vec![2.0,4.0,8.0, 1.0,3.0,7.0, 1.0,3.0,9.0] };
+        let mut a = Matrix { n, data: vec![2.0, 4.0, 8.0, 1.0, 3.0, 7.0, 1.0, 3.0, 9.0] };
         let a0 = a.clone();
         let mut piv = Vec::new();
         dgefa(&mut vm, &mut a, &mut piv).unwrap();
         // b = A * [1,2,3]
         let x_true = [1.0, 2.0, 3.0];
         let mut b = vec![0.0; n];
-        for i in 0..n { for j in 0..n { b[i] += a0.at(i,j)*x_true[j]; } }
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a0.at(i, j) * x_true[j];
+            }
+        }
         dgesl(&mut vm, &a, &piv, &mut b);
         for i in 0..n {
-            assert!((b[i]-x_true[i]).abs() < 1e-12, "x[{i}] = {} pivots {piv:?} lu {:?}", b[i], a.data);
+            assert!(
+                (b[i] - x_true[i]).abs() < 1e-12,
+                "x[{i}] = {} pivots {piv:?} lu {:?}",
+                b[i],
+                a.data
+            );
         }
     }
 }

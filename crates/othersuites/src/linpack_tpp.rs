@@ -173,9 +173,9 @@ mod tests {
         let mut vm = Vm::new(model);
         let a0 = dominant_matrix(n, 7);
         let mut b = vec![0.0f64; n];
-        for i in 0..n {
+        for (i, bi) in b.iter_mut().enumerate() {
             for j in 0..n {
-                b[i] += a0.at(i, j) * (j as f64 + 1.0);
+                *bi += a0.at(i, j) * (j as f64 + 1.0);
             }
         }
         let mut a = a0.clone();
@@ -227,10 +227,7 @@ mod tests {
         let unblocked = linpack_tpp(&m, 320, 1);
         let blocked = linpack_tpp(&m, 320, 16);
         let gain = blocked / unblocked;
-        assert!(
-            gain < 1.6,
-            "a vector machine should gain little from blocking: {gain}"
-        );
+        assert!(gain < 1.6, "a vector machine should gain little from blocking: {gain}");
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub enum StreamOp {
 }
 
 impl StreamOp {
-    pub const ALL: [StreamOp; 4] = [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad];
+    pub const ALL: [StreamOp; 4] =
+        [StreamOp::Copy, StreamOp::Scale, StreamOp::Add, StreamOp::Triad];
 
     pub fn name(self) -> &'static str {
         match self {

@@ -1,0 +1,154 @@
+//! Seeded-pathology fixtures.
+//!
+//! Each fixture runs a small, fully deterministic scenario on the
+//! simulator and returns its `sxcheck` report. The pathological ones
+//! exist to prove the checker catches what it claims to catch — the bench
+//! CLI's `check` subcommand fails loudly if they come back clean — and the
+//! clean ones prove it stays quiet on healthy code.
+
+use crate::race::RaceChecker;
+use crate::report::Report;
+use crate::vlint::VectorLinter;
+use sxsim::commreg::{access_cost, CommRegisters};
+use sxsim::{presets, Ftrace, SpinLock, Vm};
+
+/// One fixture: a named scenario, its report, and whether the scenario is
+/// a seeded pathology (so its findings are expected).
+#[derive(Debug)]
+pub struct Fixture {
+    pub name: &'static str,
+    /// Lint codes this fixture must produce; empty for clean fixtures.
+    pub expect: &'static [&'static str],
+    pub report: Report,
+}
+
+impl Fixture {
+    /// True when the report contains exactly the expected situation: every
+    /// expected code present, and no findings at all for clean fixtures.
+    pub fn satisfied(&self) -> bool {
+        if self.expect.is_empty() {
+            return self.report.is_empty();
+        }
+        self.expect.iter().all(|c| self.report.has_code(c))
+    }
+}
+
+/// Run every fixture against the benchmarked SX-4.
+pub fn run_all() -> Vec<Fixture> {
+    vec![stride128_copy(), unlocked_accumulator(), locked_accumulator(), clean_copy()]
+}
+
+fn lint_vm(vm: &mut Vm) -> Report {
+    let model = vm.model().clone();
+    let trace = vm.take_trace().expect("fixture Vms trace from birth");
+    let mut linter = VectorLinter::new();
+    trace.replay(&mut linter);
+    let mut report = Report::new();
+    report.extend(linter.diagnostics(&model));
+    report
+}
+
+/// A copy loop marching through memory at stride 128: with 1024 banks,
+/// every access lands on one of 8 banks and the stream crawls. This is the
+/// classic power-of-two leading-dimension mistake of §2.2.
+pub fn stride128_copy() -> Fixture {
+    let mut vm = Vm::new(presets::sx4_benchmarked());
+    vm.start_trace();
+    let mut ft = Ftrace::new();
+    let n = 8_192usize;
+    let src = vec![1.0f64; n * 128];
+    let mut dst = vec![0.0f64; n * 128];
+    ft.region("stride128-copy", &mut vm, |vm| {
+        vm.copy_strided(&mut dst, 128, &src, 128, n);
+    });
+    Fixture { name: "stride128-copy", expect: &["SXC004"], report: lint_vm(&mut vm) }
+}
+
+/// Four processors bump a shared accumulator with no lock and no barrier:
+/// every pair of increments is an unordered write/write conflict.
+pub fn unlocked_accumulator() -> Fixture {
+    let mut rc = RaceChecker::new();
+    for proc in 0..4 {
+        rc.read(proc, "acc", 0..1);
+        rc.write(proc, "acc", 0..1);
+    }
+    let mut report = Report::new();
+    report.extend(rc.diagnostics());
+    Fixture { name: "unlocked-accumulator", expect: &["SXC101"], report }
+}
+
+/// The same accumulator guarded by a real communications-register
+/// SpinLock: each processor acquires, updates, releases — and charges the
+/// register accesses to its ledger, as a real SX-4 task would.
+pub fn locked_accumulator() -> Fixture {
+    let mut vm = Vm::new(presets::sx4_benchmarked());
+    let mut regs = CommRegisters::new(4);
+    let mut rc = RaceChecker::new();
+    // The lock lives in OS-set register 0: set index `procs` == 4.
+    let lock_id = (4usize, 0usize);
+    let mut acc = 0.0f64;
+    for proc in 0..4 {
+        let mut lock = SpinLock::new(&mut regs.os_set, 0);
+        assert!(lock.try_lock(), "uncontended acquire");
+        vm.charge(access_cost());
+        rc.lock(proc, lock_id);
+        rc.read(proc, "acc", 0..1);
+        acc += 1.0;
+        rc.write(proc, "acc", 0..1);
+        lock.unlock();
+        vm.charge(access_cost());
+        rc.unlock(proc, lock_id);
+    }
+    assert_eq!(acc, 4.0);
+    let mut report = Report::new();
+    report.extend(rc.diagnostics());
+    Fixture { name: "locked-accumulator", expect: &[], report }
+}
+
+/// A healthy long unit-stride kernel: nothing to report.
+pub fn clean_copy() -> Fixture {
+    let mut vm = Vm::new(presets::sx4_benchmarked());
+    vm.start_trace();
+    let mut ft = Ftrace::new();
+    let a = vec![1.0f64; 100_000];
+    let b = vec![2.0f64; 100_000];
+    let mut c = vec![0.0f64; 100_000];
+    let mut d = vec![0.0f64; 100_000];
+    ft.region("clean-copy", &mut vm, |vm| {
+        vm.copy(&mut c, &a);
+        vm.add(&mut c, &a, &b);
+        vm.fma(&mut d, &a, &b, &c);
+    });
+    Fixture { name: "clean-copy", expect: &[], report: lint_vm(&mut vm) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pathologies_are_caught_and_clean_fixtures_stay_clean() {
+        for mut f in run_all() {
+            assert!(
+                f.satisfied(),
+                "fixture {} unsatisfied; report:\n{}",
+                f.name,
+                f.report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn stride_fixture_names_the_region() {
+        let mut f = stride128_copy();
+        let d = f.report.diagnostics().iter().find(|d| d.code == "SXC004").unwrap();
+        assert_eq!(d.region, "stride128-copy");
+    }
+
+    #[test]
+    fn fixture_reports_are_byte_identical_across_runs() {
+        let once: Vec<String> = run_all().iter_mut().map(|f| f.report.render()).collect();
+        let twice: Vec<String> = run_all().iter_mut().map(|f| f.report.render()).collect();
+        assert_eq!(once, twice);
+    }
+}

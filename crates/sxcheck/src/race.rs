@@ -1,0 +1,220 @@
+//! Simulated-race detection for multi-processor regions.
+//!
+//! The simulator's parallel regions ([`sxsim::Region`]) time per-processor
+//! ledgers, but nothing in the timing model checks that the processors'
+//! memory accesses were actually safe. This module supplies that check: a
+//! parallel kernel declares each processor's reads and writes (array name +
+//! element range), the communications-register locks it held while making
+//! them, and the barriers that separate phases. Two accesses race when they
+//! touch overlapping elements of the same array from different processors
+//! in the same barrier epoch, at least one is a write, and no common
+//! SpinLock ordered them — the classic lockset discipline, with SX-4
+//! barriers (store-add through the communications registers) advancing the
+//! epoch.
+
+use crate::report::{Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// A communications register identified by (set, register) — the same
+/// addressing [`sxsim::CommRegisters`] uses, where set `procs` is the OS
+/// set.
+pub type LockId = (usize, usize);
+
+#[derive(Debug, Clone)]
+struct AccessRec {
+    proc: usize,
+    array: String,
+    range: Range<usize>,
+    write: bool,
+    epoch: u64,
+    locks: BTreeSet<LockId>,
+}
+
+/// Collects per-processor access sets and reports unordered conflicts.
+#[derive(Debug, Default)]
+pub struct RaceChecker {
+    epoch: u64,
+    held: BTreeMap<usize, BTreeSet<LockId>>,
+    accesses: Vec<AccessRec>,
+}
+
+impl RaceChecker {
+    pub fn new() -> RaceChecker {
+        RaceChecker::default()
+    }
+
+    /// Processor `proc` acquired the lock built on communications register
+    /// `lock` (e.g. via [`sxsim::SpinLock::try_lock`]).
+    pub fn lock(&mut self, proc: usize, lock: LockId) {
+        self.held.entry(proc).or_default().insert(lock);
+    }
+
+    /// Processor `proc` released the lock.
+    pub fn unlock(&mut self, proc: usize, lock: LockId) {
+        if let Some(set) = self.held.get_mut(&proc) {
+            set.remove(&lock);
+        }
+    }
+
+    /// All processors passed a barrier: accesses before and after cannot
+    /// race (the counting barrier through the communications registers is a
+    /// full ordering point).
+    pub fn barrier(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Processor `proc` read `array[range]`.
+    pub fn read(&mut self, proc: usize, array: &str, range: Range<usize>) {
+        self.access(proc, array, range, false);
+    }
+
+    /// Processor `proc` wrote `array[range]`.
+    pub fn write(&mut self, proc: usize, array: &str, range: Range<usize>) {
+        self.access(proc, array, range, true);
+    }
+
+    fn access(&mut self, proc: usize, array: &str, range: Range<usize>, write: bool) {
+        let locks = self.held.get(&proc).cloned().unwrap_or_default();
+        self.accesses.push(AccessRec {
+            proc,
+            array: array.to_string(),
+            range,
+            write,
+            epoch: self.epoch,
+            locks,
+        });
+    }
+
+    /// Report every unordered conflicting pair, deduplicated to one finding
+    /// per (array, processor pair, epoch).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut seen: BTreeSet<(String, usize, usize, u64)> = BTreeSet::new();
+        let mut out = Vec::new();
+        for (i, a) in self.accesses.iter().enumerate() {
+            for b in &self.accesses[i + 1..] {
+                if a.proc == b.proc
+                    || a.epoch != b.epoch
+                    || a.array != b.array
+                    || !(a.write || b.write)
+                    || a.range.start >= b.range.end
+                    || b.range.start >= a.range.end
+                    || a.locks.intersection(&b.locks).next().is_some()
+                {
+                    continue;
+                }
+                let (p, q) = (a.proc.min(b.proc), a.proc.max(b.proc));
+                if !seen.insert((a.array.clone(), p, q, a.epoch)) {
+                    continue;
+                }
+                let lo = a.range.start.max(b.range.start);
+                let hi = a.range.end.min(b.range.end);
+                let kind = match (a.write, b.write) {
+                    (true, true) => "write/write",
+                    _ => "read/write",
+                };
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: "SXC101",
+                    region: a.array.clone(),
+                    message: format!(
+                        "{kind} race: processors {p} and {q} touch elements {lo}..{hi} in \
+                         barrier epoch {} with no common lock",
+                        a.epoch
+                    ),
+                    hint: "guard the shared range with a communications-register SpinLock, \
+                           or separate the phases with a store-add counting barrier"
+                        .to_string(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlocked_overlapping_writes_race() {
+        let mut rc = RaceChecker::new();
+        rc.write(0, "acc", 0..1);
+        rc.write(1, "acc", 0..1);
+        let ds = rc.diagnostics();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "SXC101");
+        assert!(ds[0].message.contains("write/write"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn common_lock_orders_the_accesses() {
+        let mut rc = RaceChecker::new();
+        let lock = (32, 0);
+        rc.lock(0, lock);
+        rc.write(0, "acc", 0..1);
+        rc.unlock(0, lock);
+        rc.lock(1, lock);
+        rc.write(1, "acc", 0..1);
+        rc.unlock(1, lock);
+        assert!(rc.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn different_locks_do_not_order() {
+        let mut rc = RaceChecker::new();
+        rc.lock(0, (0, 0));
+        rc.write(0, "acc", 0..1);
+        rc.unlock(0, (0, 0));
+        rc.lock(1, (1, 0));
+        rc.write(1, "acc", 0..1);
+        rc.unlock(1, (1, 0));
+        assert_eq!(rc.diagnostics().len(), 1);
+    }
+
+    #[test]
+    fn barrier_separates_epochs() {
+        let mut rc = RaceChecker::new();
+        rc.write(0, "field", 0..100);
+        rc.barrier();
+        rc.read(1, "field", 0..100);
+        assert!(rc.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_race() {
+        let mut rc = RaceChecker::new();
+        rc.write(0, "field", 0..50);
+        rc.write(1, "field", 50..100);
+        assert!(rc.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_are_fine() {
+        let mut rc = RaceChecker::new();
+        rc.read(0, "table", 0..100);
+        rc.read(1, "table", 0..100);
+        rc.read(2, "table", 0..100);
+        assert!(rc.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn read_write_overlap_races() {
+        let mut rc = RaceChecker::new();
+        rc.read(0, "field", 0..100);
+        rc.write(1, "field", 90..110);
+        let ds = rc.diagnostics();
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("elements 90..100"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn dedup_one_finding_per_pair() {
+        let mut rc = RaceChecker::new();
+        for i in 0..10 {
+            rc.write(0, "acc", i..i + 1);
+            rc.write(1, "acc", i..i + 1);
+        }
+        assert_eq!(rc.diagnostics().len(), 1, "one finding per (array, pair, epoch)");
+    }
+}

@@ -1,0 +1,370 @@
+//! Vectorization lints over a recorded op stream.
+//!
+//! The [`VectorLinter`] is a [`Recorder`]: replay an [`OpTrace`] through it
+//! and it aggregates per-FTRACE-region statistics, then judges each region
+//! against the performance folklore of the paper — short vector lengths
+//! (§4.3: why RFFT loses to VFFT), low vector-operation ratios (Amdahl on a
+//! 16:1 vector:scalar machine), gather/scatter dominance, and power-of-two
+//! strides colliding on the banked memory (§2.2).
+//!
+//! [`OpTrace`]: sxsim::OpTrace
+
+use crate::report::{Diagnostic, Severity};
+use std::collections::BTreeMap;
+use sxsim::timing::Access;
+use sxsim::{MachineModel, Recorder, TraceEvent};
+
+/// Events outside any FTRACE region are attributed to this pseudo-region.
+pub const TOPLEVEL: &str = "(outside regions)";
+
+/// Minimum average vector length before SXC001 stays quiet.
+pub const SHORT_AVL: f64 = 64.0;
+/// Vector ops a region must issue before average length is judged.
+pub const MIN_OPS_FOR_AVL: u64 = 16;
+/// Vector-operation ratio (%) below which SXC002 fires.
+pub const MIN_VRATIO_PCT: f64 = 90.0;
+/// Elements a region must process before its ratio is judged.
+pub const MIN_ELEMENTS: u64 = 10_000;
+/// Fraction of stream elements through gather/scatter that triggers SXC003.
+pub const INDEXED_FRACTION: f64 = 0.30;
+/// Elements a stride must move before it is judged for bank conflicts.
+pub const MIN_STRIDE_ELEMS: u64 = 4_096;
+/// Bank-conflict ratio (efficiency relative to the generic non-unit-stride
+/// baseline) below which SXC004 fires.
+pub const CONFLICT_RATIO: f64 = 0.90;
+/// Fraction of region cycles outside vector work that triggers SXC005.
+pub const SCALAR_FRACTION: f64 = 0.25;
+/// Cycles a region must cost before its scalar fraction is judged.
+pub const MIN_REGION_CYCLES: f64 = 10_000.0;
+
+/// Per-region aggregates accumulated during replay.
+#[derive(Debug, Clone, Default)]
+struct RegionAgg {
+    vector_ops: u64,
+    vector_elements: u64,
+    short_vector_ops: u64,
+    /// Elements moved per access stream (`n` per load/store of each op).
+    stream_elements: u64,
+    /// Of those, elements through gather/scatter hardware.
+    indexed_elements: u64,
+    /// Elements moved at each stride > 2 (where conflicts are possible).
+    stride_elements: BTreeMap<usize, u64>,
+    vector_cycles: f64,
+    scalar_cycles: f64,
+    other_cycles: f64,
+    scalar_iters: u64,
+}
+
+/// Aggregates an op stream into per-region statistics and emits
+/// vectorization lints.
+#[derive(Debug, Default)]
+pub struct VectorLinter {
+    regions: BTreeMap<String, RegionAgg>,
+    open: Option<String>,
+}
+
+impl VectorLinter {
+    pub fn new() -> VectorLinter {
+        VectorLinter::default()
+    }
+
+    fn agg(&mut self) -> &mut RegionAgg {
+        let key = self.open.as_deref().unwrap_or(TOPLEVEL).to_string();
+        self.regions.entry(key).or_default()
+    }
+
+    /// Judge every region seen so far against `model`. Vector-specific
+    /// lints (SXC001–SXC004) only apply to vector machines.
+    pub fn diagnostics(&self, model: &MachineModel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let wpc = model.memory.port_words_per_cycle();
+        for (name, a) in &self.regions {
+            let diag = |code, message, hint: String| Diagnostic {
+                severity: Severity::Warning,
+                code,
+                region: name.clone(),
+                message,
+                hint,
+            };
+
+            if model.is_vector() {
+                // SXC001: short average vector length.
+                if a.vector_ops >= MIN_OPS_FOR_AVL {
+                    let avl = a.vector_elements as f64 / a.vector_ops as f64;
+                    if avl < SHORT_AVL {
+                        out.push(diag(
+                            "SXC001",
+                            format!(
+                                "average vector length {avl:.1} over {} vector ops (threshold {SHORT_AVL})",
+                                a.vector_ops
+                            ),
+                            "restructure loops so the vectorized axis is the long one \
+                             (the VFFT-vs-RFFT transformation of §4.3)"
+                                .to_string(),
+                        ));
+                    }
+                }
+
+                // SXC002: low vector-operation ratio.
+                let total_ops = a.vector_elements + a.scalar_iters;
+                if total_ops >= MIN_ELEMENTS {
+                    let ratio = 100.0 * a.vector_elements as f64 / total_ops as f64;
+                    if ratio < MIN_VRATIO_PCT {
+                        out.push(diag(
+                            "SXC002",
+                            format!(
+                                "vector operation ratio {ratio:.1}% over {total_ops} operations \
+                                 (threshold {MIN_VRATIO_PCT}%)"
+                            ),
+                            "vectorize the residual scalar loops; on a machine with a 16:1 \
+                             vector:scalar speed ratio, 90% vectorization yields only ~6x"
+                                .to_string(),
+                        ));
+                    }
+                }
+
+                // SXC003: gather/scatter-dominated traffic.
+                if a.stream_elements >= MIN_ELEMENTS {
+                    let frac = a.indexed_elements as f64 / a.stream_elements as f64;
+                    if frac > INDEXED_FRACTION {
+                        out.push(diag(
+                            "SXC003",
+                            format!(
+                                "{:.0}% of stream elements go through gather/scatter \
+                                 (threshold {:.0}%)",
+                                100.0 * frac,
+                                100.0 * INDEXED_FRACTION
+                            ),
+                            "list-vector hardware sustains a fraction of the contiguous port \
+                             rate; reorder data to recover stride access where possible"
+                                .to_string(),
+                        ));
+                    }
+                }
+
+                // SXC004: strides colliding on the banked memory.
+                for (&stride, &elems) in &a.stride_elements {
+                    if elems < MIN_STRIDE_ELEMS {
+                        continue;
+                    }
+                    let eff = model.memory.stride_efficiency(stride, wpc);
+                    let base = model.memory.nonunit_stride_factor;
+                    let conflict = if base > 0.0 { eff / base } else { 1.0 };
+                    if conflict < CONFLICT_RATIO {
+                        let banks = model.memory.banks;
+                        let distinct = banks / gcd(stride, banks);
+                        out.push(diag(
+                            "SXC004",
+                            format!(
+                                "stride {stride} touches only {distinct} of {banks} banks \
+                                 ({elems} elements at {:.0}% of the achievable non-unit-stride rate)",
+                                100.0 * conflict
+                            ),
+                            format!(
+                                "pad the leading dimension so the stride is odd \
+                                 (e.g. {}), restoring all {banks} banks",
+                                stride + 1
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // SXC005: Amdahl — too much of the region is not vector work.
+            let total = a.vector_cycles + a.scalar_cycles + a.other_cycles;
+            if total >= MIN_REGION_CYCLES {
+                let nonvec = (a.scalar_cycles + a.other_cycles) / total;
+                if nonvec > SCALAR_FRACTION {
+                    let cap = 1.0 / nonvec;
+                    out.push(diag(
+                        "SXC005",
+                        format!(
+                            "{:.0}% of the region's {total:.0} cycles are scalar or overhead \
+                             (threshold {:.0}%)",
+                            100.0 * nonvec,
+                            100.0 * SCALAR_FRACTION
+                        ),
+                        format!(
+                            "Amdahl caps any vector/parallel speedup of this region at {cap:.1}x"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Recorder for VectorLinter {
+    fn record(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::EnterRegion { name } => self.open = Some(name.clone()),
+            TraceEvent::ExitRegion { .. } => self.open = None,
+            TraceEvent::VecOp { n, loads, stores, cost, .. } => {
+                let n = *n;
+                let a = self.agg();
+                a.vector_ops += 1;
+                a.vector_elements += n as u64;
+                if (n as f64) < SHORT_AVL {
+                    a.short_vector_ops += 1;
+                }
+                a.vector_cycles += cost.cycles;
+                for acc in loads.iter().chain(stores.iter()) {
+                    a.stream_elements += n as u64;
+                    match acc {
+                        Access::Indexed => a.indexed_elements += n as u64,
+                        Access::Stride(s) if *s > 2 => {
+                            *a.stride_elements.entry(*s).or_insert(0) += n as u64;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            TraceEvent::ScalarLoop { iters, cost } => {
+                let a = self.agg();
+                a.scalar_iters += *iters as u64;
+                a.scalar_cycles += cost.cycles;
+            }
+            TraceEvent::Intrinsic { n, cost, .. } => {
+                let a = self.agg();
+                a.vector_ops += 1;
+                a.vector_elements += *n as u64;
+                a.vector_cycles += cost.cycles;
+            }
+            TraceEvent::Charge { cost } => {
+                self.agg().other_cycles += cost.cycles;
+            }
+        }
+    }
+}
+
+/// Greatest common divisor (sxsim's is private to its crate).
+pub(crate) fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sxsim::{presets, Ftrace, Vm};
+
+    fn traced_vm() -> Vm {
+        let mut vm = Vm::new(presets::sx4_benchmarked());
+        vm.start_trace();
+        vm
+    }
+
+    fn lints(vm: &mut Vm) -> Vec<Diagnostic> {
+        let model = vm.model().clone();
+        let trace = vm.take_trace().expect("tracing was on");
+        let mut linter = VectorLinter::new();
+        trace.replay(&mut linter);
+        linter.diagnostics(&model)
+    }
+
+    #[test]
+    fn clean_unit_stride_work_has_no_findings() {
+        let mut vm = traced_vm();
+        let a = vec![1.0f64; 100_000];
+        let b = vec![2.0f64; 100_000];
+        let mut c = vec![0.0f64; 100_000];
+        vm.add(&mut c, &a, &b);
+        vm.fma(&mut c, &a, &b, &a);
+        assert!(lints(&mut vm).is_empty());
+    }
+
+    #[test]
+    fn short_vectors_flagged() {
+        let mut vm = traced_vm();
+        let a = vec![1.0f64; 8];
+        let mut b = vec![0.0f64; 8];
+        for _ in 0..100 {
+            vm.copy(&mut b, &a);
+        }
+        let ds = lints(&mut vm);
+        assert!(ds.iter().any(|d| d.code == "SXC001"), "{ds:?}");
+    }
+
+    #[test]
+    fn power_of_two_stride_flagged_with_bank_counts() {
+        let mut vm = traced_vm();
+        let n = 8_192usize;
+        let src = vec![1.0f64; n * 128];
+        let mut dst = vec![0.0f64; n * 128];
+        vm.copy_strided(&mut dst, 128, &src, 128, n);
+        let ds = lints(&mut vm);
+        let d = ds.iter().find(|d| d.code == "SXC004").expect("bank-conflict lint");
+        assert!(d.message.contains("8 of 1024 banks"), "{}", d.message);
+        assert!(d.hint.contains("odd"), "{}", d.hint);
+    }
+
+    #[test]
+    fn odd_stride_not_flagged_as_conflict() {
+        let mut vm = traced_vm();
+        let n = 8_192usize;
+        let src = vec![1.0f64; n * 129];
+        let mut dst = vec![0.0f64; n * 129];
+        vm.copy_strided(&mut dst, 129, &src, 129, n);
+        let ds = lints(&mut vm);
+        assert!(!ds.iter().any(|d| d.code == "SXC004"), "{ds:?}");
+    }
+
+    #[test]
+    fn gather_dominated_region_flagged() {
+        let mut vm = traced_vm();
+        let n = 50_000usize;
+        let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..n).rev().collect();
+        let mut dst = vec![0.0f64; n];
+        vm.gather(&mut dst, &src, &idx);
+        let ds = lints(&mut vm);
+        assert!(ds.iter().any(|d| d.code == "SXC003"), "{ds:?}");
+    }
+
+    #[test]
+    fn scalar_heavy_region_gets_amdahl_warning() {
+        let mut vm = traced_vm();
+        let mut ft = Ftrace::new();
+        let a = vec![1.0f64; 1000];
+        let mut b = vec![0.0f64; 1000];
+        ft.region("physics", &mut vm, |vm| {
+            vm.copy(&mut b, &a);
+            vm.charge_scalar_loop(60_000, 2.0, 2.0, 1.0, sxsim::LocalityPattern::Streaming);
+        });
+        let ds = lints(&mut vm);
+        let d = ds.iter().find(|d| d.code == "SXC005").expect("Amdahl warning");
+        assert_eq!(d.region, "physics");
+        // The scalar ratio also trips SXC002 in the same region.
+        assert!(ds.iter().any(|d| d.code == "SXC002"), "{ds:?}");
+    }
+
+    #[test]
+    fn findings_attribute_to_their_region() {
+        let mut vm = traced_vm();
+        let mut ft = Ftrace::new();
+        let n = 8_192usize;
+        let src = vec![1.0f64; n * 128];
+        let mut dst = vec![0.0f64; n * 128];
+        let long = vec![1.0f64; 100_000];
+        let mut out = vec![0.0f64; 100_000];
+        ft.region("bad-stride", &mut vm, |vm| vm.copy_strided(&mut dst, 128, &src, 128, n));
+        ft.region("clean", &mut vm, |vm| vm.copy(&mut out, &long));
+        let ds = lints(&mut vm);
+        let bad: Vec<_> = ds.iter().filter(|d| d.code == "SXC004").collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].region, "bad-stride");
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(128, 1024), 128);
+        assert_eq!(gcd(129, 1024), 1);
+        assert_eq!(gcd(1000, 1024), 8);
+    }
+}

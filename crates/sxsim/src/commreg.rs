@@ -12,8 +12,17 @@
 //! fixed number of cycles, which is where the node's `barrier_cycles`
 //! comes from.
 
+use crate::cost::Cost;
+use crate::error::SimError;
+
 /// Cycles per communications-register access (crossbar round trip).
 pub const ACCESS_CYCLES: f64 = 6.0;
+
+/// The [`Cost`] of one communications-register access, for charging a
+/// [`crate::Vm`] ledger when a kernel synchronizes through the registers.
+pub fn access_cost() -> Cost {
+    Cost::cycles(ACCESS_CYCLES)
+}
 
 /// One set of 64-bit communications registers.
 #[derive(Debug, Clone)]
@@ -83,6 +92,39 @@ impl CommRegisters {
     pub fn barrier_cycles(&self, procs: usize) -> f64 {
         let accesses = procs as f64 * 3.0 + 1.0;
         accesses * ACCESS_CYCLES
+    }
+
+    /// Number of register sets on the chassis (one per processor plus the
+    /// OS set, which is addressed as set `procs`).
+    pub fn sets(&self) -> usize {
+        self.per_proc.len() + 1
+    }
+
+    /// Registers per set.
+    pub fn regs_per_set(&self) -> usize {
+        self.os_set.regs.len()
+    }
+
+    fn checked_set(&mut self, set: usize, reg: usize) -> Result<&mut RegisterSet, SimError> {
+        let sets = self.sets();
+        let regs_per_set = self.regs_per_set();
+        if set >= sets || reg >= regs_per_set {
+            return Err(SimError::BadRegister { set, reg, sets, regs_per_set });
+        }
+        Ok(if set == self.per_proc.len() { &mut self.os_set } else { &mut self.per_proc[set] })
+    }
+
+    /// Checked read of register `reg` in set `set` (set `procs` is the OS
+    /// set). Out-of-range indices are an error rather than a panic, so the
+    /// bench CLI and checker can drive the chassis from untrusted input.
+    pub fn try_read(&mut self, set: usize, reg: usize) -> Result<u64, SimError> {
+        Ok(self.checked_set(set, reg)?.read(reg))
+    }
+
+    /// Checked write; see [`CommRegisters::try_read`] for the addressing.
+    pub fn try_write(&mut self, set: usize, reg: usize, v: u64) -> Result<(), SimError> {
+        self.checked_set(set, reg)?.write(reg, v);
+        Ok(())
     }
 
     /// Functionally execute the counting barrier for `procs` processors on
@@ -167,6 +209,44 @@ mod tests {
         // The SX-4 preset charges 200 cycles per node barrier; the idiom
         // costs the same order of magnitude.
         assert!(cycles > 100.0 && cycles < 1200.0, "{cycles}");
+    }
+
+    #[test]
+    fn barrier_cost_is_three_accesses_per_proc_plus_reset() {
+        let c = CommRegisters::new(32);
+        for procs in [1usize, 4, 8, 32] {
+            let expect = (3.0 * procs as f64 + 1.0) * ACCESS_CYCLES;
+            assert_eq!(c.barrier_cycles(procs), expect, "procs={procs}");
+        }
+    }
+
+    #[test]
+    fn access_cycles_charge_a_vm_ledger() {
+        use crate::presets;
+        use crate::vm::Vm;
+        let mut vm = Vm::new(presets::sx4_benchmarked());
+        let before = vm.lifetime_cost().cycles;
+        // A spinlock acquire+release is two register accesses.
+        let mut set = RegisterSet::new(1);
+        let mut lock = SpinLock::new(&mut set, 0);
+        assert!(lock.try_lock());
+        vm.charge(access_cost());
+        lock.unlock();
+        vm.charge(access_cost());
+        let after = vm.lifetime_cost().cycles;
+        assert_eq!(after - before, 2.0 * ACCESS_CYCLES);
+    }
+
+    #[test]
+    fn checked_access_rejects_out_of_range() {
+        let mut c = CommRegisters::new(4);
+        // Set 4 is the OS set; 5 is past the end.
+        assert!(c.try_write(4, 0, 9).is_ok());
+        assert_eq!(c.os_set.read(0), 9);
+        assert_eq!(c.try_read(4, 0), Ok(9));
+        let err = c.try_read(5, 0).unwrap_err();
+        assert_eq!(err, SimError::BadRegister { set: 5, reg: 0, sets: 5, regs_per_set: 8 });
+        assert!(c.try_write(0, 8, 1).is_err(), "register index past the set");
     }
 
     #[test]

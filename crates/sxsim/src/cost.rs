@@ -4,15 +4,13 @@
 //! multiplied by the machine clock period — no wall clocks are consulted
 //! anywhere, so every experiment is bit-reproducible.
 
-use serde::{Deserialize, Serialize};
-
 /// Resource consumption of a simulated operation or of a whole run.
 ///
 /// `cycles` is a float because analytic timing models legitimately produce
 /// fractional average costs per element (e.g. a gather sustaining 3.2
 /// words/cycle); totals over a kernel are large enough that the fraction is
 /// irrelevant but summing floats avoids systematic rounding bias.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Cost {
     /// Processor cycles consumed.
     pub cycles: f64,

@@ -8,7 +8,9 @@
 //! (synthesis / grid tendencies / physics / SLT / analysis / solve).
 
 use crate::cost::Cost;
+use crate::error::SimError;
 use crate::proginf::OpStats;
+use crate::trace::TraceEvent;
 use crate::vm::Vm;
 use std::collections::BTreeMap;
 
@@ -64,16 +66,25 @@ impl Ftrace {
         Ftrace::default()
     }
 
-    /// Enter a region: snapshot the Vm. Regions may not nest (FTRACE
-    /// exclusive-time semantics); entering while open panics.
-    pub fn enter(&mut self, name: &str, vm: &Vm) {
-        assert!(self.open.is_none(), "FTRACE regions do not nest");
+    /// Enter a region: snapshot the Vm and mark the boundary in its op
+    /// trace (if tracing). Regions may not nest (FTRACE exclusive-time
+    /// semantics): entering while another region is open is an error.
+    pub fn enter(&mut self, name: &str, vm: &mut Vm) -> Result<(), SimError> {
+        if let Some((open, _, _)) = &self.open {
+            return Err(SimError::RegionAlreadyOpen {
+                open: open.clone(),
+                attempted: name.to_string(),
+            });
+        }
         self.open = Some((name.to_string(), vm.lifetime_cost(), *vm.stats()));
+        vm.trace_event(|| TraceEvent::EnterRegion { name: name.to_string() });
+        Ok(())
     }
 
     /// Exit the open region, attributing everything charged since `enter`.
-    pub fn exit(&mut self, vm: &Vm) {
-        let (name, c0, s0) = self.open.take().expect("FTRACE exit without enter");
+    pub fn exit(&mut self, vm: &mut Vm) -> Result<(), SimError> {
+        let (name, c0, s0) = self.open.take().ok_or(SimError::NoOpenRegion)?;
+        vm.trace_event(|| TraceEvent::ExitRegion { name: name.clone() });
         let c1 = vm.lifetime_cost();
         let s1 = vm.stats();
         let entry = self.regions.entry(name).or_default();
@@ -94,13 +105,16 @@ impl Ftrace {
             indexed_elements: s1.indexed_elements - s0.indexed_elements,
             other_cycles: s1.other_cycles - s0.other_cycles,
         });
+        Ok(())
     }
 
-    /// Run `work` inside a region (the convenient form).
+    /// Run `work` inside a region (the convenient form). Panics if a
+    /// region is already open — use [`Ftrace::enter`]/[`Ftrace::exit`]
+    /// directly to handle that as an error.
     pub fn region<R>(&mut self, name: &str, vm: &mut Vm, work: impl FnOnce(&mut Vm) -> R) -> R {
-        self.enter(name, vm);
+        self.enter(name, vm).expect("Ftrace::region entered while a region is open");
         let out = work(vm);
-        self.exit(vm);
+        self.exit(vm).expect("region was opened above");
         out
     }
 
@@ -183,12 +197,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nest")]
     fn nesting_rejected() {
         let mut ft = Ftrace::new();
-        let vm = vm();
-        ft.enter("outer", &vm);
-        ft.enter("inner", &vm);
+        let mut vm = vm();
+        ft.enter("outer", &mut vm).unwrap();
+        let err = ft.enter("inner", &mut vm).unwrap_err();
+        assert!(matches!(err, crate::SimError::RegionAlreadyOpen { .. }), "{err}");
+        assert!(ft.exit(&mut vm).is_ok());
+        assert_eq!(ft.exit(&mut vm), Err(crate::SimError::NoOpenRegion));
+    }
+
+    #[test]
+    fn region_markers_recorded_in_trace() {
+        let mut vm = vm();
+        vm.start_trace();
+        let mut ft = Ftrace::new();
+        let a = vec![1.0f64; 64];
+        let mut b = vec![0.0f64; 64];
+        ft.region("copy", &mut vm, |vm| vm.copy(&mut b, &a));
+        let trace = vm.take_trace().unwrap();
+        let names: Vec<String> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::trace::TraceEvent::EnterRegion { name } => Some(format!("+{name}")),
+                crate::trace::TraceEvent::ExitRegion { name } => Some(format!("-{name}")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["+copy", "-copy"]);
     }
 
     #[test]

@@ -8,10 +8,8 @@
 //! but the model is here so multi-node experiments can be expressed; the
 //! quickstart example exercises it.
 
-use serde::{Deserialize, Serialize};
-
 /// An IXS connecting `nodes` SX-4 nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ixs {
     /// Number of nodes attached (1..=16).
     pub nodes: usize,

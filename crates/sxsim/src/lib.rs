@@ -19,9 +19,43 @@
 //! - [`timing`] — the analytic cost of vector ops, scalar loops and
 //!   intrinsic calls;
 //! - [`vm`] — the functional facade kernels program against;
+//! - [`error`] — [`SimError`], the typed error for misuse of the facade
+//!   (oversubscribed nodes, out-of-range communications registers,
+//!   mismatched regions);
 //! - [`node`] — multi-processor regions, barriers, contention,
 //!   co-scheduling;
+//! - [`commreg`] — the communications registers: register sets, the
+//!   [`SpinLock`], and the 6-cycle access charge barriers are built from;
+//! - [`trace`] — the [`Recorder`] hook and [`OpTrace`]: an optional,
+//!   pay-only-if-used recording of every charged operation;
+//! - [`proginf`], [`ftrace`] — the two SUPER-UX diagnostic reports,
+//!   reproduced from the ledger (see below);
 //! - [`xmu`], [`ixs`] — extended memory and internode crossbar.
+//!
+//! ## Diagnostics: PROGINF, FTRACE, and sxcheck
+//!
+//! The real SX-4 shipped three layers of performance introspection, and so
+//! does the simulator:
+//!
+//! - **PROGINF** ([`Proginf`]) is the whole-run summary SUPER-UX printed at
+//!   job exit: vector-operation ratio, average vector length, Mflops, and
+//!   the cycle partition between vector, scalar and overhead time. Here it
+//!   is derived entirely from the [`Vm`]'s cost ledger.
+//! - **FTRACE** ([`Ftrace`]) is the per-region profile: wrap code in
+//!   [`Ftrace::region`] and each named region accumulates its own ledger
+//!   slice, exactly like compiling with `f77 -ftrace`.
+//! - **sxcheck** (the `sxcheck` crate) is the analyzer this workspace adds
+//!   on top: call [`Vm::start_trace`] before a run, hand the recorded
+//!   [`OpTrace`] to `sxcheck::check_trace`, and it replays the op stream
+//!   through vectorization lints (short vector lengths, low v-op ratio,
+//!   gather/scatter domination, power-of-two bank-conflict strides, Amdahl
+//!   scalar fractions), a simulated-race detector, and — behind its `audit`
+//!   feature — a ledger auditor that cross-checks trace, PROGINF and FTRACE
+//!   totals against the lifetime ledger.
+//!
+//! Tracing is strictly opt-in: a [`Vm`] without a trace attached carries an
+//! `Option<Box<OpTrace>>` that stays `None`, and the recording hook is a
+//! closure that is never called, so untraced runs pay nothing.
 //!
 //! ## Example
 //!
@@ -40,6 +74,7 @@
 
 pub mod commreg;
 pub mod cost;
+pub mod error;
 pub mod ftrace;
 pub mod ixs;
 pub mod model;
@@ -47,16 +82,19 @@ pub mod node;
 pub mod presets;
 pub mod proginf;
 pub mod timing;
+pub mod trace;
 pub mod vm;
 pub mod xmu;
 
 pub use commreg::{CommRegisters, RegisterSet, SpinLock};
 pub use cost::Cost;
+pub use error::SimError;
 pub use ftrace::Ftrace;
 pub use ixs::Ixs;
 pub use model::{Intrinsic, MachineModel, VopClass};
 pub use node::{JobDemand, Node, NodeTiming, Region};
 pub use proginf::{OpStats, Proginf};
 pub use timing::{Access, LocalityPattern, VecOp};
+pub use trace::{OpTrace, Recorder, TraceEvent};
 pub use vm::Vm;
 pub use xmu::Xmu;

@@ -7,11 +7,9 @@
 //!
 //! Presets for the machines in the paper live in [`crate::presets`].
 
-use serde::{Deserialize, Serialize};
-
 /// Classes of elementwise vector arithmetic, used to pick the pipe set that
 /// serves an operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VopClass {
     /// Add/subtract/shift class — served by the add/shift pipe set.
     Add,
@@ -28,7 +26,7 @@ pub enum VopClass {
 
 /// Vectorizable intrinsic functions measured by ELEFUNT and dominating
 /// RADABS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Intrinsic {
     Exp,
     Log,
@@ -73,7 +71,7 @@ impl Intrinsic {
 }
 
 /// Geometry and rates of a vector unit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VectorUnit {
     /// Elements per vector register (SX-4: 8 chips x 32 elements = 256;
     /// Cray Y-MP/J90: 64). Operations longer than this strip-mine.
@@ -106,7 +104,7 @@ impl VectorUnit {
 }
 
 /// Banked main-memory system behind the processor port(s).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     /// Per-processor port bandwidth in bytes per cycle
     /// (SX-4: 16 GB/s at 8 ns = 128 bytes/cycle).
@@ -158,7 +156,7 @@ impl MemorySystem {
 ///
 /// On the SX-4 this is the RISC scalar unit with 64 KB I/D caches; on the
 /// SPARC20 and RS6000/590 presets it is the whole machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalarUnit {
     /// Instructions issued per cycle.
     pub issue_per_cycle: f64,
@@ -178,7 +176,7 @@ pub struct ScalarUnit {
 }
 
 /// Per-machine intrinsic function costs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntrinsicCosts {
     /// Sustained cycles per element for the *vectorized* library routine
     /// (used when the machine has a vector unit and the call site is a
@@ -209,7 +207,7 @@ impl IntrinsicCosts {
 }
 
 /// A complete machine description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineModel {
     /// Marketing name, e.g. `"NEC SX-4/32 (9.2ns)"`.
     pub name: String,

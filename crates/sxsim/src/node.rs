@@ -11,6 +11,7 @@
 //! paper's ensemble degradation (Table 6) small but not zero.
 
 use crate::cost::Cost;
+use crate::error::SimError;
 use crate::model::MachineModel;
 
 /// One phase of an application run on a node.
@@ -130,7 +131,10 @@ impl Node {
     /// A parallel region costs the maximum processor ledger, stretched by
     /// memory contention at the region's aggregate demand, plus one barrier
     /// through the communications registers.
-    pub fn time_regions(&self, regions: &[Region]) -> NodeTiming {
+    ///
+    /// Errors if any parallel region wants more processors than the node
+    /// has.
+    pub fn time_regions(&self, regions: &[Region]) -> Result<NodeTiming, SimError> {
         let mut wall = 0.0f64;
         let mut work = Cost::ZERO;
         for r in regions {
@@ -140,14 +144,13 @@ impl Node {
                     work.add(*c);
                 }
                 Region::Parallel(per_proc) => {
-                    assert!(
-                        per_proc.len() <= self.model.procs,
-                        "region uses {} processors but the node has {}",
-                        per_proc.len(),
-                        self.model.procs
-                    );
-                    let max_cycles =
-                        per_proc.iter().map(|c| c.cycles).fold(0.0f64, f64::max);
+                    if per_proc.len() > self.model.procs {
+                        return Err(SimError::TooManyProcs {
+                            requested: per_proc.len(),
+                            available: self.model.procs,
+                        });
+                    }
+                    let max_cycles = per_proc.iter().map(|c| c.cycles).fold(0.0f64, f64::max);
                     let total: Cost = per_proc.iter().copied().sum();
                     let demand = if max_cycles > 0.0 {
                         total.bytes as f64 / max_cycles / self.model.memory.word_bytes as f64
@@ -160,7 +163,7 @@ impl Node {
                 }
             }
         }
-        NodeTiming { wall_cycles: wall, work }
+        Ok(NodeTiming { wall_cycles: wall, work })
     }
 
     /// Stretch factor experienced by each of a set of co-scheduled jobs.
@@ -171,19 +174,21 @@ impl Node {
     /// when several jobs share the node. Together these produce the ~2%
     /// ensemble degradation of Table 6. Used by the ensemble test and
     /// PRODLOAD.
-    pub fn coschedule_stretch(&self, jobs: &[JobDemand]) -> f64 {
+    ///
+    /// Errors if the jobs together need more processors than the node has.
+    pub fn coschedule_stretch(&self, jobs: &[JobDemand]) -> Result<f64, SimError> {
         let procs: usize = jobs.iter().map(|j| j.procs).sum();
-        assert!(
-            procs <= self.model.procs,
-            "co-scheduled jobs need {procs} processors, node has {}",
-            self.model.procs
-        );
+        if procs > self.model.procs {
+            return Err(SimError::TooManyProcs { requested: procs, available: self.model.procs });
+        }
         let demand: f64 = jobs
             .iter()
-            .map(|j| j.procs as f64 * j.bytes_per_cycle_per_proc / self.model.memory.word_bytes as f64)
+            .map(|j| {
+                j.procs as f64 * j.bytes_per_cycle_per_proc / self.model.memory.word_bytes as f64
+            })
             .sum();
         let os_overhead = 0.002 * jobs.len().saturating_sub(1) as f64;
-        self.contention_stretch(demand) + os_overhead
+        Ok(self.contention_stretch(demand) + os_overhead)
     }
 }
 
@@ -239,17 +244,16 @@ mod tests {
 
     #[test]
     fn serial_region_costs_its_cycles() {
-        let t = node().time_regions(&[Region::Serial(Cost::cycles(1000.0))]);
+        let t = node().time_regions(&[Region::Serial(Cost::cycles(1000.0))]).unwrap();
         assert_eq!(t.wall_cycles, 1000.0);
     }
 
     #[test]
     fn parallel_region_costs_max_plus_barrier() {
         let n = node();
-        let t = n.time_regions(&[Region::Parallel(vec![
-            Cost::cycles(500.0),
-            Cost::cycles(1000.0),
-        ])]);
+        let t = n
+            .time_regions(&[Region::Parallel(vec![Cost::cycles(500.0), Cost::cycles(1000.0)])])
+            .unwrap();
         assert!(t.wall_cycles >= 1000.0 + n.model().barrier_cycles);
         assert!(t.wall_cycles < 1100.0 + n.model().barrier_cycles);
         assert_eq!(t.work.cycles, 1500.0);
@@ -272,18 +276,23 @@ mod tests {
     fn coschedule_more_jobs_more_stretch() {
         let n = node();
         let job = JobDemand { solo_cycles: 1e9, procs: 4, bytes_per_cycle_per_proc: 40.0 };
-        let one = n.coschedule_stretch(&[job]);
-        let eight = n.coschedule_stretch(&[job; 8]);
+        let one = n.coschedule_stretch(&[job]).unwrap();
+        let eight = n.coschedule_stretch(&[job; 8]).unwrap();
         assert!(eight > one);
         assert!(eight < 1.10, "paper reports only ~2% degradation, got stretch {eight}");
     }
 
     #[test]
-    #[should_panic(expected = "processors")]
-    fn oversubscription_panics() {
+    fn oversubscription_is_an_error() {
         let n = node();
         let job = JobDemand { solo_cycles: 1.0, procs: 20, bytes_per_cycle_per_proc: 1.0 };
-        n.coschedule_stretch(&[job, job]);
+        let err = n.coschedule_stretch(&[job, job]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::SimError::TooManyProcs { requested: 40, available: n.model().procs }
+        );
+        let err = n.time_regions(&[Region::Parallel(vec![Cost::cycles(1.0); 40])]).unwrap_err();
+        assert!(matches!(err, crate::SimError::TooManyProcs { .. }));
     }
 
     #[test]

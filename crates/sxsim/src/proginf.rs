@@ -6,10 +6,8 @@
 //! vocabulary the paper's analysis speaks (e.g. why VFFT beats RFFT:
 //! average vector length; why T170 scales: longer vectors).
 
-use serde::{Deserialize, Serialize};
-
 /// Raw operation statistics accumulated by a [`crate::Vm`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OpStats {
     /// Vector instructions issued (one per charged vector op / chime set).
     pub vector_ops: u64,
@@ -43,7 +41,7 @@ impl OpStats {
 }
 
 /// The rendered report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Proginf {
     pub real_time_s: f64,
     pub vector_time_s: f64,
@@ -69,7 +67,11 @@ impl Proginf {
             real_time_s: real,
             vector_time_s: to_s(stats.vector_cycles),
             scalar_time_s: to_s(stats.scalar_cycles),
-            vector_operation_ratio_pct: if total_ops > 0.0 { 100.0 * vec_elems / total_ops } else { 0.0 },
+            vector_operation_ratio_pct: if total_ops > 0.0 {
+                100.0 * vec_elems / total_ops
+            } else {
+                0.0
+            },
             average_vector_length: if stats.vector_ops > 0 {
                 vec_elems / stats.vector_ops as f64
             } else {
@@ -154,7 +156,12 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut a = OpStats { vector_ops: 1, vector_elements: 10, ..Default::default() };
-        let b = OpStats { vector_ops: 2, vector_elements: 30, intrinsic_calls: 5, ..Default::default() };
+        let b = OpStats {
+            vector_ops: 2,
+            vector_elements: 30,
+            intrinsic_calls: 5,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.vector_ops, 3);
         assert_eq!(a.vector_elements, 40);

@@ -102,11 +102,8 @@ fn memory_rate(model: &MachineModel, op: &VecOp) -> f64 {
     // hardware instead.
     let mut worst_regular = 1.0f64;
     let mut indexed_rate = f64::INFINITY;
-    for (is_store, a) in op
-        .loads
-        .iter()
-        .map(|a| (false, a))
-        .chain(op.stores.iter().map(|a| (true, a)))
+    for (is_store, a) in
+        op.loads.iter().map(|a| (false, a)).chain(op.stores.iter().map(|a| (true, a)))
     {
         match a {
             Access::Stride(s) => {
@@ -317,8 +314,10 @@ mod tests {
     #[test]
     fn gather_slower_than_unit_stride() {
         let m = presets::sx4(8.0);
-        let copy = VecOp::new(100_000, VopClass::Logical, &[Access::Stride(1)], &[Access::Stride(1)]);
-        let gather = VecOp::new(100_000, VopClass::Logical, &[Access::Indexed], &[Access::Stride(1)]);
+        let copy =
+            VecOp::new(100_000, VopClass::Logical, &[Access::Stride(1)], &[Access::Stride(1)]);
+        let gather =
+            VecOp::new(100_000, VopClass::Logical, &[Access::Indexed], &[Access::Stride(1)]);
         let tc = vector_op(&m, &copy).cycles;
         let tg = vector_op(&m, &gather).cycles;
         assert!(tg > 2.0 * tc, "gather {tg} should be well above copy {tc}");
@@ -327,7 +326,12 @@ mod tests {
     #[test]
     fn fma_counts_two_flops() {
         let m = presets::sx4(8.0);
-        let op = VecOp::new(1000, VopClass::Fma, &[Access::Stride(1), Access::Stride(1)], &[Access::Stride(1)]);
+        let op = VecOp::new(
+            1000,
+            VopClass::Fma,
+            &[Access::Stride(1), Access::Stride(1)],
+            &[Access::Stride(1)],
+        );
         let c = vector_op(&m, &op);
         assert_eq!(c.flops, 2000);
     }
@@ -338,16 +342,18 @@ mod tests {
         let op = VecOp::new(0, VopClass::Add, &[Access::Stride(1)], &[Access::Stride(1)]);
         assert_eq!(vector_op(&m, &op), Cost::ZERO);
         assert_eq!(intrinsic_op(&m, Intrinsic::Exp, 0), Cost::ZERO);
-        assert_eq!(
-            scalar_loop(&m, 0, 1.0, 1.0, 1.0, LocalityPattern::Streaming),
-            Cost::ZERO
-        );
+        assert_eq!(scalar_loop(&m, 0, 1.0, 1.0, 1.0, LocalityPattern::Streaming), Cost::ZERO);
     }
 
     #[test]
     fn cache_machine_prices_through_scalar_path() {
         let m = presets::sparc20();
-        let op = VecOp::new(10_000, VopClass::Add, &[Access::Stride(1), Access::Stride(1)], &[Access::Stride(1)]);
+        let op = VecOp::new(
+            10_000,
+            VopClass::Add,
+            &[Access::Stride(1), Access::Stride(1)],
+            &[Access::Stride(1)],
+        );
         let c = vector_op(&m, &op);
         assert!(c.cycles > 10_000.0, "one add per cycle is already optimistic for a SPARC20");
         assert_eq!(c.flops, 10_000);
@@ -382,8 +388,22 @@ mod tests {
     #[test]
     fn resident_working_set_avoids_misses() {
         let m = presets::sparc20();
-        let hot = scalar_loop(&m, 10_000, 2.0, 2.0, 1.0, LocalityPattern::Resident { working_set_bytes: 8 * 1024 });
-        let cold = scalar_loop(&m, 10_000, 2.0, 2.0, 1.0, LocalityPattern::Random { working_set_bytes: 64 * 1024 * 1024 });
+        let hot = scalar_loop(
+            &m,
+            10_000,
+            2.0,
+            2.0,
+            1.0,
+            LocalityPattern::Resident { working_set_bytes: 8 * 1024 },
+        );
+        let cold = scalar_loop(
+            &m,
+            10_000,
+            2.0,
+            2.0,
+            1.0,
+            LocalityPattern::Random { working_set_bytes: 64 * 1024 * 1024 },
+        );
         assert!(cold.cycles > 2.0 * hot.cycles);
     }
 }

@@ -1,0 +1,156 @@
+//! Operation tracing — the recording substrate for `sxcheck`.
+//!
+//! A [`Vm`] can carry an [`OpTrace`]: when enabled (see
+//! [`Vm::start_trace`](crate::Vm::start_trace)), every charge the ledger
+//! sees is also appended to the trace as a [`TraceEvent`], with the exact
+//! cost the timing model assigned. FTRACE region boundaries are recorded
+//! too, so an analyzer can attribute hazards to the region they occur in.
+//!
+//! Normal runs pay nothing: the trace is an `Option<Box<OpTrace>>` that is
+//! `None` unless explicitly enabled, so the recording hook in each charge
+//! path is a single branch on a null pointer.
+//!
+//! Consumers implement [`Recorder`] and feed it via [`OpTrace::replay`];
+//! that is how the `sxcheck` crate's lints, race detector and ledger
+//! auditor see the op stream without the simulator depending on them.
+
+use crate::cost::Cost;
+use crate::model::{Intrinsic, VopClass};
+use crate::timing::Access;
+
+/// One recorded charge against a [`Vm`](crate::Vm) ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An elementwise vector operation (or its cache-machine pricing).
+    VecOp {
+        class: VopClass,
+        /// Elements processed.
+        n: usize,
+        /// Access pattern of each input stream.
+        loads: Vec<Access>,
+        /// Access pattern of each output stream.
+        stores: Vec<Access>,
+        /// Exact cost the timing model charged.
+        cost: Cost,
+    },
+    /// A scalar loop (cache-machine path or scalar residue).
+    ScalarLoop { iters: usize, cost: Cost },
+    /// `n` vectorizable intrinsic calls.
+    Intrinsic { f: Intrinsic, n: usize, cost: Cost },
+    /// An arbitrary pre-computed charge (I/O waits, barriers, OS overhead).
+    Charge { cost: Cost },
+    /// An FTRACE region opened.
+    EnterRegion { name: String },
+    /// The open FTRACE region closed.
+    ExitRegion { name: String },
+}
+
+impl TraceEvent {
+    /// The cost this event charged (zero for region markers).
+    pub fn cost(&self) -> Cost {
+        match self {
+            TraceEvent::VecOp { cost, .. }
+            | TraceEvent::ScalarLoop { cost, .. }
+            | TraceEvent::Intrinsic { cost, .. }
+            | TraceEvent::Charge { cost } => *cost,
+            TraceEvent::EnterRegion { .. } | TraceEvent::ExitRegion { .. } => Cost::ZERO,
+        }
+    }
+}
+
+/// A consumer of recorded op streams. Implementations are driven in event
+/// order by [`OpTrace::replay`].
+pub trait Recorder {
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// An in-memory op stream recorded by a tracing [`Vm`](crate::Vm).
+#[derive(Debug, Clone, Default)]
+pub struct OpTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl OpTrace {
+    pub fn new() -> OpTrace {
+        OpTrace::default()
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// The recorded events, in charge order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drive a [`Recorder`] through the whole stream.
+    pub fn replay<R: Recorder + ?Sized>(&self, r: &mut R) {
+        for ev in &self.events {
+            r.record(ev);
+        }
+    }
+}
+
+impl Recorder for OpTrace {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::vm::Vm;
+
+    #[test]
+    fn untraced_vm_records_nothing() {
+        let mut vm = Vm::new(presets::sx4_benchmarked());
+        let a = vec![1.0f64; 256];
+        let mut b = vec![0.0f64; 256];
+        vm.copy(&mut b, &a);
+        assert!(vm.take_trace().is_none());
+    }
+
+    #[test]
+    fn traced_vm_records_every_charge_with_exact_costs() {
+        let mut vm = Vm::new(presets::sx4_benchmarked());
+        vm.start_trace();
+        let a = vec![1.0f64; 256];
+        let mut b = vec![0.0f64; 256];
+        vm.copy(&mut b, &a);
+        vm.sqrt(&mut b, &a);
+        vm.charge(Cost::cycles(12.5));
+        let trace = vm.take_trace().expect("trace was enabled");
+        assert_eq!(trace.len(), 3);
+        let total: f64 = trace.events().iter().map(|e| e.cost().cycles).sum();
+        assert!((total - vm.lifetime_cost().cycles).abs() < 1e-9);
+        assert!(matches!(trace.events()[0], TraceEvent::VecOp { n: 256, .. }));
+        assert!(matches!(
+            trace.events()[1],
+            TraceEvent::Intrinsic { f: Intrinsic::Sqrt, n: 256, .. }
+        ));
+    }
+
+    #[test]
+    fn replay_reproduces_the_stream() {
+        let mut vm = Vm::new(presets::sx4_benchmarked());
+        vm.start_trace();
+        let a = vec![1.0f64; 64];
+        let mut b = vec![0.0f64; 64];
+        vm.add(&mut b, &a, &a);
+        let trace = vm.take_trace().unwrap();
+        let mut copy = OpTrace::new();
+        trace.replay(&mut copy);
+        assert_eq!(trace.events(), copy.events());
+    }
+}

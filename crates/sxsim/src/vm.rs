@@ -11,6 +11,7 @@ use crate::cost::Cost;
 use crate::model::{Intrinsic, MachineModel, VopClass};
 use crate::proginf::{OpStats, Proginf};
 use crate::timing::{self, Access, LocalityPattern, VecOp};
+use crate::trace::{OpTrace, TraceEvent};
 
 /// A simulated processor executing real array operations while accounting
 /// machine cycles.
@@ -23,12 +24,37 @@ pub struct Vm {
     lifetime: Cost,
     /// Lifetime operation statistics for the PROGINF report.
     stats: OpStats,
+    /// Optional op recording for `sxcheck`; `None` (free) unless enabled.
+    trace: Option<Box<OpTrace>>,
 }
 
 impl Vm {
     /// Create a processor of the given machine.
     pub fn new(model: MachineModel) -> Vm {
-        Vm { model, cost: Cost::ZERO, lifetime: Cost::ZERO, stats: OpStats::default() }
+        Vm { model, cost: Cost::ZERO, lifetime: Cost::ZERO, stats: OpStats::default(), trace: None }
+    }
+
+    /// Begin recording every subsequent charge into an [`OpTrace`]
+    /// (replacing any trace recorded so far).
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Box::default());
+    }
+
+    /// Whether charges are currently being recorded.
+    pub fn is_tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Stop recording and take the trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<OpTrace> {
+        self.trace.take().map(|b| *b)
+    }
+
+    /// Append an event if tracing; the closure runs only when enabled.
+    pub(crate) fn trace_event(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(make());
+        }
     }
 
     /// The machine this processor belongs to.
@@ -78,6 +104,7 @@ impl Vm {
         self.cost.add(c);
         self.lifetime.add(c);
         self.stats.other_cycles += c.cycles;
+        self.trace_event(|| TraceEvent::Charge { cost: c });
     }
 
     /// Charge an elementwise vector operation without executing data
@@ -94,9 +121,20 @@ impl Vm {
             self.stats.scalar_iters += op.n as u64;
             self.stats.scalar_cycles += c.cycles;
         }
-        let indexed =
-            op.loads.iter().chain(op.stores.iter()).filter(|a| matches!(a, Access::Indexed)).count();
+        let indexed = op
+            .loads
+            .iter()
+            .chain(op.stores.iter())
+            .filter(|a| matches!(a, Access::Indexed))
+            .count();
         self.stats.indexed_elements += (indexed * op.n) as u64;
+        self.trace_event(|| TraceEvent::VecOp {
+            class: op.class,
+            n: op.n,
+            loads: op.loads.clone(),
+            stores: op.stores.clone(),
+            cost: c,
+        });
     }
 
     /// Charge a scalar loop (cache-machine path or scalar residue).
@@ -113,6 +151,7 @@ impl Vm {
         self.lifetime.add(c);
         self.stats.scalar_cycles += c.cycles;
         self.stats.scalar_iters += iters as u64;
+        self.trace_event(|| TraceEvent::ScalarLoop { iters, cost: c });
     }
 
     /// Charge a control-heavy scalar loop with explicit branches per
@@ -127,11 +166,20 @@ impl Vm {
         branches: f64,
         pattern: LocalityPattern,
     ) {
-        let c = timing::scalar_loop_branchy(&self.model, iters, flops, loads, stores, branches, pattern);
+        let c = timing::scalar_loop_branchy(
+            &self.model,
+            iters,
+            flops,
+            loads,
+            stores,
+            branches,
+            pattern,
+        );
         self.cost.add(c);
         self.lifetime.add(c);
         self.stats.scalar_cycles += c.cycles;
         self.stats.scalar_iters += iters as u64;
+        self.trace_event(|| TraceEvent::ScalarLoop { iters, cost: c });
     }
 
     /// Charge `n` vectorizable intrinsic calls without executing them.
@@ -148,6 +196,7 @@ impl Vm {
             self.stats.scalar_iters += n as u64;
             self.stats.scalar_cycles += c.cycles;
         }
+        self.trace_event(|| TraceEvent::Intrinsic { f, n, cost: c });
     }
 
     // ---- data movement -----------------------------------------------
@@ -369,7 +418,13 @@ impl Vm {
 
     // ---- intrinsics ------------------------------------------------------
 
-    fn unary_intrinsic(&mut self, dst: &mut [f64], a: &[f64], f: Intrinsic, g: impl Fn(f64) -> f64) {
+    fn unary_intrinsic(
+        &mut self,
+        dst: &mut [f64],
+        a: &[f64],
+        f: Intrinsic,
+        g: impl Fn(f64) -> f64,
+    ) {
         assert_eq!(dst.len(), a.len());
         for (d, &x) in dst.iter_mut().zip(a) {
             *d = g(x);

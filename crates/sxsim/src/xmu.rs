@@ -28,12 +28,7 @@ impl Xmu {
 
     /// An XMU of the given capacity at the architectural 16 GB/s.
     pub fn new(capacity_bytes: u64) -> Xmu {
-        Xmu {
-            capacity_bytes,
-            bandwidth_bytes_per_s: 16e9,
-            latency_s: 2e-6,
-            used_bytes: 0,
-        }
+        Xmu { capacity_bytes, bandwidth_bytes_per_s: 16e9, latency_s: 2e-6, used_bytes: 0 }
     }
 
     /// Bytes still allocatable.

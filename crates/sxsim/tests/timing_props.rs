@@ -1,8 +1,43 @@
 //! Property tests on the timing model: the invariants every analytic cost
 //! function must satisfy regardless of parameters.
+//!
+//! Inputs are drawn by a seeded SplitMix64 sampler (hermetic replacement
+//! for proptest), so every run exercises the same deterministic case set.
 
-use proptest::prelude::*;
 use sxsim::{presets, Access, Intrinsic, LocalityPattern, MachineModel, VecOp, Vm, VopClass};
+
+/// Deterministic sampler (SplitMix64) standing in for proptest strategies.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [lo, hi).
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    fn class(&mut self) -> VopClass {
+        [VopClass::Add, VopClass::Mul, VopClass::Fma, VopClass::Div, VopClass::Logical]
+            [self.usize_in(0, 5)]
+    }
+
+    fn access(&mut self) -> Access {
+        match self.usize_in(0, 4) {
+            0 | 1 => Access::Stride(self.usize_in(1, 4096)),
+            2 => Access::Indexed,
+            _ => Access::None,
+        }
+    }
+}
+
+const CASES: usize = 128;
 
 fn machines() -> Vec<MachineModel> {
     let mut v = vec![presets::sx4_benchmarked(), presets::sx4_production()];
@@ -10,33 +45,15 @@ fn machines() -> Vec<MachineModel> {
     v
 }
 
-fn any_class() -> impl Strategy<Value = VopClass> {
-    prop_oneof![
-        Just(VopClass::Add),
-        Just(VopClass::Mul),
-        Just(VopClass::Fma),
-        Just(VopClass::Div),
-        Just(VopClass::Logical),
-    ]
-}
-
-fn any_access() -> impl Strategy<Value = Access> {
-    prop_oneof![
-        (1usize..4096).prop_map(Access::Stride),
-        Just(Access::Indexed),
-        Just(Access::None),
-    ]
-}
-
-proptest! {
-    /// Cost is finite, non-negative, and monotone in n on every machine.
-    #[test]
-    fn vector_cost_sane_everywhere(
-        n in 1usize..500_000,
-        class in any_class(),
-        load in any_access(),
-        store in any_access(),
-    ) {
+/// Cost is finite, non-negative, and monotone in n on every machine.
+#[test]
+fn vector_cost_sane_everywhere() {
+    let mut g = Gen(1);
+    for _ in 0..CASES {
+        let n = g.usize_in(1, 500_000);
+        let class = g.class();
+        let load = g.access();
+        let store = g.access();
         for m in machines() {
             let cost = |len: usize| {
                 let mut vm = Vm::new(m.clone());
@@ -44,15 +61,19 @@ proptest! {
                 vm.cost()
             };
             let c = cost(n);
-            prop_assert!(c.cycles.is_finite() && c.cycles > 0.0, "{}: {:?}", m.name, c);
+            assert!(c.cycles.is_finite() && c.cycles > 0.0, "{}: {:?}", m.name, c);
             let c2 = cost(n + n / 2 + 1);
-            prop_assert!(c2.cycles >= c.cycles, "{} not monotone", m.name);
+            assert!(c2.cycles >= c.cycles, "{} not monotone at n={n}", m.name);
         }
     }
+}
 
-    /// Throughput never exceeds the machine's physical ceilings.
-    #[test]
-    fn no_machine_beats_its_peak(n in 1024usize..1_000_000) {
+/// Throughput never exceeds the machine's physical ceilings.
+#[test]
+fn no_machine_beats_its_peak() {
+    let mut g = Gen(2);
+    for _ in 0..CASES {
+        let n = g.usize_in(1024, 1_000_000);
         for m in machines() {
             let mut vm = Vm::new(m.clone());
             vm.charge_vector_op(&VecOp::new(
@@ -64,35 +85,41 @@ proptest! {
             let c = vm.cost();
             let flops_per_cycle = c.flops as f64 / c.cycles;
             let peak = m.peak_gflops_per_proc() * m.clock_ns; // flops per cycle
-            prop_assert!(
+            assert!(
                 flops_per_cycle <= peak * 1.0001,
                 "{}: {flops_per_cycle} > peak {peak}",
                 m.name
             );
         }
     }
+}
 
-    /// Intrinsics: cost scales superlinearly never, sublinearly never —
-    /// within a tolerance, doubling n doubles the streaming part.
-    #[test]
-    fn intrinsic_cost_roughly_linear(n in 4096usize..100_000) {
+/// Intrinsics: doubling n doubles the streaming part, within tolerance.
+#[test]
+fn intrinsic_cost_roughly_linear() {
+    let mut g = Gen(3);
+    for _ in 0..CASES {
+        let n = g.usize_in(4096, 100_000);
         for m in machines() {
             let cost = |len: usize| {
                 let mut vm = Vm::new(m.clone());
                 vm.charge_intrinsic(Intrinsic::Exp, len);
                 vm.cost().cycles
             };
-            let c1 = cost(n);
-            let c2 = cost(2 * n);
-            let ratio = c2 / c1;
-            prop_assert!((1.8..2.2).contains(&ratio), "{}: ratio {ratio}", m.name);
+            let ratio = cost(2 * n) / cost(n);
+            assert!((1.8..2.2).contains(&ratio), "{}: ratio {ratio} at n={n}", m.name);
         }
     }
+}
 
-    /// The scalar model: more cache never hurts, bigger working sets never
-    /// help.
-    #[test]
-    fn cache_monotonicity(ws1 in 1024usize..1_000_000, ws2 in 1024usize..1_000_000) {
+/// The scalar model: more cache never hurts, bigger working sets never
+/// help.
+#[test]
+fn cache_monotonicity() {
+    let mut g = Gen(4);
+    for _ in 0..CASES {
+        let ws1 = g.usize_in(1024, 1_000_000);
+        let ws2 = g.usize_in(1024, 1_000_000);
         let (small, large) = if ws1 <= ws2 { (ws1, ws2) } else { (ws2, ws1) };
         for m in machines() {
             let cost = |ws: usize| {
@@ -106,39 +133,55 @@ proptest! {
                 );
                 vm.cost().cycles
             };
-            prop_assert!(cost(small) <= cost(large) + 1e-6, "{}", m.name);
+            assert!(cost(small) <= cost(large) + 1e-6, "{}", m.name);
         }
     }
+}
 
-    /// Gather is never cheaper than the equivalent unit-stride load on a
-    /// vector machine.
-    #[test]
-    fn gather_never_beats_unit_stride(n in 64usize..200_000) {
+/// Gather is never cheaper than the equivalent unit-stride load on a
+/// vector machine.
+#[test]
+fn gather_never_beats_unit_stride() {
+    let mut g = Gen(5);
+    for _ in 0..CASES {
+        let n = g.usize_in(64, 200_000);
         for m in machines().into_iter().filter(|m| m.is_vector()) {
             let cost = |access: Access| {
                 let mut vm = Vm::new(m.clone());
-                vm.charge_vector_op(&VecOp::new(n, VopClass::Logical, &[access], &[Access::Stride(1)]));
+                vm.charge_vector_op(&VecOp::new(
+                    n,
+                    VopClass::Logical,
+                    &[access],
+                    &[Access::Stride(1)],
+                ));
                 vm.cost().cycles
             };
-            prop_assert!(cost(Access::Indexed) >= cost(Access::Stride(1)), "{}", m.name);
+            assert!(cost(Access::Indexed) >= cost(Access::Stride(1)), "{}", m.name);
         }
     }
+}
 
-    /// PROGINF bookkeeping: vector + scalar + other time always equals
-    /// real time.
-    #[test]
-    fn proginf_time_partition(
-        nvec in 1usize..50_000,
-        nscalar in 1usize..50_000,
-        nintr in 1usize..50_000,
-    ) {
+/// PROGINF bookkeeping: vector + scalar + other time always equals real
+/// time.
+#[test]
+fn proginf_time_partition() {
+    let mut g = Gen(6);
+    for _ in 0..CASES {
+        let nvec = g.usize_in(1, 50_000);
+        let nscalar = g.usize_in(1, 50_000);
+        let nintr = g.usize_in(1, 50_000);
         let mut vm = Vm::new(presets::sx4_benchmarked());
-        vm.charge_vector_op(&VecOp::new(nvec, VopClass::Add, &[Access::Stride(1)], &[Access::Stride(1)]));
+        vm.charge_vector_op(&VecOp::new(
+            nvec,
+            VopClass::Add,
+            &[Access::Stride(1)],
+            &[Access::Stride(1)],
+        ));
         vm.charge_scalar_loop(nscalar, 2.0, 2.0, 1.0, LocalityPattern::Streaming);
         vm.charge_intrinsic(Intrinsic::Sqrt, nintr);
         let p = vm.proginf();
         let parts = p.vector_time_s + p.scalar_time_s;
-        prop_assert!((parts - p.real_time_s).abs() < 1e-12 * p.real_time_s.max(1e-30));
-        prop_assert!(p.vector_operation_ratio_pct >= 0.0 && p.vector_operation_ratio_pct <= 100.0);
+        assert!((parts - p.real_time_s).abs() < 1e-12 * p.real_time_s.max(1e-30));
+        assert!(p.vector_operation_ratio_pct >= 0.0 && p.vector_operation_ratio_pct <= 100.0);
     }
 }

@@ -16,10 +16,7 @@ fn main() {
         .chain(presets::table1_machines())
         .collect::<Vec<_>>();
 
-    println!(
-        "{:<22} {:>14} {:>12} {:>14}",
-        "machine", "RADABS MF", "HINT MQUIPS", "STREAM MB/s"
-    );
+    println!("{:<22} {:>14} {:>12} {:>14}", "machine", "RADABS MF", "HINT MQUIPS", "STREAM MB/s");
     let mut rows = Vec::new();
     for m in &machines {
         let radabs = radabs_benchmark(m);

@@ -19,7 +19,9 @@ fn main() {
     }
 
     println!("\nPOP (2-degree), 5 steps on one processor:");
-    for (label, vectorized) in [("scalar CSHIFT (pre-release F90)", false), ("vectorized CSHIFT", true)] {
+    for (label, vectorized) in
+        [("scalar CSHIFT (pre-release F90)", false), ("vectorized CSHIFT", true)]
+    {
         let mut cfg = PopConfig::two_degree();
         cfg.cshift_vectorized = vectorized;
         let mut p = Pop::new(cfg, presets::sx4_benchmarked());

@@ -23,7 +23,8 @@ fn main() {
             ResourceBlock { name: "interactive".into(), procs: 4, memory_bytes: 4 << 30 },
             ResourceBlock { name: "batch".into(), procs: 28, memory_bytes: 4 << 30 },
         ],
-    );
+    )
+    .expect("4 + 28 processors fit the node");
     let mut jobs = vec![JobSpec {
         name: "ccm2-production".into(),
         procs: 16,
@@ -53,7 +54,7 @@ fn main() {
         block: 0,
         after: vec![],
     });
-    let schedule = nqs.run(&jobs);
+    let schedule = nqs.run(&jobs).expect("the day's mix is schedulable");
     println!("NQS schedule (32-processor node, 4-proc interactive block):");
     for (job, rec) in jobs.iter().zip(&schedule.records) {
         println!(
@@ -77,7 +78,7 @@ fn main() {
         io.blocked_s * 1e3,
         io.durable_s
     );
-    let parsed = read_checkpoint(record, model.transform.nspec()).unwrap();
+    let parsed = read_checkpoint(&record, model.transform.nspec()).unwrap();
     let mut resumed = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), machine);
     restore(&mut resumed, &parsed);
     model.step(16);

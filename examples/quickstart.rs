@@ -11,7 +11,11 @@ fn main() {
     // --- one processor of the February-1996 benchmark system ------------
     let machine = presets::sx4_benchmarked();
     println!("machine: {}", machine.name);
-    println!("  peak {:.2} Gflops/processor, {} processors/node", machine.peak_gflops_per_proc(), machine.procs);
+    println!(
+        "  peak {:.2} Gflops/processor, {} processors/node",
+        machine.peak_gflops_per_proc(),
+        machine.procs
+    );
 
     let mut vm = Vm::new(machine.clone());
     let n = 1 << 20;
@@ -51,7 +55,10 @@ fn main() {
     for nodes in [2usize, 4, 16] {
         let ixs = Ixs::new(nodes);
         let secs = ixs.all_to_all_seconds(64 << 20);
-        println!("  {nodes:>2}-node all-to-all of 64 MB/pair: {:.1} ms (barrier {:.1} us)",
-            secs * 1e3, ixs.barrier_seconds() * 1e6);
+        println!(
+            "  {nodes:>2}-node all-to-all of 64 MB/pair: {:.1} ms (barrier {:.1} us)",
+            secs * 1e3,
+            ixs.barrier_seconds() * 1e6
+        );
     }
 }

@@ -26,18 +26,62 @@ fn main() {
 
     for entry in suite() {
         match entry.name {
-            "PARANOIA" => row("PARANOIA", "arithmetic battery", if paranoia::run().passed() { "PASSED".into() } else { "FAILED".into() }),
+            "PARANOIA" => row(
+                "PARANOIA",
+                "arithmetic battery",
+                if paranoia::run().passed() { "PASSED".into() } else { "FAILED".into() },
+            ),
             "ELEFUNT" => {
                 let (ok, _) = elefunt::accuracy_suite();
                 let exp = elefunt::mcalls_per_second(&m, ncar_sx4::sim::Intrinsic::Exp, 100_000);
-                row("ELEFUNT", "accuracy + EXP throughput", format!("{} / {exp:.0} Mc/s", if ok { "PASS" } else { "FAIL" }));
+                row(
+                    "ELEFUNT",
+                    "accuracy + EXP throughput",
+                    format!("{} / {exp:.0} Mc/s", if ok { "PASS" } else { "FAIL" }),
+                );
             }
-            "COPY" => row("COPY", "1 MB unit-stride copy", format!("{:.0} MB/s", run_point(&m, MembwKind::Copy, Instance { n: 131_072, m: 8 }, 2).mb_per_s)),
-            "IA" => row("IA", "1 MB gather", format!("{:.0} MB/s", run_point(&m, MembwKind::Ia, Instance { n: 131_072, m: 8 }, 2).mb_per_s)),
-            "XPOSE" => row("XPOSE", "512x512 transposes", format!("{:.0} MB/s", run_point(&m, MembwKind::Xpose, Instance { n: 512, m: 4 }, 2).mb_per_s)),
-            "RFFT" => row("RFFT", "N=256, scalar loop order", format!("{:.0} Mflops", run_fft_point(&m, 256, 500, LoopOrder::AxisFastest).mflops)),
-            "VFFT" => row("VFFT", "N=256, M=500, vector order", format!("{:.0} Mflops", run_fft_point(&m, 256, 500, LoopOrder::InstanceFastest).mflops)),
-            "RADABS" => row("RADABS", "full-grid radiation physics", format!("{:.0} CrayMF", radabs_benchmark(&m))),
+            "COPY" => row(
+                "COPY",
+                "1 MB unit-stride copy",
+                format!(
+                    "{:.0} MB/s",
+                    run_point(&m, MembwKind::Copy, Instance { n: 131_072, m: 8 }, 2).mb_per_s
+                ),
+            ),
+            "IA" => row(
+                "IA",
+                "1 MB gather",
+                format!(
+                    "{:.0} MB/s",
+                    run_point(&m, MembwKind::Ia, Instance { n: 131_072, m: 8 }, 2).mb_per_s
+                ),
+            ),
+            "XPOSE" => row(
+                "XPOSE",
+                "512x512 transposes",
+                format!(
+                    "{:.0} MB/s",
+                    run_point(&m, MembwKind::Xpose, Instance { n: 512, m: 4 }, 2).mb_per_s
+                ),
+            ),
+            "RFFT" => row(
+                "RFFT",
+                "N=256, scalar loop order",
+                format!("{:.0} Mflops", run_fft_point(&m, 256, 500, LoopOrder::AxisFastest).mflops),
+            ),
+            "VFFT" => row(
+                "VFFT",
+                "N=256, M=500, vector order",
+                format!(
+                    "{:.0} Mflops",
+                    run_fft_point(&m, 256, 500, LoopOrder::InstanceFastest).mflops
+                ),
+            ),
+            "RADABS" => row(
+                "RADABS",
+                "full-grid radiation physics",
+                format!("{:.0} CrayMF", radabs_benchmark(&m)),
+            ),
             "I/O" => row("I/O", "T42 history tape", "see io exp".into()),
             "HIPPI" => row("HIPPI", "packet ladder", format!("{:.0} s", hippi_test_seconds())),
             "NETWORK" => row("NETWORK", "FDDI command list", "see network".into()),
@@ -54,7 +98,11 @@ fn main() {
             }
             "POP" => {
                 let mut model = Pop::new(PopConfig::two_degree(), m.clone());
-                row("POP", "2-deg Mflops (scalar CSHIFT)", format!("{:.0} Mflops", model.mflops(2)));
+                row(
+                    "POP",
+                    "2-deg Mflops (scalar CSHIFT)",
+                    format!("{:.0} Mflops", model.mflops(2)),
+                );
             }
             _ => {}
         }

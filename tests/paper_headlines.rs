@@ -86,7 +86,7 @@ fn ensemble_degradation_small() {
         procs: 4,
         bytes_per_cycle_per_proc: t.bytes_per_cycle_per_proc,
     };
-    let stretch = node.coschedule_stretch(&[job; 8]);
+    let stretch = node.coschedule_stretch(&[job; 8]).expect("8 x 4 procs fit a 32-processor node");
     let deg = (stretch - 1.0) * 100.0;
     assert!(deg > 0.1 && deg < 5.0, "ensemble degradation {deg:.2}% vs paper 1.89%");
 }

@@ -17,7 +17,12 @@ fn scorecard_of_published_anchors() {
 
     // §4.4 — the RADABS headline (calibration anchor: tight band).
     sc.record(
-        PaperAnchor::new("§4.4", "RADABS SX-4/1 Cray-equiv Mflops", 865.9, Tolerance::Percent(15.0)),
+        PaperAnchor::new(
+            "§4.4",
+            "RADABS SX-4/1 Cray-equiv Mflops",
+            865.9,
+            Tolerance::Percent(15.0),
+        ),
         radabs_benchmark(&sx4),
     );
 
@@ -29,11 +34,21 @@ fn scorecard_of_published_anchors() {
         (presets::cray_ymp(), "Y-MP", 178.1, 3.1),
     ] {
         sc.record(
-            PaperAnchor::new("Table 1", format!("RADABS {name} Mflops"), radabs_paper, Tolerance::Percent(20.0)),
+            PaperAnchor::new(
+                "Table 1",
+                format!("RADABS {name} Mflops"),
+                radabs_paper,
+                Tolerance::Percent(20.0),
+            ),
             radabs_benchmark(&machine),
         );
         sc.record(
-            PaperAnchor::new("Table 1", format!("HINT {name} MQUIPS"), hint_paper, Tolerance::Factor(2.0)),
+            PaperAnchor::new(
+                "Table 1",
+                format!("HINT {name} MQUIPS"),
+                hint_paper,
+                Tolerance::Factor(2.0),
+            ),
             hint_mquips(&machine),
         );
     }
@@ -49,7 +64,7 @@ fn scorecard_of_published_anchors() {
             procs: 4,
             bytes_per_cycle_per_proc: t.bytes_per_cycle_per_proc,
         };
-        let deg = (node.coschedule_stretch(&vec![job; 8]) - 1.0) * 100.0;
+        let deg = (node.coschedule_stretch(&[job; 8]).unwrap() - 1.0) * 100.0;
         sc.record(
             PaperAnchor::new("Table 6", "ensemble degradation %", 1.89, Tolerance::Factor(2.5)),
             deg,
@@ -65,7 +80,12 @@ fn scorecard_of_published_anchors() {
         };
         let ratio = day(Resolution::T63) / day(Resolution::T42);
         sc.record(
-            PaperAnchor::new("Table 5", "T63/T42 yearly time ratio", 3452.48 / 1327.53, Tolerance::Percent(40.0)),
+            PaperAnchor::new(
+                "Table 5",
+                "T63/T42 yearly time ratio",
+                3452.48 / 1327.53,
+                Tolerance::Percent(40.0),
+            ),
             ratio,
         );
     }

@@ -1,27 +1,41 @@
-//! Cross-crate property-based tests (proptest) on the core invariants.
+//! Cross-crate property-based tests on the core invariants.
+//!
+//! Inputs are drawn by the workspace's seeded [`SmallRng`] (hermetic
+//! replacement for proptest), so every run exercises the same
+//! deterministic case set.
 
 use ncar_sx4::climate::gauss::gauss_legendre;
 use ncar_sx4::climate::legendre::{pack_index, pack_len, plm_at};
 use ncar_sx4::climate::slt::advect_row;
-use ncar_sx4::kernels::fft::{fft, factorize, irfft, rfft_spectrum, C64, Direction};
+use ncar_sx4::kernels::fft::{factorize, fft, irfft, rfft_spectrum, Direction, C64};
 use ncar_sx4::sim::node::partition;
 use ncar_sx4::sim::{presets, Vm};
-use proptest::prelude::*;
+use ncar_sx4::suite::SmallRng;
+
+const CASES: usize = 96;
 
 /// Arbitrary FFT-legal length: 2^a * 3^b * 5^c, bounded.
-fn fft_len() -> impl Strategy<Value = usize> {
-    (0u32..7, 0u32..3, 0u32..2).prop_map(|(a, b, c)| {
-        (1usize << a) * 3usize.pow(b) * 5usize.pow(c)
-    })
+fn fft_len(rng: &mut SmallRng) -> usize {
+    let a = rng.next_below(7);
+    let b = rng.next_below(3);
+    let c = rng.next_below(2);
+    (1usize << a) * 3usize.pow(b as u32) * 5usize.pow(c as u32)
 }
 
-proptest! {
-    #[test]
-    fn fft_roundtrip_any_235_length(n in fft_len(), seed in 0u64..1000) {
-        prop_assume!((2..=2000).contains(&n));
+#[test]
+fn fft_roundtrip_any_235_length() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut tried = 0;
+    while tried < CASES {
+        let n = fft_len(&mut rng);
+        if !(2..=2000).contains(&n) {
+            continue;
+        }
+        tried += 1;
+        let seed = rng.next_below(1000) as f64;
         let input: Vec<C64> = (0..n)
             .map(|i| {
-                let x = (i as f64 + seed as f64) * 0.61803398875;
+                let x = (i as f64 + seed) * 0.61803398875;
                 C64::new(x.sin(), (2.0 * x).cos())
             })
             .collect();
@@ -30,13 +44,21 @@ proptest! {
         fft(&mut y, Direction::Inverse);
         for (a, b) in y.iter().zip(&input) {
             let scaled = *a * (1.0 / n as f64);
-            prop_assert!((scaled - *b).abs() < 1e-8 * (n as f64));
+            assert!((scaled - *b).abs() < 1e-8 * (n as f64));
         }
     }
+}
 
-    #[test]
-    fn rfft_parseval_any_235_length(n in fft_len()) {
-        prop_assume!((4..=2000).contains(&n) && n % 2 == 0);
+#[test]
+fn rfft_parseval_any_235_length() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut tried = 0;
+    while tried < CASES {
+        let n = fft_len(&mut rng);
+        if !(4..=2000).contains(&n) || !n.is_multiple_of(2) {
+            continue;
+        }
+        tried += 1;
         let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.2).collect();
         let spec = rfft_spectrum(&signal);
         let time_energy: f64 = signal.iter().map(|v| v * v).sum();
@@ -47,21 +69,23 @@ proptest! {
             freq_energy += w * c.norm_sqr();
         }
         freq_energy /= n as f64;
-        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
         // And the inverse really inverts.
         let back = irfft(&spec, n);
         for (a, b) in back.iter().zip(&signal) {
-            prop_assert!((a - b).abs() < 1e-8);
+            assert!((a - b).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn factorize_agrees_with_arithmetic(n in 1usize..5000) {
+#[test]
+fn factorize_agrees_with_arithmetic() {
+    for n in 1usize..5000 {
         match factorize(n) {
             Some(f) => {
                 let prod: usize = f.iter().product();
-                prop_assert_eq!(prod, n);
-                prop_assert!(f.iter().all(|r| [2, 3, 5].contains(r)));
+                assert_eq!(prod, n);
+                assert!(f.iter().all(|r| [2, 3, 5].contains(r)));
             }
             None => {
                 // Must have a prime factor other than 2, 3, 5.
@@ -71,85 +95,107 @@ proptest! {
                         m /= p;
                     }
                 }
-                prop_assert!(m > 1);
+                assert!(m > 1);
             }
         }
     }
+}
 
-    #[test]
-    fn gather_scatter_are_inverse_permutations(n in 2usize..300, seed in 0u64..100) {
+#[test]
+fn gather_scatter_are_inverse_permutations() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let n = rng.range(2, 300);
         let mut vm = Vm::new(presets::sx4_benchmarked());
-        // A deterministic pseudo-random permutation from the seed.
         let mut idx: Vec<usize> = (0..n).collect();
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
-            idx.swap(i, j);
-        }
+        rng.shuffle(&mut idx);
         let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let mut mid = vec![0.0; n];
         let mut out = vec![0.0; n];
         vm.gather(&mut mid, &src, &idx);
         vm.scatter(&mut out, &mid, &idx);
-        prop_assert_eq!(out, src);
+        assert_eq!(out, src);
     }
+}
 
-    #[test]
-    fn partition_is_balanced_cover(n in 0usize..10_000, p in 1usize..64) {
+#[test]
+fn partition_is_balanced_cover() {
+    let mut rng = SmallRng::seed_from_u64(14);
+    for _ in 0..CASES {
+        let n = rng.next_below(10_000);
+        let p = rng.range(1, 64);
         let parts = partition(n, p);
-        prop_assert_eq!(parts.len(), p);
+        assert_eq!(parts.len(), p);
         let total: usize = parts.iter().map(|r| r.len()).sum();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
         let max = parts.iter().map(|r| r.len()).max().unwrap();
         let min = parts.iter().map(|r| r.len()).min().unwrap();
-        prop_assert!(max - min <= 1);
+        assert!(max - min <= 1);
     }
+}
 
-    #[test]
-    fn gauss_weights_positive_sum_two(n in 2usize..200) {
+#[test]
+fn gauss_weights_positive_sum_two() {
+    for n in 2usize..200 {
         let (x, w) = gauss_legendre(n);
-        prop_assert!(w.iter().all(|&v| v > 0.0));
+        assert!(w.iter().all(|&v| v > 0.0));
         let s: f64 = w.iter().sum();
-        prop_assert!((s - 2.0).abs() < 1e-10);
-        prop_assert!(x.windows(2).all(|p| p[0] < p[1]));
+        assert!((s - 2.0).abs() < 1e-10);
+        assert!(x.windows(2).all(|p| p[0] < p[1]));
     }
+}
 
-    #[test]
-    fn legendre_pack_bijective(trunc in 0usize..80) {
+#[test]
+fn legendre_pack_bijective() {
+    for trunc in 0usize..80 {
         let len = pack_len(trunc);
         let mut seen = vec![false; len];
         for m in 0..=trunc {
             for n in m..=trunc {
                 let i = pack_index(trunc, m, n);
-                prop_assert!(!seen[i]);
+                assert!(!seen[i]);
                 seen[i] = true;
             }
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s));
     }
+}
 
-    #[test]
-    fn legendre_values_bounded(trunc in 1usize..40, mu in -0.999f64..0.999) {
+#[test]
+fn legendre_values_bounded() {
+    let mut rng = SmallRng::seed_from_u64(15);
+    for _ in 0..CASES {
+        let trunc = rng.range(1, 40);
+        let mu = rng.next_f64() * 1.998 - 0.999;
         // Orthonormal P̄ on [-1,1] are bounded by ~sqrt(n + 1/2).
         let p = plm_at(trunc, mu);
         let bound = ((trunc as f64) + 1.0).sqrt() * 2.0;
-        prop_assert!(p.iter().all(|v| v.abs() <= bound));
+        assert!(p.iter().all(|v| v.abs() <= bound));
     }
+}
 
-    #[test]
-    fn slt_never_creates_extrema(n in 8usize..128, shift in 0.0f64..3.0) {
+#[test]
+fn slt_never_creates_extrema() {
+    let mut rng = SmallRng::seed_from_u64(16);
+    for _ in 0..CASES {
+        let n = rng.range(8, 128);
+        let shift = rng.next_f64() * 3.0;
         let mut vm = Vm::new(presets::sx4_benchmarked());
         let q: Vec<f64> = (0..n).map(|j| if j % 7 < 3 { 1.0 } else { 0.0 }).collect();
         let u = vec![shift; n];
         let out = advect_row(&mut vm, &q, &u);
         let eps = 1e-12;
-        prop_assert!(out.iter().all(|&v| v >= -eps && v <= 1.0 + eps));
+        assert!(out.iter().all(|&v| v >= -eps && v <= 1.0 + eps));
     }
+}
 
-    #[test]
-    fn timing_monotone_in_length(n1 in 1usize..100_000, n2 in 1usize..100_000) {
-        use ncar_sx4::sim::{Access, VecOp, VopClass};
+#[test]
+fn timing_monotone_in_length() {
+    use ncar_sx4::sim::{Access, VecOp, VopClass};
+    let mut rng = SmallRng::seed_from_u64(17);
+    for _ in 0..CASES {
+        let n1 = rng.range(1, 100_000);
+        let n2 = rng.range(1, 100_000);
         let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
         let m = presets::sx4_benchmarked();
         let cost = |n: usize| {
@@ -162,6 +208,6 @@ proptest! {
             ));
             vm.cost().cycles
         };
-        prop_assert!(cost(lo) <= cost(hi));
+        assert!(cost(lo) <= cost(hi));
     }
 }

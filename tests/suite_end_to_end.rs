@@ -11,8 +11,8 @@ use ncar_sx4::kernels::radabs::radabs_mflops;
 use ncar_sx4::ocean::{Mom, MomConfig, Pop, PopConfig};
 use ncar_sx4::os::iobench::{hippi_benchmark, io_benchmark, network_table};
 use ncar_sx4::os::prodload::{prodload, CcmRates};
-use ncar_sx4::others::{hint_mquips, linpack};
 use ncar_sx4::others::stream::stream_table;
+use ncar_sx4::others::{hint_mquips, linpack};
 use ncar_sx4::sim::{presets, Node};
 use ncar_sx4::suite::{suite, Category, Instance};
 
@@ -26,11 +26,19 @@ fn every_suite_entry_is_executable() {
             "ELEFUNT" => {
                 let (ok, _) = elefunt::accuracy_suite();
                 assert!(ok);
-                assert!(elefunt::mcalls_per_second(&m, ncar_sx4::sim::Intrinsic::Exp, 10_000) > 0.0);
+                assert!(
+                    elefunt::mcalls_per_second(&m, ncar_sx4::sim::Intrinsic::Exp, 10_000) > 0.0
+                );
             }
-            "COPY" => assert!(run_point(&m, MembwKind::Copy, Instance { n: 4096, m: 4 }, 2).mb_per_s > 0.0),
-            "IA" => assert!(run_point(&m, MembwKind::Ia, Instance { n: 4096, m: 4 }, 2).mb_per_s > 0.0),
-            "XPOSE" => assert!(run_point(&m, MembwKind::Xpose, Instance { n: 64, m: 4 }, 2).mb_per_s > 0.0),
+            "COPY" => assert!(
+                run_point(&m, MembwKind::Copy, Instance { n: 4096, m: 4 }, 2).mb_per_s > 0.0
+            ),
+            "IA" => {
+                assert!(run_point(&m, MembwKind::Ia, Instance { n: 4096, m: 4 }, 2).mb_per_s > 0.0)
+            }
+            "XPOSE" => {
+                assert!(run_point(&m, MembwKind::Xpose, Instance { n: 64, m: 4 }, 2).mb_per_s > 0.0)
+            }
             "RFFT" => assert!(run_fft_point(&m, 64, 100, LoopOrder::AxisFastest).mflops > 0.0),
             "VFFT" => assert!(run_fft_point(&m, 64, 100, LoopOrder::InstanceFastest).mflops > 0.0),
             "RADABS" => assert!(radabs_mflops(&m, 256, 1) > 0.0),
@@ -47,7 +55,14 @@ fn every_suite_entry_is_executable() {
             }
             "MOM" => {
                 let mut model = Mom::new(
-                    MomConfig { nlat: 16, nlon: 32, nlev: 4, dt: 3600.0, diag_every: 10, jacobi_sweeps: 5 },
+                    MomConfig {
+                        nlat: 16,
+                        nlon: 32,
+                        nlev: 4,
+                        dt: 3600.0,
+                        diag_every: 10,
+                        jacobi_sweeps: 5,
+                    },
                     m.clone(),
                 );
                 assert!(model.step(4).seconds > 0.0);

@@ -42,11 +42,11 @@ fn checkpoint_restart_through_sfs() {
     let nqs = Nqs::whole_node(&node);
     let mut rest_dep = rest.clone();
     rest_dep.after = vec![0];
-    let schedule = nqs.run(&[first, rest_dep]);
+    let schedule = nqs.run(&[first, rest_dep]).unwrap();
     assert!(schedule.makespan_s >= 1000.0, "split job still does all its work");
 
     // Restore into a fresh model and verify bit-exact continuation.
-    let parsed = read_checkpoint(record, original.transform.nspec()).unwrap();
+    let parsed = read_checkpoint(&record, original.transform.nspec()).unwrap();
     let mut resumed = Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), machine);
     restore(&mut resumed, &parsed);
     original.step(4);
@@ -88,7 +88,8 @@ fn resource_blocks_protect_interactive_work() {
             ResourceBlock { name: "interactive".into(), procs: 4, memory_bytes: 4 << 30 },
             ResourceBlock { name: "batch".into(), procs: 28, memory_bytes: 4 << 30 },
         ],
-    );
+    )
+    .unwrap();
     let big = JobSpec {
         name: "mom-highres".into(),
         procs: 28,
@@ -111,7 +112,7 @@ fn resource_blocks_protect_interactive_work() {
         .collect();
     let mut jobs = vec![big];
     jobs.extend(quick);
-    let s = nqs.run(&jobs);
+    let s = nqs.run(&jobs).unwrap();
     // The interactive jobs all finish in well under a minute despite the
     // 10,000-second batch job, because they never queue behind it.
     for r in &s.records[1..] {
