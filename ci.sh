@@ -29,4 +29,41 @@ if [ "$out1" != "$out2" ]; then
     exit 1
 fi
 
+echo "==> sxd smoke test (serve, cache hit, typed error, clean shutdown)"
+cargo build --offline -q -p ncar-bench
+bench="target/debug/ncar-bench"
+smoke_log="$(mktemp)"
+"$bench" serve --addr 127.0.0.1:0 >"$smoke_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^sxd listening on //p' "$smoke_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "sxd never reported a listening address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+first="$("$bench" submit radabs --addr "$addr" --json true)"
+second="$("$bench" submit radabs --addr "$addr" --json true)"
+case "$first" in *'"cached":false'*) ;; *) echo "first submit should be uncached: $first" >&2; exit 1;; esac
+case "$second" in *'"cached":true'*) ;; *) echo "second identical submit must hit the cache: $second" >&2; exit 1;; esac
+if [ "$second" != "${first/\"cached\":false/\"cached\":true}" ]; then
+    echo "cache hit is not byte-identical to the original reply" >&2
+    exit 1
+fi
+garbage="$("$bench" raw 'this frame is not json' --addr "$addr")"
+case "$garbage" in
+    '{"ok":false,"error":{"kind":"bad_json"'*) ;;
+    *) echo "malformed frame must get a typed bad_json reply: $garbage" >&2; exit 1;;
+esac
+"$bench" shutdown --addr "$addr" >/dev/null
+if ! wait "$serve_pid"; then
+    echo "sxd did not exit 0 after graceful shutdown" >&2
+    exit 1
+fi
+rm -f "$smoke_log"
+
 echo "==> CI OK"

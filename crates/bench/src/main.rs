@@ -3,9 +3,10 @@
 //! NCAR Benchmark Suite" on the simulated machine.
 //!
 //! ```text
-//! ncar-bench [--json] <experiment>...
+//! ncar-bench [--json] [--jobs N] <experiment>...
 //! ncar-bench all            # everything (slow: full CCM2/MOM runs)
 //! ncar-bench list           # list experiment names
+//! ncar-bench serve …        # daemon mode: serve suites over TCP (sxd)
 //! ```
 
 mod exp_apps;
@@ -13,6 +14,7 @@ mod exp_check;
 mod exp_extra;
 mod exp_kernels;
 mod exp_system;
+mod serve;
 
 use ncar_suite::Artifact;
 
@@ -51,10 +53,45 @@ fn experiments() -> Vec<Experiment> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let exps = experiments();
+
+    // Daemon/client subcommands take over argument parsing entirely.
+    if let Some(sub) = args.first().map(String::as_str) {
+        let rest = &args[1..];
+        let code = match sub {
+            "serve" => Some(serve::cmd_serve(rest, &exps)),
+            "submit" => Some(serve::cmd_submit(rest)),
+            "stats" => Some(serve::cmd_stats(rest)),
+            "shutdown" => Some(serve::cmd_shutdown(rest)),
+            "flood" => Some(serve::cmd_flood(rest)),
+            "raw" => Some(serve::cmd_raw(rest)),
+            _ => None,
+        };
+        if let Some(code) = code {
+            std::process::exit(code);
+        }
+    }
+
+    // `--jobs N` caps the worker threads every experiment's internal
+    // parallel fan-out uses (core::par::par_map_with).
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        if pos + 1 >= args.len() {
+            eprintln!("--jobs needs a thread count");
+            std::process::exit(2);
+        }
+        match args[pos + 1].parse::<usize>() {
+            Ok(n) => ncar_suite::set_host_parallelism(n),
+            Err(_) => {
+                eprintln!("--jobs wants a number, got {:?}", args[pos + 1]);
+                std::process::exit(2);
+            }
+        }
+        args.drain(pos..pos + 2);
+    }
+
     let json = args.iter().any(|a| a == "--json");
     let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let exps = experiments();
 
     if names.iter().any(|n| n.as_str() == "check") {
         let deny = args.iter().any(|a| a == "--deny-warnings");
@@ -62,8 +99,12 @@ fn main() {
     }
 
     if names.is_empty() || names.iter().any(|n| n.as_str() == "list") {
-        eprintln!("usage: ncar-bench [--json] <experiment>... | all | list\n");
+        eprintln!("usage: ncar-bench [--json] [--jobs N] <experiment>... | all | list\n");
         eprintln!("       ncar-bench check [--deny-warnings]   # run the sxcheck analyzer");
+        eprintln!("       ncar-bench serve [--addr A] [--workers N] [--cache-cap N]");
+        eprintln!("       ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]...");
+        eprintln!("       ncar-bench stats|shutdown|raw <line> [--addr A]");
+        eprintln!("       ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...");
         eprintln!("experiments:");
         for (name, desc, _) in &exps {
             eprintln!("  {name:<12} {desc}");

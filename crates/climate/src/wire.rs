@@ -1,141 +1,28 @@
-//! Minimal big-endian wire encoding used by the history-tape and restart
-//! records (a local replacement for the `bytes` crate: the workspace
-//! builds hermetically, with no external dependencies).
+//! Big-endian wire encoding for the history-tape and restart records.
 //!
-//! Semantics follow `bytes::Buf`: readers panic on underflow, so decoders
-//! check [`WireReader::remaining`] before pulling fixed-size fields —
-//! exactly the discipline `history.rs` already follows.
+//! The codec itself was hoisted into the suite framework
+//! ([`ncar_suite::wire`]) so the `sxd` serving daemon can reuse it for
+//! cache-key canonicalization; this module re-exports it under the name
+//! the history-tape code has always used. Semantics are unchanged:
+//! `get_*` readers panic on underflow (decoders check
+//! [`WireReader::remaining`] first — the discipline `history.rs` follows),
+//! and the `try_get_*` family decodes untrusted bytes fallibly.
 
-/// Append-only binary writer.
-#[derive(Debug, Default, Clone)]
-pub struct WireWriter {
-    buf: Vec<u8>,
-}
-
-impl WireWriter {
-    pub fn with_capacity(n: usize) -> WireWriter {
-        WireWriter { buf: Vec::with_capacity(n) }
-    }
-
-    pub fn put_u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    pub fn put_f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    pub fn put_bytes(&mut self, v: &[u8]) {
-        self.buf.extend_from_slice(v);
-    }
-
-    pub fn len(&self) -> usize {
-        self.buf.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
-    }
-
-    /// Finish writing and take the encoded record.
-    pub fn into_vec(self) -> Vec<u8> {
-        self.buf
-    }
-}
-
-/// Cursor over an encoded record.
-#[derive(Debug, Clone, Copy)]
-pub struct WireReader<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> WireReader<'a> {
-    pub fn new(data: &'a [u8]) -> WireReader<'a> {
-        WireReader { data, pos: 0 }
-    }
-
-    /// Bytes left to read.
-    pub fn remaining(&self) -> usize {
-        self.data.len() - self.pos
-    }
-
-    fn take<const N: usize>(&mut self) -> [u8; N] {
-        let s = &self.data[self.pos..self.pos + N];
-        self.pos += N;
-        s.try_into().expect("slice length is N by construction")
-    }
-
-    pub fn get_u16(&mut self) -> u16 {
-        u16::from_be_bytes(self.take::<2>())
-    }
-
-    pub fn get_u32(&mut self) -> u32 {
-        u32::from_be_bytes(self.take::<4>())
-    }
-
-    pub fn get_u64(&mut self) -> u64 {
-        u64::from_be_bytes(self.take::<8>())
-    }
-
-    pub fn get_f64(&mut self) -> f64 {
-        f64::from_be_bytes(self.take::<8>())
-    }
-
-    /// Split off the next `n` bytes as a sub-reader.
-    pub fn sub_reader(&mut self, n: usize) -> WireReader<'a> {
-        let r = WireReader::new(&self.data[self.pos..self.pos + n]);
-        self.pos += n;
-        r
-    }
-}
+pub use ncar_suite::wire::{WireError, WireReader, WireWriter, MAX_FIELD_BYTES};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn roundtrip_all_field_types() {
-        let mut w = WireWriter::with_capacity(32);
-        w.put_u16(0xBEEF);
+    fn reexported_codec_roundtrips_history_fields() {
+        let mut w = WireWriter::with_capacity(16);
         w.put_u32(0x4e43_4152);
-        w.put_u64(u64::MAX - 1);
-        w.put_f64(-1234.5678);
+        w.put_f64(273.15);
         let v = w.into_vec();
-        assert_eq!(v.len(), 2 + 4 + 8 + 8);
         let mut r = WireReader::new(&v);
-        assert_eq!(r.get_u16(), 0xBEEF);
         assert_eq!(r.get_u32(), 0x4e43_4152);
-        assert_eq!(r.get_u64(), u64::MAX - 1);
-        assert_eq!(r.get_f64(), -1234.5678);
+        assert_eq!(r.get_f64(), 273.15);
         assert_eq!(r.remaining(), 0);
-    }
-
-    #[test]
-    fn sub_reader_advances_parent() {
-        let mut w = WireWriter::default();
-        w.put_u32(7);
-        w.put_u32(9);
-        let v = w.into_vec();
-        let mut r = WireReader::new(&v);
-        let mut head = r.sub_reader(4);
-        assert_eq!(head.get_u32(), 7);
-        assert_eq!(r.get_u32(), 9);
-    }
-
-    #[test]
-    #[should_panic]
-    fn underflow_panics() {
-        let v = vec![1u8, 2];
-        let mut r = WireReader::new(&v);
-        r.get_u32();
     }
 }

@@ -12,25 +12,39 @@
 //! - [`sweep`] — constant-volume (M, N) ladders and the FFT length
 //!   families (§4.2–4.3);
 //! - [`report`] — tables, figures and JSON artifacts the harness emits;
-//! - [`compare`] — paper-vs-measured anchors and the audit scorecard.
+//! - [`compare`] — paper-vs-measured anchors and the audit scorecard;
+//! - [`wire`] — the hermetic big-endian codec (history tapes, cache keys);
+//! - [`json`] — fallible JSON parsing for the `sxd` wire protocol;
+//! - [`hash`] — FNV-1a content hashing for the result cache;
+//! - [`registry`] — ordered name → value lookup for runnable benchmarks;
+//! - [`par`] — host-thread fan-out, the `--jobs` cap, and the bounded
+//!   [`WorkerPool`] the serving daemon executes on.
 //!
 //! The kernels themselves live in `ncar-kernels`; applications in
 //! `ccm-proxy` and `ocean-models`; the machine under test in `sxsim`.
 
 pub mod compare;
+pub mod hash;
+pub mod json;
 pub mod ktries;
 pub mod par;
+pub mod registry;
 pub mod report;
 pub mod rng;
 pub mod suite;
 pub mod sweep;
+pub mod wire;
 
 pub use compare::{Comparison, PaperAnchor, Scorecard, Tolerance};
+pub use hash::{fnv64, Fnv64};
+pub use json::{Json, JsonError};
 pub use ktries::{best_of, KTRIES_DEFAULT, KTRIES_VFFT};
-pub use par::{par_map, par_map_with};
+pub use par::{host_parallelism, par_map, par_map_with, set_host_parallelism, WorkerPool};
+pub use registry::Registry;
 pub use report::{Artifact, Figure, Series, Table};
 pub use rng::SmallRng;
-pub use suite::{suite, Category, SuiteEntry};
+pub use suite::{find, suite, Category, SuiteEntry};
 pub use sweep::{
     constant_volume_ladder, rfft_instances, xpose_ladder, FftFamily, Instance, VFFT_M,
 };
+pub use wire::{WireError, WireReader, WireWriter};

@@ -5,7 +5,32 @@
 //! builds its own `Vm` — so `par_map` only shortens wall-clock time of the
 //! harness. Results always come back in input order.
 
-/// Map `f` over `items` using up to `available_parallelism` host threads,
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+/// Process-wide host-parallelism cap. 0 = no cap (use every core); set by
+/// the `ncar-bench --jobs N` flag so CI boxes and laptops can bound how
+/// many host threads the experiment fan-outs spawn.
+static HOST_PARALLELISM_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap [`par_map`] (and anything else consulting [`host_parallelism`]) at
+/// `threads` host threads; 0 removes the cap. Simulated time is unaffected
+/// — this only bounds wall-clock concurrency of the harness.
+pub fn set_host_parallelism(threads: usize) {
+    HOST_PARALLELISM_CAP.store(threads, Ordering::Relaxed);
+}
+
+/// The number of host threads fan-outs should use: the configured cap if
+/// one is set, else `available_parallelism`.
+pub fn host_parallelism() -> usize {
+    match HOST_PARALLELISM_CAP.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` using up to [`host_parallelism`] host threads,
 /// preserving input order.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
@@ -13,8 +38,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    par_map_with(items, threads, f)
+    par_map_with(items, host_parallelism(), f)
 }
 
 /// [`par_map`] with an explicit thread cap (1 = sequential).
@@ -62,6 +86,99 @@ where
     slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
 }
 
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<PoolJob>,
+    shutting_down: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    ready: Condvar,
+}
+
+/// A bounded pool of long-lived worker threads.
+///
+/// [`par_map`] fans out one *batch* and joins; a daemon instead needs jobs
+/// executed as they arrive while keeping host concurrency fixed. Jobs
+/// submitted beyond the worker count queue FIFO. Dropping the pool drains
+/// the queue, then joins every worker.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue { jobs: VecDeque::new(), shutting_down: false }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut q = shared.queue.lock().expect("pool queue poisoned");
+                        loop {
+                            if let Some(job) = q.jobs.pop_front() {
+                                break Some(job);
+                            }
+                            if q.shutting_down {
+                                break None;
+                            }
+                            q = shared.ready.wait(q).expect("pool queue poisoned");
+                        }
+                    };
+                    match job {
+                        Some(job) => job(),
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles, threads }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueue a fire-and-forget job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        q.jobs.push_back(Box::new(job));
+        drop(q);
+        self.shared.ready.notify_one();
+    }
+
+    /// Run `f` on a worker and block until its result comes back.
+    pub fn run<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+        let (tx, rx) = mpsc::channel();
+        self.submit(move || {
+            let _ = tx.send(f());
+        });
+        rx.recv().expect("pool worker died before returning a result")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.shutting_down = true;
+        }
+        self.shared.ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +207,52 @@ mod tests {
     fn more_threads_than_items() {
         let out = par_map_with(vec![1, 2, 3], 64, |x| x * 10);
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn host_parallelism_cap_round_trips() {
+        // par_map stays correct at any cap, so racing other tests is safe.
+        set_host_parallelism(1);
+        assert_eq!(host_parallelism(), 1);
+        let out = par_map((0..10).collect::<Vec<usize>>(), |x| x * 2);
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        set_host_parallelism(0);
+        assert!(host_parallelism() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_executes_queued_jobs_and_drains_on_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // run() gives back results from arbitrary workers.
+        assert_eq!(pool.run(|| 6 * 7), 42);
+        drop(pool); // must drain the 50 submits before joining
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn worker_pool_bounds_concurrency() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2);
+        for _ in 0..20 {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            pool.submit(move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert!(peak.load(Ordering::SeqCst) <= 2, "pool exceeded its bound");
     }
 }

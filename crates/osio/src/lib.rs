@@ -9,6 +9,9 @@
 //! - [`nqs`] — the NQS batch subsystem, Resource Blocks and
 //!   checkpoint/restart, as a discrete-event scheduler with memory-
 //!   contention-aware co-scheduling;
+//! - [`admission`] — the same Resource-Block gate as a live, stateful
+//!   admission controller (jobs arriving one at a time, e.g. from the
+//!   `sxd` serving daemon) rather than a replayed batch;
 //! - [`iobench`] — the I/O, HIPPI and NETWORK benchmarks of §4.5;
 //! - [`mod@prodload`] — the PRODLOAD production-mix benchmark of §4.6
 //!   (paper headline: 93 minutes 28 seconds on the SX-4/32);
@@ -16,6 +19,7 @@
 //! - [`mls`] — the Multilevel Security option (§2.6.6).
 
 pub mod accounting;
+pub mod admission;
 pub mod autoops;
 pub mod backstore;
 pub mod chan;
@@ -28,6 +32,7 @@ pub mod queues;
 pub mod sfs;
 
 pub use accounting::{account, qacct_table, utilization, JobAccount};
+pub use admission::Admission;
 pub use autoops::{Action, Console, SystemState};
 pub use backstore::BackStore;
 pub use chan::{Channel, DiskArray};

@@ -98,6 +98,37 @@ impl std::fmt::Display for NqsError {
 
 impl std::error::Error for NqsError {}
 
+/// Validate that `job` could ever run under `blocks`: the block exists and
+/// the job fits its processor and (resident, unpaged) memory limits.
+/// Shared by the batch scheduler below and the live [`crate::admission`]
+/// gate the `sxd` daemon admits through.
+pub(crate) fn validate_job(blocks: &[ResourceBlock], job: &JobSpec) -> Result<(), NqsError> {
+    let Some(block) = blocks.get(job.block) else {
+        return Err(NqsError::UnknownBlock {
+            job: job.name.clone(),
+            block: job.block,
+            blocks: blocks.len(),
+        });
+    };
+    if job.procs > block.procs {
+        return Err(NqsError::JobTooWide {
+            job: job.name.clone(),
+            needs: job.procs,
+            block: block.name.clone(),
+            has: block.procs,
+        });
+    }
+    if job.memory_bytes > block.memory_bytes {
+        return Err(NqsError::JobTooBig {
+            job: job.name.clone(),
+            needs: job.memory_bytes,
+            block: block.name.clone(),
+            has: block.memory_bytes,
+        });
+    }
+    Ok(())
+}
+
 /// The scheduler.
 #[derive(Debug)]
 pub struct Nqs<'a> {
@@ -134,29 +165,7 @@ impl<'a> Nqs<'a> {
     pub fn run(&self, jobs: &[JobSpec]) -> Result<Schedule, NqsError> {
         let n = jobs.len();
         for j in jobs {
-            let Some(block) = self.blocks.get(j.block) else {
-                return Err(NqsError::UnknownBlock {
-                    job: j.name.clone(),
-                    block: j.block,
-                    blocks: self.blocks.len(),
-                });
-            };
-            if j.procs > block.procs {
-                return Err(NqsError::JobTooWide {
-                    job: j.name.clone(),
-                    needs: j.procs,
-                    block: block.name.clone(),
-                    has: block.procs,
-                });
-            }
-            if j.memory_bytes > block.memory_bytes {
-                return Err(NqsError::JobTooBig {
-                    job: j.name.clone(),
-                    needs: j.memory_bytes,
-                    block: block.name.clone(),
-                    has: block.memory_bytes,
-                });
-            }
+            validate_job(&self.blocks, j)?;
         }
         let mut remaining: Vec<f64> = jobs.iter().map(|j| j.solo_seconds).collect();
         let mut records = vec![JobRecord { start_s: f64::NAN, end_s: f64::NAN }; n];

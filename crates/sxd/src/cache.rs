@@ -1,0 +1,135 @@
+//! Content-addressed result cache with LRU eviction.
+//!
+//! Keys come from [`crate::proto::cache_key`]; values are the serialized
+//! result payloads, stored verbatim so that a hit replays the exact bytes
+//! of the run that populated it (the determinism tests rely on this).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Bounded map from run identity to its serialized result.
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    map: HashMap<u64, String>,
+    /// Keys from least- to most-recently used. Each live key appears once.
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` results (`cap == 0` disables caching
+    /// but still counts misses).
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache { cap, map: HashMap::new(), order: VecDeque::new(), hits: 0, misses: 0 }
+    }
+
+    /// Look up a result, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        match self.map.get(&key) {
+            Some(v) => {
+                self.hits += 1;
+                let v = v.clone();
+                self.touch(key);
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a result, evicting the least-recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: u64, value: String) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(key, value).is_some() {
+            self.touch(key);
+            return;
+        }
+        self.order.push_back(key);
+        while self.map.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting_and_verbatim_replay() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(1), None);
+        c.insert(1, "{\"x\":1}".into());
+        assert_eq!(c.get(1).as_deref(), Some("{\"x\":1}"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        assert!(c.get(1).is_some()); // 1 is now MRU; 2 is LRU
+        c.insert(3, "c".into());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "LRU entry evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(1, "a2".into());
+        c.insert(2, "b".into());
+        c.insert(3, "c".into());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_none(), "oldest distinct key evicted exactly once");
+        assert_eq!(c.get(3).as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, "a".into());
+        assert!(c.get(1).is_none());
+        assert_eq!(c.misses(), 1);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Client side of the protocol: one-request/one-reply over a persistent
+//! connection, plus the `flood` load generator used by the acceptance
+//! gate (`ncar-bench flood --clients 8 --jobs 64`).
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+use ncar_suite::Json;
+
+use crate::error::SxdError;
+use crate::proto::{read_frame, Request, MAX_REPLY_FRAME};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A successful submit, decoded.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    pub cached: bool,
+    /// Content address of the run, as the server printed it (16 hex digits).
+    pub key: String,
+    /// The result object. Its `to_string()` reproduces the server's bytes
+    /// (both sides share the same deterministic JSON printer).
+    pub result: Json,
+    /// The raw reply line, for byte-level comparisons.
+    pub raw: String,
+}
+
+impl Client {
+    pub fn connect(addr: &str) -> Result<Client, SxdError> {
+        let writer = TcpStream::connect(addr).map_err(SxdError::io)?;
+        let reader = BufReader::new(writer.try_clone().map_err(SxdError::io)?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Send one raw line and return the raw reply line. The building block
+    /// for everything else, and what the CI smoke test uses to throw
+    /// malformed frames at the daemon.
+    pub fn raw(&mut self, line: &str) -> Result<String, SxdError> {
+        writeln!(self.writer, "{line}").map_err(SxdError::io)?;
+        read_frame(&mut self.reader, MAX_REPLY_FRAME)?
+            .ok_or_else(|| SxdError::Io { detail: "server closed the connection".into() })
+    }
+
+    /// Send a line, parse the reply, surface `ok:false` as a typed error.
+    fn roundtrip(&mut self, line: &str) -> Result<(Json, String), SxdError> {
+        let raw = self.raw(line)?;
+        let doc =
+            Json::parse(&raw).map_err(|e| SxdError::BadJson { detail: format!("reply: {e}") })?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok((doc, raw)),
+            Some(false) => {
+                let err = doc.get("error").cloned().unwrap_or(Json::Null);
+                Err(SxdError::Remote {
+                    kind: err.get("kind").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+                    detail: err.get("detail").and_then(Json::as_str).unwrap_or("").to_string(),
+                })
+            }
+            None => Err(SxdError::BadJson { detail: "reply lacks a boolean \"ok\"".into() }),
+        }
+    }
+
+    pub fn submit(
+        &mut self,
+        suite: &str,
+        machine: &str,
+        params: &BTreeMap<String, String>,
+    ) -> Result<Submission, SxdError> {
+        let req = Request::Submit {
+            suite: suite.to_string(),
+            machine: machine.to_string(),
+            params: params.clone(),
+        };
+        let (doc, raw) = self.roundtrip(&req.to_line())?;
+        let cached = doc
+            .get("cached")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| SxdError::BadJson { detail: "submit reply lacks \"cached\"".into() })?;
+        let key = doc
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SxdError::BadJson { detail: "submit reply lacks \"key\"".into() })?
+            .to_string();
+        let result = doc
+            .get("result")
+            .cloned()
+            .ok_or_else(|| SxdError::BadJson { detail: "submit reply lacks \"result\"".into() })?;
+        Ok(Submission { cached, key, result, raw })
+    }
+
+    /// Fetch the daemon's counters as a JSON object (the `stats` member).
+    pub fn stats(&mut self) -> Result<Json, SxdError> {
+        let (doc, _) = self.roundtrip(&Request::Stats.to_line())?;
+        doc.get("stats")
+            .cloned()
+            .ok_or_else(|| SxdError::BadJson { detail: "stats reply lacks \"stats\"".into() })
+    }
+
+    /// Ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), SxdError> {
+        self.roundtrip(&Request::Shutdown.to_line()).map(|_| ())
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct FloodConfig {
+    pub addr: String,
+    pub clients: usize,
+    pub jobs: usize,
+    /// Suites cycled through round-robin; repeats are what exercises the
+    /// cache (Table 6's ensemble regime: many copies of the same code).
+    pub suites: Vec<String>,
+    pub machine: String,
+}
+
+/// What the flood observed, checked against the acceptance criteria.
+#[derive(Debug, Clone)]
+pub struct FloodOutcome {
+    pub submitted: usize,
+    pub completed: usize,
+    pub cached_replies: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub accepted: u64,
+    pub done: u64,
+    pub rejected: u64,
+    pub queued: u64,
+    pub running: u64,
+    /// Empty when every acceptance criterion held.
+    pub problems: Vec<String>,
+}
+
+impl FloodOutcome {
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// Hammer the daemon: `clients` concurrent connections submitting `jobs`
+/// jobs round-robin, then reconcile the STATS counters. Fails (via
+/// `problems`) on any dropped job, a zero cache hit-rate, or counters
+/// that do not satisfy `accepted == done + rejected + queued + running`.
+pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
+    let suites =
+        if config.suites.is_empty() { vec!["toy".to_string()] } else { config.suites.clone() };
+    let clients = config.clients.max(1);
+    let per_client: Vec<Vec<String>> = (0..clients)
+        .map(|c| {
+            (0..config.jobs)
+                .filter(|j| j % clients == c)
+                .map(|j| suites[j % suites.len()].clone())
+                .collect()
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for assigned in per_client {
+        let addr = config.addr.clone();
+        let machine = config.machine.clone();
+        handles.push(std::thread::spawn(move || -> Result<(usize, usize), SxdError> {
+            let mut client = Client::connect(&addr)?;
+            let params = BTreeMap::new();
+            let mut completed = 0;
+            let mut cached = 0;
+            for suite in &assigned {
+                let sub = client.submit(suite, &machine, &params)?;
+                completed += 1;
+                if sub.cached {
+                    cached += 1;
+                }
+            }
+            Ok((completed, cached))
+        }));
+    }
+
+    let mut completed = 0;
+    let mut cached_replies = 0;
+    let mut problems = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok((c, hit))) => {
+                completed += c;
+                cached_replies += hit;
+            }
+            Ok(Err(e)) => problems.push(format!("client failed: {e}")),
+            Err(_) => problems.push("client thread panicked".into()),
+        }
+    }
+    if completed != config.jobs {
+        problems.push(format!("dropped jobs: {completed}/{} completed", config.jobs));
+    }
+
+    let stats = Client::connect(&config.addr)?.stats()?;
+    let n = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let cache = stats.get("cache").cloned().unwrap_or(Json::Null);
+    let cn = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let outcome = FloodOutcome {
+        submitted: config.jobs,
+        completed,
+        cached_replies,
+        cache_hits: cn("hits"),
+        cache_misses: cn("misses"),
+        accepted: n("accepted"),
+        done: n("done"),
+        rejected: n("rejected"),
+        queued: n("queued"),
+        running: n("running"),
+        problems,
+    };
+    let mut outcome = outcome;
+    if outcome.cache_hits == 0 && config.jobs > suites.len() {
+        outcome.problems.push("cache hit-rate is zero despite repeated configs".into());
+    }
+    let recon = outcome.done + outcome.rejected + outcome.queued + outcome.running;
+    if outcome.accepted != recon {
+        outcome.problems.push(format!(
+            "counters do not reconcile: accepted={} but done+rejected+queued+running={recon}",
+            outcome.accepted
+        ));
+    }
+    Ok(outcome)
+}

@@ -1,0 +1,34 @@
+//! # sxd — the benchmark-serving daemon
+//!
+//! The paper's SX-4 was not a workstation: it was a shared, batch-
+//! scheduled machine front-ended by NQS (paper §2.6.3), taking jobs from
+//! many users and multiplexing them onto Resource Blocks of a real-memory
+//! node. This crate reproduces that *service* shape around the simulated
+//! suite: a long-running daemon accepting benchmark jobs over a newline-
+//! delimited-JSON TCP protocol, admitting them through the same Resource-
+//! Block gate as [`superux::Admission`], executing them on a bounded
+//! worker pool, and answering repeats from a content-addressed result
+//! cache.
+//!
+//! - [`proto`] — frame reading with a hard cap, fallible request parsing,
+//!   the FNV-1a cache key over (code version, suite, machine model bytes,
+//!   parameter set);
+//! - [`cache`] — the LRU result cache with hit/miss accounting;
+//! - [`server`] — the daemon: accept loop, admission wait, contention-
+//!   stretched simulated seconds, always-consistent counters;
+//! - [`client`] — typed client, plus the `flood` load generator that
+//!   reproduces the ensemble regime of Table 6 over live connections;
+//! - [`error`] — [`SxdError`]: every failure as a value; the serving path
+//!   never panics on client input.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::{flood, Client, FloodConfig, FloodOutcome, Submission};
+pub use error::SxdError;
+pub use proto::{cache_key, read_frame, Request, CODE_VERSION, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};
+pub use server::{Counters, Demand, JobEntry, RunFn, Server, ServerConfig};

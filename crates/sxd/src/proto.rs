@@ -1,0 +1,292 @@
+//! The `sxd` wire protocol: newline-delimited JSON over TCP, plus the
+//! content-address of a run.
+//!
+//! ## Grammar
+//!
+//! One request per line, one reply line per request, UTF-8, `\n`
+//! terminated. Requests larger than [`MAX_REQUEST_FRAME`] bytes are
+//! rejected with a typed `frame_too_long` error (the connection then
+//! closes — there is no way to resync inside an oversized frame).
+//!
+//! ```text
+//! request  = submit | stats | shutdown
+//! submit   = {"op":"submit","suite":S,"machine":M?,"params":{K:V,...}?}
+//! stats    = {"op":"stats"}
+//! shutdown = {"op":"shutdown"}
+//! reply    = {"ok":true,...} | {"ok":false,"error":{"kind":K,"detail":D}}
+//! ```
+//!
+//! `machine` defaults to `"sx4-9.2"` (the February-1996 benchmarked
+//! system); `params` values may be strings, numbers or booleans and are
+//! canonicalized to strings.
+//!
+//! ## Cache key
+//!
+//! A run's identity is the FNV-1a/64 digest of a canonical
+//! [`WireWriter`] record: `CODE_VERSION`, the lowercased suite name, the
+//! machine preset's [`canonical_bytes`](sxsim::MachineModel::canonical_bytes)
+//! (every model field, IEEE bit patterns — not the preset's *name*, so two
+//! aliases of one machine hit the same entry), and the parameter set in
+//! sorted key order. Identical submissions are served from the result
+//! cache without re-simulation.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+use ncar_suite::report::json_f64;
+use ncar_suite::{fnv64, Json, WireWriter};
+use sxsim::MachineModel;
+
+use crate::error::SxdError;
+
+/// Cap on one request line, newline included.
+pub const MAX_REQUEST_FRAME: usize = 64 * 1024;
+
+/// Cap on one reply line (replies embed whole rendered reports).
+pub const MAX_REPLY_FRAME: usize = 16 * 1024 * 1024;
+
+/// Version stamp mixed into every cache key. Bump when runner semantics
+/// change so stale cached reports can never be served for new code.
+pub const CODE_VERSION: u32 = 1;
+
+/// Machine preset assumed when a submit names none.
+pub const DEFAULT_MACHINE: &str = "sx4-9.2";
+
+/// Read one `\n`-terminated frame of at most `max` bytes. `Ok(None)` is a
+/// clean EOF. Never blocks past the newline, never allocates past the cap,
+/// never panics: an oversized frame is a typed error.
+pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, SxdError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let n = std::io::Read::take(r.by_ref(), max as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(SxdError::io)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    } else if buf.len() > max {
+        return Err(SxdError::FrameTooLong { len: buf.len(), max });
+    }
+    // else: EOF without a trailing newline — accept the final frame.
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| SxdError::BadJson { detail: "frame is not valid UTF-8".into() })
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Submit { suite: String, machine: String, params: BTreeMap<String, String> },
+    Stats,
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one frame. Every malformation is a typed error — garbage,
+    /// truncated JSON, wrong field types — never a panic.
+    pub fn parse(frame: &str) -> Result<Request, SxdError> {
+        let doc = Json::parse(frame).map_err(|e| SxdError::BadJson { detail: e.to_string() })?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_request("request must be an object with a string \"op\""))?;
+        match op {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "submit" => {
+                let suite = doc
+                    .get("suite")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad_request("submit needs a string \"suite\""))?
+                    .to_string();
+                let machine = match doc.get("machine") {
+                    None | Some(Json::Null) => DEFAULT_MACHINE.to_string(),
+                    Some(Json::Str(m)) => m.clone(),
+                    Some(_) => return Err(bad_request("\"machine\" must be a string")),
+                };
+                let mut params = BTreeMap::new();
+                match doc.get("params") {
+                    None | Some(Json::Null) => {}
+                    Some(Json::Obj(members)) => {
+                        for (k, v) in members {
+                            let v = match v {
+                                Json::Str(s) => s.clone(),
+                                Json::Num(x) => json_f64(*x),
+                                Json::Bool(b) => b.to_string(),
+                                _ => {
+                                    return Err(bad_request(
+                                        "param values must be strings, numbers or booleans",
+                                    ))
+                                }
+                            };
+                            params.insert(k.clone(), v);
+                        }
+                    }
+                    Some(_) => return Err(bad_request("\"params\" must be an object")),
+                }
+                Ok(Request::Submit { suite, machine, params })
+            }
+            _ => Err(bad_request("op must be one of submit/stats/shutdown")),
+        }
+    }
+
+    /// Serialize to the one-line form [`Request::parse`] reads back.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Stats => "{\"op\":\"stats\"}".into(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
+            Request::Submit { suite, machine, params } => {
+                let members = vec![
+                    ("op".to_string(), Json::Str("submit".into())),
+                    ("suite".to_string(), Json::Str(suite.clone())),
+                    ("machine".to_string(), Json::Str(machine.clone())),
+                    (
+                        "params".to_string(),
+                        Json::Obj(
+                            params.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
+                        ),
+                    ),
+                ];
+                Json::Obj(members).to_string()
+            }
+        }
+    }
+}
+
+fn bad_request(detail: &str) -> SxdError {
+    SxdError::BadRequest { detail: detail.into() }
+}
+
+/// The content address of a run configuration (see module docs).
+pub fn cache_key(suite: &str, machine: &MachineModel, params: &BTreeMap<String, String>) -> u64 {
+    let mut w = WireWriter::with_capacity(512);
+    w.put_u32(CODE_VERSION);
+    w.put_str(&suite.to_ascii_lowercase());
+    let mb = machine.canonical_bytes();
+    w.put_u32(mb.len() as u32);
+    w.put_bytes(&mb);
+    w.put_u32(params.len() as u32);
+    for (k, v) in params {
+        w.put_str(k);
+        w.put_str(v);
+    }
+    fnv64(&w.into_vec())
+}
+
+/// The successful submit reply line. `payload` is the cached/fresh result
+/// object, spliced verbatim so cache hits are byte-identical to the run
+/// that populated them.
+pub fn submit_reply(cached: bool, key: u64, payload: &str) -> String {
+    format!("{{\"ok\":true,\"cached\":{cached},\"key\":\"{key:016x}\",\"result\":{payload}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncar_suite::SmallRng;
+    use sxsim::presets;
+
+    #[test]
+    fn requests_roundtrip_through_to_line() {
+        let mut params = BTreeMap::new();
+        params.insert("procs".into(), "16".into());
+        params.insert("note".into(), "quote \" and \\".into());
+        for req in [
+            Request::Stats,
+            Request::Shutdown,
+            Request::Submit { suite: "fig5".into(), machine: "sx4-9.2".into(), params },
+        ] {
+            assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn submit_defaults_and_type_coercion() {
+        let r = Request::parse(r#"{"op":"submit","suite":"radabs","params":{"n":3,"deep":true}}"#)
+            .unwrap();
+        let Request::Submit { suite, machine, params } = r else { panic!("not a submit") };
+        assert_eq!(suite, "radabs");
+        assert_eq!(machine, DEFAULT_MACHINE);
+        assert_eq!(params.get("n").map(String::as_str), Some("3.0"));
+        assert_eq!(params.get("deep").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for (frame, kind) in [
+            ("this is not json", "bad_json"),
+            ("{\"op\":\"submit\"}", "bad_request"), // no suite
+            ("{\"op\":\"launch\"}", "bad_request"), // unknown op
+            ("{\"suite\":\"fig5\"}", "bad_request"), // no op
+            ("[1,2,3]", "bad_request"),             // not an object
+            ("{\"op\":\"submit\",\"suite\":7}", "bad_request"),
+            ("{\"op\":\"submit\",\"suite\":\"x\",\"params\":[1]}", "bad_request"),
+            ("{\"op\":\"submit\",\"suite\":\"x\",\"params\":{\"k\":[]}}", "bad_request"),
+            ("{\"op\":\"submit\",\"suite\":\"x\",\"machine\":5}", "bad_request"),
+            ("{\"op\":", "bad_json"),
+        ] {
+            let err = Request::parse(frame).unwrap_err();
+            assert_eq!(err.kind(), kind, "frame {frame:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn fuzzish_random_frames_never_panic() {
+        let mut rng = SmallRng::seed_from_u64(0x7379_6421);
+        let alphabet: Vec<char> = "{}[]\",:opsubmitstae0123456789\\nul ".chars().collect();
+        for _ in 0..2000 {
+            let len = rng.next_below(120);
+            let s: String = (0..len).map(|_| alphabet[rng.next_below(alphabet.len())]).collect();
+            let _ = Request::parse(&s);
+        }
+    }
+
+    #[test]
+    fn read_frame_caps_oversized_lines_and_handles_eof() {
+        // In-cap frame passes.
+        let mut ok = std::io::Cursor::new(b"{\"op\":\"stats\"}\nrest".to_vec());
+        assert_eq!(read_frame(&mut ok, 64).unwrap().unwrap(), "{\"op\":\"stats\"}");
+        // Oversized frame (no newline within cap) is a typed error.
+        let big = vec![b'x'; 200];
+        let mut r = std::io::Cursor::new(big);
+        let err = read_frame(&mut r, 64).unwrap_err();
+        assert!(matches!(err, SxdError::FrameTooLong { max: 64, .. }), "{err}");
+        // Clean EOF is None; final unterminated frame within cap is kept.
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut empty, 64).unwrap(), None);
+        let mut tail = std::io::Cursor::new(b"{\"op\":\"stats\"}".to_vec());
+        assert_eq!(read_frame(&mut tail, 64).unwrap().unwrap(), "{\"op\":\"stats\"}");
+        // Exactly max bytes plus the newline still fits.
+        let mut edge = std::io::Cursor::new([vec![b'y'; 64], vec![b'\n']].concat());
+        assert_eq!(read_frame(&mut edge, 64).unwrap().unwrap(), "y".repeat(64));
+        // CRLF is tolerated.
+        let mut crlf = std::io::Cursor::new(b"{\"op\":\"stats\"}\r\n".to_vec());
+        assert_eq!(read_frame(&mut crlf, 64).unwrap().unwrap(), "{\"op\":\"stats\"}");
+        // Non-UTF-8 is a typed error, not a panic.
+        let mut bad = std::io::Cursor::new(vec![0xff, 0xfe, b'\n']);
+        assert!(matches!(read_frame(&mut bad, 64), Err(SxdError::BadJson { .. })));
+    }
+
+    #[test]
+    fn cache_key_separates_every_identity_component() {
+        let sx = presets::sx4_benchmarked();
+        let prod = presets::sx4_production();
+        let none = BTreeMap::new();
+        let mut p1 = BTreeMap::new();
+        p1.insert("n".to_string(), "8".to_string());
+        let base = cache_key("fig5", &sx, &none);
+        assert_eq!(base, cache_key("FIG5", &sx, &none), "suite name is case-folded");
+        assert_ne!(base, cache_key("fig6", &sx, &none));
+        assert_ne!(base, cache_key("fig5", &prod, &none));
+        assert_ne!(base, cache_key("fig5", &sx, &p1));
+        let mut p2 = BTreeMap::new();
+        p2.insert("n".to_string(), "9".to_string());
+        assert_ne!(cache_key("fig5", &sx, &p1), cache_key("fig5", &sx, &p2));
+        // Aliases of the same preset share an identity.
+        assert_eq!(base, cache_key("fig5", &presets::by_name("SX4").unwrap(), &none));
+    }
+}

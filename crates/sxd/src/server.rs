@@ -1,0 +1,519 @@
+//! The daemon: a TCP accept loop feeding an NQS-admitted, pool-bounded,
+//! cache-fronted job executor.
+//!
+//! Jobs are admitted through the same Resource-Block gate NQS applies on
+//! the real machine (paper §2.6.3): a submit that cannot fit its block is
+//! *rejected* with a typed error, one that could fit but finds the node
+//! busy *waits*, and admitted jobs run with their simulated time stretched
+//! by the memory-contention model of Table 6. Every state transition
+//! updates the [`Counters`] inside a single critical section, so the
+//! invariant `accepted == done + rejected + queued + running` holds at
+//! every instant, not just at quiescence.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ncar_suite::report::{json_escape, json_f64};
+use ncar_suite::{Artifact, Json, Registry, WorkerPool};
+use superux::{Admission, JobSpec};
+use sxsim::{presets, MachineModel};
+
+use crate::cache::ResultCache;
+use crate::error::SxdError;
+use crate::proto::{cache_key, read_frame, submit_reply, Request, MAX_REQUEST_FRAME};
+
+/// What one job asks of the node, in NQS Resource-Block terms.
+#[derive(Debug, Clone, Copy)]
+pub struct Demand {
+    pub procs: usize,
+    pub memory_bytes: u64,
+    /// Simulated wall seconds the job takes when it has the node alone.
+    pub solo_seconds: f64,
+    /// Memory traffic per processor, for the contention stretch model.
+    pub bytes_per_cycle_per_proc: f64,
+}
+
+impl Demand {
+    /// A light single-processor job (kernels, accuracy checks).
+    pub fn light(solo_seconds: f64) -> Demand {
+        Demand { procs: 1, memory_bytes: 256 << 20, solo_seconds, bytes_per_cycle_per_proc: 8.0 }
+    }
+}
+
+/// How a runner produces a result: pure function of the requested machine
+/// and the canonicalized parameters. Determinism here is what makes the
+/// result cache sound.
+pub type RunFn = Arc<
+    dyn Fn(&MachineModel, &BTreeMap<String, String>) -> Result<Vec<Artifact>, String> + Send + Sync,
+>;
+
+/// A runnable suite as the daemon sees it.
+#[derive(Clone)]
+pub struct JobEntry {
+    pub demand: Demand,
+    pub description: String,
+    pub runner: RunFn,
+}
+
+impl JobEntry {
+    pub fn new(
+        demand: Demand,
+        description: impl Into<String>,
+        runner: impl Fn(&MachineModel, &BTreeMap<String, String>) -> Result<Vec<Artifact>, String>
+            + Send
+            + Sync
+            + 'static,
+    ) -> JobEntry {
+        JobEntry { demand, description: description.into(), runner: Arc::new(runner) }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads actually executing simulations.
+    pub workers: usize,
+    /// Result-cache capacity in entries.
+    pub cache_cap: usize,
+    /// The machine whose node the admission gate models.
+    pub machine: MachineModel,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_cap: 256,
+            machine: presets::sx4_benchmarked(),
+        }
+    }
+}
+
+/// Job counters. All transitions happen under one lock (see module docs).
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    pub accepted: u64,
+    pub rejected: u64,
+    pub queued: u64,
+    pub running: u64,
+    pub done: u64,
+    /// Frames that never became jobs (garbage, unknown suite/machine).
+    pub bad_requests: u64,
+    /// Simulated seconds per suite, contention stretch included.
+    pub suite_seconds: BTreeMap<String, f64>,
+}
+
+struct Daemon {
+    registry: Registry<JobEntry>,
+    addr: SocketAddr,
+    workers: usize,
+    admission: Mutex<Admission>,
+    admit_cv: Condvar,
+    cache: Mutex<ResultCache>,
+    counters: Mutex<Counters>,
+    pool: WorkerPool,
+    shutting_down: AtomicBool,
+    seq: AtomicU64,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] blocks until a client
+/// sends `shutdown` and the queue drains.
+pub struct Server {
+    listener: TcpListener,
+    daemon: Arc<Daemon>,
+}
+
+impl Server {
+    /// Bind the listener and stand up the shared state.
+    pub fn bind(registry: Registry<JobEntry>, config: ServerConfig) -> Result<Server, SxdError> {
+        let listener = TcpListener::bind(&config.addr).map_err(SxdError::io)?;
+        let addr = listener.local_addr().map_err(SxdError::io)?;
+        let daemon = Arc::new(Daemon {
+            registry,
+            addr,
+            workers: config.workers.max(1),
+            admission: Mutex::new(Admission::whole_node(config.machine)),
+            admit_cv: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_cap)),
+            counters: Mutex::new(Counters::default()),
+            pool: WorkerPool::new(config.workers.max(1)),
+            shutting_down: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        Ok(Server { listener, daemon })
+    }
+
+    /// Where the daemon is actually listening (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.daemon.addr
+    }
+
+    /// Accept connections until shutdown, then drain and return.
+    pub fn run(self) -> Result<(), SxdError> {
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.daemon.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let id = self.daemon.seq.fetch_add(1, Ordering::SeqCst);
+            if let Ok(track) = stream.try_clone() {
+                self.daemon.conns.lock().unwrap().push((id, track));
+            }
+            let d = Arc::clone(&self.daemon);
+            handles.push(std::thread::spawn(move || handle_conn(&d, stream, id)));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        // Dropping the daemon drops the worker pool, which drains any
+        // still-queued jobs before its threads exit.
+        Ok(())
+    }
+}
+
+fn handle_conn(d: &Daemon, stream: TcpStream, id: u64) {
+    let mut writer = stream;
+    let mut reader = match writer.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => {
+            d.untrack(id);
+            return;
+        }
+    };
+    loop {
+        match read_frame(&mut reader, MAX_REQUEST_FRAME) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                let reply = d.handle_frame(&frame);
+                if writeln!(writer, "{reply}").is_err() {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Framing is lost (oversized or non-UTF-8 line): reply
+                // with the typed error, then close the connection.
+                let _ = writeln!(writer, "{}", e.to_reply());
+                break;
+            }
+        }
+    }
+    d.untrack(id);
+}
+
+impl Daemon {
+    fn handle_frame(&self, frame: &str) -> String {
+        match Request::parse(frame) {
+            Err(e) => {
+                self.counters.lock().unwrap().bad_requests += 1;
+                e.to_reply()
+            }
+            Ok(Request::Stats) => self.stats_reply(),
+            Ok(Request::Shutdown) => {
+                self.initiate_shutdown();
+                "{\"ok\":true,\"shutting_down\":true}".into()
+            }
+            Ok(Request::Submit { suite, machine, params }) => {
+                match self.handle_submit(&suite, &machine, &params) {
+                    Ok(reply) => reply,
+                    Err(e) => e.to_reply(),
+                }
+            }
+        }
+    }
+
+    fn handle_submit(
+        &self,
+        suite: &str,
+        machine: &str,
+        params: &BTreeMap<String, String>,
+    ) -> Result<String, SxdError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(SxdError::ShuttingDown);
+        }
+        let entry = match self.registry.get(suite) {
+            Some(e) => e,
+            None => {
+                self.counters.lock().unwrap().bad_requests += 1;
+                return Err(SxdError::UnknownSuite { suite: suite.into() });
+            }
+        };
+        let model = match presets::by_name(machine) {
+            Some(m) => m,
+            None => {
+                self.counters.lock().unwrap().bad_requests += 1;
+                return Err(SxdError::UnknownMachine { machine: machine.into() });
+            }
+        };
+        let key = cache_key(suite, &model, params);
+
+        {
+            let mut c = self.counters.lock().unwrap();
+            c.accepted += 1;
+            c.queued += 1;
+        }
+        if let Some(payload) = self.cache.lock().unwrap().get(key) {
+            let mut c = self.counters.lock().unwrap();
+            c.queued -= 1;
+            c.done += 1;
+            return Ok(submit_reply(true, key, &payload));
+        }
+
+        let job = JobSpec {
+            name: format!("sxd-{}", self.seq.fetch_add(1, Ordering::SeqCst)),
+            procs: entry.demand.procs,
+            memory_bytes: entry.demand.memory_bytes,
+            solo_seconds: entry.demand.solo_seconds,
+            bytes_per_cycle_per_proc: entry.demand.bytes_per_cycle_per_proc,
+            block: 0,
+            after: Vec::new(),
+        };
+        let stretch = {
+            let mut adm = self.admission.lock().unwrap();
+            loop {
+                match adm.try_admit(&job) {
+                    Err(e) => {
+                        let mut c = self.counters.lock().unwrap();
+                        c.queued -= 1;
+                        c.rejected += 1;
+                        return Err(SxdError::Rejected { detail: e.to_string() });
+                    }
+                    Ok(true) => break adm.stretch(),
+                    Ok(false) => adm = self.admit_cv.wait(adm).unwrap(),
+                }
+            }
+        };
+        {
+            let mut c = self.counters.lock().unwrap();
+            c.queued -= 1;
+            c.running += 1;
+        }
+
+        let runner = entry.runner.clone();
+        let run_params = params.clone();
+        let run_model = model.clone();
+        let outcome = self.pool.run(move || {
+            catch_unwind(AssertUnwindSafe(|| runner(&run_model, &run_params)))
+                .unwrap_or_else(|_| Err("runner panicked".into()))
+        });
+
+        self.admission.lock().unwrap().release(&job.name);
+        self.admit_cv.notify_all();
+
+        match outcome {
+            Err(detail) => {
+                let mut c = self.counters.lock().unwrap();
+                c.running -= 1;
+                c.rejected += 1;
+                Err(SxdError::RunFailed { detail })
+            }
+            Ok(artifacts) => {
+                let sim_seconds = entry.demand.solo_seconds * stretch;
+                {
+                    let mut c = self.counters.lock().unwrap();
+                    c.running -= 1;
+                    c.done += 1;
+                    *c.suite_seconds.entry(suite.to_ascii_lowercase()).or_insert(0.0) +=
+                        sim_seconds;
+                }
+                let payload =
+                    render_payload(suite, machine, params, sim_seconds, stretch, &artifacts);
+                self.cache.lock().unwrap().insert(key, payload.clone());
+                Ok(submit_reply(false, key, &payload))
+            }
+        }
+    }
+
+    fn stats_reply(&self) -> String {
+        let (hits, misses, entries, cap) = {
+            let c = self.cache.lock().unwrap();
+            (c.hits(), c.misses(), c.len(), c.cap())
+        };
+        let snap = self.counters.lock().unwrap().clone();
+        let suite_seconds =
+            Json::Obj(snap.suite_seconds.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect());
+        format!(
+            "{{\"ok\":true,\"stats\":{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
+             \"running\":{},\"done\":{},\"bad_requests\":{},\"queue_depth\":{},\
+             \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"entries\":{entries},\
+             \"cap\":{cap}}},\"suite_seconds\":{},\"workers\":{},\"shutting_down\":{}}}}}",
+            snap.accepted,
+            snap.rejected,
+            snap.queued,
+            snap.running,
+            snap.done,
+            snap.bad_requests,
+            snap.queued,
+            suite_seconds,
+            self.workers,
+            self.shutting_down.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Flip the drain flag, unblock every parked reader, poke the accept
+    /// loop. Idempotent.
+    fn initiate_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Half-close tracked connections: blocked reads return EOF while
+        // replies still in flight can be written out.
+        for (_, s) in self.conns.lock().unwrap().iter() {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        // Unblock the accept loop so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn untrack(&self, id: u64) {
+        let mut conns = self.conns.lock().unwrap();
+        if let Some(pos) = conns.iter().position(|(i, _)| *i == id) {
+            conns.remove(pos);
+        }
+    }
+}
+
+/// Serialize one run result. Deterministic: key order is fixed, floats use
+/// the shortest round-trip form, artifacts serialize themselves. Cache
+/// hits replay these exact bytes.
+fn render_payload(
+    suite: &str,
+    machine: &str,
+    params: &BTreeMap<String, String>,
+    sim_seconds: f64,
+    stretch: f64,
+    artifacts: &[Artifact],
+) -> String {
+    let params_json =
+        Json::Obj(params.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
+            .to_string();
+    let arts: Vec<String> = artifacts.iter().map(Artifact::to_json).collect();
+    let rendered: String = artifacts.iter().map(Artifact::render).collect();
+    format!(
+        "{{\"suite\":\"{}\",\"machine\":\"{}\",\"params\":{},\"sim_seconds\":{},\
+         \"stretch\":{},\"artifacts\":[{}],\"rendered\":\"{}\"}}",
+        json_escape(suite),
+        json_escape(machine),
+        params_json,
+        json_f64(sim_seconds),
+        json_f64(stretch),
+        arts.join(","),
+        json_escape(&rendered)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_registry() -> Registry<JobEntry> {
+        let mut r = Registry::new();
+        r.register(
+            "toy",
+            JobEntry::new(Demand::light(2.0), "toy scalar", |_m, p| {
+                let n = p.get("n").map(String::as_str).unwrap_or("1");
+                Ok(vec![Artifact::Scalar {
+                    title: format!("toy n={n}"),
+                    value: 42.0,
+                    unit: "mflops".into(),
+                }])
+            }),
+        );
+        r
+    }
+
+    #[test]
+    fn payload_is_deterministic_for_equal_inputs() {
+        let mut p = BTreeMap::new();
+        p.insert("n".to_string(), "4".to_string());
+        let a = vec![Artifact::Scalar { title: "t".into(), value: 1.5, unit: "u".into() }];
+        let one = render_payload("toy", "sx4-9.2", &p, 2.25, 1.125, &a);
+        let two = render_payload("toy", "sx4-9.2", &p, 2.25, 1.125, &a);
+        assert_eq!(one, two);
+        Json::parse(&one).expect("payload must be valid JSON");
+    }
+
+    #[test]
+    fn submit_path_counts_and_caches_without_tcp() {
+        let server = Server::bind(toy_registry(), ServerConfig::default()).unwrap();
+        let d = &server.daemon;
+        let params = BTreeMap::new();
+        let first = d.handle_submit("toy", "sx4", &params).unwrap();
+        let second = d.handle_submit("TOY", "sx4-9.2", &params).unwrap();
+        assert!(first.contains("\"cached\":false"));
+        assert!(second.contains("\"cached\":true"));
+        // Byte-identical modulo the cached flag.
+        assert_eq!(second, first.replace("\"cached\":false", "\"cached\":true"));
+        let c = d.counters.lock().unwrap();
+        assert_eq!((c.accepted, c.done, c.rejected, c.queued, c.running), (2, 2, 0, 0, 0));
+        assert!(*c.suite_seconds.get("toy").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_suite_and_machine_are_typed_not_accepted() {
+        let server = Server::bind(toy_registry(), ServerConfig::default()).unwrap();
+        let d = &server.daemon;
+        let params = BTreeMap::new();
+        let e1 = d.handle_submit("nope", "sx4", &params).unwrap_err();
+        assert_eq!(e1.kind(), "unknown_suite");
+        let e2 = d.handle_submit("toy", "cray-2", &params).unwrap_err();
+        assert_eq!(e2.kind(), "unknown_machine");
+        let c = d.counters.lock().unwrap();
+        assert_eq!(c.accepted, 0);
+        assert_eq!(c.bad_requests, 2);
+    }
+
+    #[test]
+    fn infeasible_demand_is_rejected_with_counters_reconciled() {
+        let mut r = toy_registry();
+        r.register(
+            "wide",
+            JobEntry::new(
+                Demand {
+                    procs: 4096,
+                    memory_bytes: 1 << 20,
+                    solo_seconds: 1.0,
+                    bytes_per_cycle_per_proc: 8.0,
+                },
+                "asks for more processors than the node has",
+                |_m, _p| Ok(vec![]),
+            ),
+        );
+        let server = Server::bind(r, ServerConfig::default()).unwrap();
+        let d = &server.daemon;
+        let err = d.handle_submit("wide", "sx4", &BTreeMap::new()).unwrap_err();
+        assert_eq!(err.kind(), "rejected");
+        let c = d.counters.lock().unwrap();
+        assert_eq!((c.accepted, c.rejected, c.done, c.queued, c.running), (1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn runner_panic_becomes_run_failed_not_a_crash() {
+        let mut r = Registry::new();
+        r.register(
+            "boom",
+            JobEntry::new(
+                Demand::light(1.0),
+                "always panics",
+                |_m, _p| -> Result<Vec<Artifact>, String> { panic!("kaboom") },
+            ),
+        );
+        let server = Server::bind(r, ServerConfig::default()).unwrap();
+        let err = server.daemon.handle_submit("boom", "sx4", &BTreeMap::new()).unwrap_err();
+        assert_eq!(err.kind(), "run_failed");
+        let c = server.daemon.counters.lock().unwrap();
+        assert_eq!((c.accepted, c.rejected, c.running), (1, 1, 0));
+    }
+}

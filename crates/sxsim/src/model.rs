@@ -255,6 +255,56 @@ impl MachineModel {
     pub fn is_vector(&self) -> bool {
         self.vector.is_some()
     }
+
+    /// A canonical, platform-independent byte encoding of the full model:
+    /// every field, in declaration order, big-endian. Two models encode
+    /// identically iff they would price identically, so content-addressed
+    /// caches (the `sxd` result cache) can hash run configurations that
+    /// include a machine. Floats encode as their IEEE-754 bit patterns —
+    /// no formatting, no rounding.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        let put_f64 = |out: &mut Vec<u8>, x: f64| out.extend_from_slice(&x.to_be_bytes());
+        let put_u64 = |out: &mut Vec<u8>, x: u64| out.extend_from_slice(&x.to_be_bytes());
+        put_u64(&mut out, self.name.len() as u64);
+        out.extend_from_slice(self.name.as_bytes());
+        put_f64(&mut out, self.clock_ns);
+        match &self.vector {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                put_u64(&mut out, v.reg_len as u64);
+                put_u64(&mut out, v.pipes_add as u64);
+                put_u64(&mut out, v.pipes_mul as u64);
+                put_f64(&mut out, v.div_results_per_cycle);
+                put_f64(&mut out, v.startup_cycles);
+                out.push(v.chaining as u8);
+                put_f64(&mut out, v.gather_elems_per_cycle);
+                put_f64(&mut out, v.scatter_elems_per_cycle);
+            }
+        }
+        put_f64(&mut out, self.scalar.issue_per_cycle);
+        put_f64(&mut out, self.scalar.flops_per_cycle);
+        put_u64(&mut out, self.scalar.dcache_bytes as u64);
+        put_u64(&mut out, self.scalar.line_bytes as u64);
+        put_f64(&mut out, self.scalar.miss_penalty_cycles);
+        put_f64(&mut out, self.scalar.branch_penalty_cycles);
+        put_f64(&mut out, self.memory.port_bytes_per_cycle);
+        put_u64(&mut out, self.memory.banks as u64);
+        put_f64(&mut out, self.memory.bank_busy_cycles);
+        put_u64(&mut out, self.memory.word_bytes as u64);
+        put_f64(&mut out, self.memory.nonunit_stride_factor);
+        for x in self.intrinsics.vector_cycles_per_elem {
+            put_f64(&mut out, x);
+        }
+        for x in self.intrinsics.scalar_cycles_per_call {
+            put_f64(&mut out, x);
+        }
+        put_u64(&mut out, self.procs as u64);
+        put_f64(&mut out, self.node_bytes_per_cycle);
+        put_f64(&mut out, self.barrier_cycles);
+        out
+    }
 }
 
 /// Greatest common divisor (used by the bank-conflict model).

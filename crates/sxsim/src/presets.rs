@@ -250,6 +250,26 @@ pub fn table1_machines() -> Vec<MachineModel> {
     vec![sparc20(), rs6000_590(), cri_j90(), cray_ymp()]
 }
 
+/// Canonical preset names accepted by [`by_name`], for listings and
+/// error messages.
+pub const PRESET_NAMES: [&str; 6] =
+    ["sx4-9.2", "sx4-8.0", "cray-ymp", "cri-j90", "sparc20", "rs6000-590"];
+
+/// Resolve a machine preset from a textual name (CLI flags, wire
+/// requests). Case-insensitive; common aliases accepted. Returns `None`
+/// for unknown names — serving layers must reject, not panic.
+pub fn by_name(name: &str) -> Option<MachineModel> {
+    match name.to_ascii_lowercase().as_str() {
+        "sx4" | "sx4-9.2" | "sx4-benchmarked" => Some(sx4_benchmarked()),
+        "sx4-8.0" | "sx4-production" => Some(sx4_production()),
+        "ymp" | "cray-ymp" | "cri-ymp" => Some(cray_ymp()),
+        "j90" | "cri-j90" => Some(cri_j90()),
+        "sparc20" | "sun-sparc20" => Some(sparc20()),
+        "rs6000" | "rs6000-590" | "ibm-rs6k-590" => Some(rs6000_590()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +321,29 @@ mod tests {
         let a = sx4(8.0);
         let b = sx4(9.2);
         assert!(a.peak_gflops_per_proc() > b.peak_gflops_per_proc());
+    }
+
+    #[test]
+    fn by_name_resolves_every_canonical_preset() {
+        for name in PRESET_NAMES {
+            assert!(by_name(name).is_some(), "unresolvable preset {name}");
+        }
+        assert_eq!(by_name("SX4").unwrap().clock_ns, 9.2);
+        assert_eq!(by_name("sx4-8.0").unwrap().clock_ns, 8.0);
+        assert!(by_name("cray-2").is_none());
+    }
+
+    #[test]
+    fn canonical_bytes_identify_models() {
+        // Same preset → same bytes; different clock or machine → different.
+        assert_eq!(sx4(9.2).canonical_bytes(), sx4_benchmarked().canonical_bytes());
+        assert_ne!(sx4(9.2).canonical_bytes(), sx4(8.0).canonical_bytes());
+        assert_ne!(cray_ymp().canonical_bytes(), cri_j90().canonical_bytes());
+        // Scalar machines (no vector unit) encode distinctly too.
+        assert_ne!(sparc20().canonical_bytes(), rs6000_590().canonical_bytes());
+        // A single parameter tweak must change the encoding.
+        let mut m = sx4_benchmarked();
+        m.memory.banks = 512;
+        assert_ne!(m.canonical_bytes(), sx4_benchmarked().canonical_bytes());
     }
 }
