@@ -59,6 +59,26 @@ case "$garbage" in
     '{"ok":false,"error":{"kind":"bad_json"'*) ;;
     *) echo "malformed frame must get a typed bad_json reply: $garbage" >&2; exit 1;;
 esac
+echo "==> sxd metrics smoke (flood, then METRICS must reconcile and show coalescing)"
+# fig5 is not in the result cache yet, so the flood's barrier-synchronized
+# first wave must be deduplicated by single-flight coalescing, not the cache.
+if ! "$bench" flood --addr "$addr" --clients 8 --jobs 64 --suite fig5; then
+    echo "flood failed its acceptance checks" >&2
+    exit 1
+fi
+metrics="$("$bench" metrics --addr "$addr" --json true)"
+case "$metrics" in
+    *'"reconciled":true'*) ;;
+    *) echo "METRICS snapshot must reconcile with STATS: $metrics" >&2; exit 1;;
+esac
+case "$metrics" in
+    *'"coalesced":0,'*) echo "flood of one config must coalesce submits: $metrics" >&2; exit 1;;
+    *'"coalesced":'*) ;;
+    *) echo "METRICS must report the coalesced counter: $metrics" >&2; exit 1;;
+esac
+# The human rendering carries the FTRACE-style analysis list.
+"$bench" metrics --addr "$addr" | grep -q 'FTRACE ANALYSIS LIST'
+
 "$bench" shutdown --addr "$addr" >/dev/null
 if ! wait "$serve_pid"; then
     echo "sxd did not exit 0 after graceful shutdown" >&2

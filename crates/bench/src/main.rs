@@ -63,6 +63,7 @@ fn main() {
             "serve" => Some(serve::cmd_serve(rest, &exps)),
             "submit" => Some(serve::cmd_submit(rest)),
             "stats" => Some(serve::cmd_stats(rest)),
+            "metrics" => Some(serve::cmd_metrics(rest)),
             "shutdown" => Some(serve::cmd_shutdown(rest)),
             "flood" => Some(serve::cmd_flood(rest)),
             "raw" => Some(serve::cmd_raw(rest)),
@@ -101,9 +102,13 @@ fn main() {
     if names.is_empty() || names.iter().any(|n| n.as_str() == "list") {
         eprintln!("usage: ncar-bench [--json] [--jobs N] <experiment>... | all | list\n");
         eprintln!("       ncar-bench check [--deny-warnings]   # run the sxcheck analyzer");
-        eprintln!("       ncar-bench serve [--addr A] [--workers N] [--cache-cap N]");
+        eprintln!(
+            "       ncar-bench serve [--addr A] [--workers N] [--cache-cap N] \
+             [--admit-timeout SECS]"
+        );
         eprintln!("       ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]...");
         eprintln!("       ncar-bench stats|shutdown|raw <line> [--addr A]");
+        eprintln!("       ncar-bench metrics [--addr A] [--json true] [--watch SECS]");
         eprintln!("       ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...");
         eprintln!("experiments:");
         for (name, desc, _) in &exps {

@@ -8,8 +8,10 @@
 //! simulated minutes, kernels are one-processor sprints.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-use ncar_suite::Registry;
+use ncar_suite::{Json, Registry};
+use sxsim::{render_analysis_list, FtraceRow};
 
 use crate::Experiment;
 use sxd::{flood, Client, Demand, FloodConfig, JobEntry, Server, ServerConfig};
@@ -97,6 +99,16 @@ impl Args {
         }
     }
 
+    fn get_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} wants seconds as a number, got {v:?}")),
+        }
+    }
+
     fn params(&self) -> BTreeMap<String, String> {
         let mut out = BTreeMap::new();
         for (k, v) in &self.flags {
@@ -120,7 +132,7 @@ fn fail(detail: &str) -> i32 {
     1
 }
 
-/// `ncar-bench serve [--addr A] [--workers N] [--cache-cap N]`
+/// `ncar-bench serve [--addr A] [--workers N] [--cache-cap N] [--admit-timeout SECS]`
 pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
     let args = match Args::parse(args) {
         Ok(a) => a,
@@ -135,6 +147,12 @@ pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
         Ok(n) => n,
         Err(e) => return fail(&e),
     };
+    match args.get_f64("admit-timeout") {
+        Ok(Some(secs)) if secs > 0.0 => config.admit_timeout = Duration::from_secs_f64(secs),
+        Ok(Some(_)) => return fail("--admit-timeout wants a positive number of seconds"),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
     let server = match Server::bind(registry(experiments), config) {
         Ok(s) => s,
         Err(e) => return fail(&e.to_string()),
@@ -197,6 +215,115 @@ pub fn cmd_stats(args: &[String]) -> i32 {
             0
         }
         Err(e) => fail(&e.to_string()),
+    }
+}
+
+/// Render one metrics snapshot the way SUPER-UX renders FTRACE: a stats
+/// summary line, the gauges, a per-stage latency analysis list (quantiles
+/// in microseconds) and the per-suite simulated-seconds breakdown.
+fn render_metrics(m: &Json) -> String {
+    let mut out = String::new();
+    let stats = m.get("stats").cloned().unwrap_or(Json::Null);
+    let n = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let reconciled = m.get("reconciled").and_then(Json::as_bool).unwrap_or(false);
+    out.push_str(&format!(
+        "jobs: accepted={} done={} rejected={} queued={} running={} \
+         coalesced={} bad_requests={}  reconciled={}\n",
+        n("accepted"),
+        n("done"),
+        n("rejected"),
+        n("queued"),
+        n("running"),
+        n("coalesced"),
+        n("bad_requests"),
+        reconciled,
+    ));
+    let cache = stats.get("cache").cloned().unwrap_or(Json::Null);
+    let cn = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap_or(0);
+    out.push_str(&format!(
+        "cache: hits={} misses={} evictions={} entries={}/{}\n",
+        cn("hits"),
+        cn("misses"),
+        cn("evictions"),
+        cn("entries"),
+        cn("cap"),
+    ));
+    if let Some(Json::Obj(gauges)) = m.get("gauges") {
+        out.push_str("gauges:");
+        for (k, v) in gauges {
+            out.push_str(&format!(" {k}={}", v.as_f64().unwrap_or(0.0)));
+        }
+        out.push('\n');
+    }
+
+    if let Some(Json::Obj(latency)) = m.get("latency") {
+        let us = |h: &Json, k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0) * 1e6;
+        let rows: Vec<FtraceRow> = latency
+            .iter()
+            .map(|(stage, h)| FtraceRow {
+                name: stage.clone(),
+                calls: h.get("count").and_then(Json::as_u64).unwrap_or(0),
+                seconds: h.get("sum").and_then(Json::as_f64).unwrap_or(0.0),
+                extra: vec![us(h, "p50"), us(h, "p90"), us(h, "p99")],
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&render_analysis_list(&["P50(us)", "P90(us)", "P99(us)"], rows));
+    }
+
+    if let Some(Json::Obj(suites)) = m.get("suites") {
+        if !suites.is_empty() {
+            let rows: Vec<FtraceRow> = suites
+                .iter()
+                .map(|(name, s)| FtraceRow {
+                    name: name.clone(),
+                    calls: s.get("runs").and_then(Json::as_u64).unwrap_or(0),
+                    seconds: s.get("sim_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                    extra: vec![s.get("avg_stretch").and_then(Json::as_f64).unwrap_or(0.0)],
+                })
+                .collect();
+            out.push('\n');
+            out.push_str(&render_analysis_list(&["AVG.STRETCH"], rows));
+        }
+    }
+    out
+}
+
+/// `ncar-bench metrics [--addr A] [--json true] [--watch SECS]`
+pub fn cmd_metrics(args: &[String]) -> i32 {
+    let args = match Args::parse(args) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let watch = match args.get_f64("watch") {
+        Ok(w) => w,
+        Err(e) => return fail(&e),
+    };
+    if watch.is_some_and(|w| w <= 0.0) {
+        return fail("--watch wants a positive number of seconds");
+    }
+    let mut client = match Client::connect(&args.addr()) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    loop {
+        match client.metrics() {
+            Ok(m) => {
+                if args.get("json") == Some("true") {
+                    println!("{m}");
+                } else {
+                    print!("{}", render_metrics(&m));
+                }
+            }
+            Err(e) => return fail(&e.to_string()),
+        }
+        match watch {
+            None => return 0,
+            Some(secs) => {
+                println!();
+                std::thread::sleep(Duration::from_secs_f64(secs));
+            }
+        }
     }
 }
 
@@ -273,7 +400,8 @@ pub fn cmd_flood(args: &[String]) -> i32 {
         Ok(outcome) => {
             println!(
                 "flood: {}/{} jobs completed, {} cached replies; \
-                 cache {}h/{}m; counters accepted={} done={} rejected={} queued={} running={}",
+                 cache {}h/{}m; counters accepted={} done={} rejected={} queued={} running={} \
+                 coalesced={} reconciled={}",
                 outcome.completed,
                 outcome.submitted,
                 outcome.cached_replies,
@@ -284,6 +412,8 @@ pub fn cmd_flood(args: &[String]) -> i32 {
                 outcome.rejected,
                 outcome.queued,
                 outcome.running,
+                outcome.coalesced,
+                outcome.reconciled,
             );
             if outcome.ok() {
                 println!("flood: all acceptance checks passed");

@@ -81,9 +81,14 @@ impl Json {
     }
 
     /// Numeric member as a non-negative integer counter.
+    ///
+    /// The upper bound is strict: `u64::MAX as f64` rounds *up* to 2^64,
+    /// so accepting `x <= u64::MAX as f64` would admit 2^64 itself, which
+    /// no `u64` can hold (`as u64` silently saturates). Every f64 below
+    /// 2^64 converts exactly, the largest being 2^64 − 2048.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < u64::MAX as f64 => {
                 Some(*x as u64)
             }
             _ => None,
@@ -378,6 +383,24 @@ mod tests {
         assert_eq!(v.get("none"), Some(&Json::Null));
         assert_eq!(v.get("params").unwrap().as_arr().unwrap().len(), 2);
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn as_u64_rejects_the_two_to_the_64_boundary() {
+        // Largest f64 strictly below 2^64: converts exactly, must pass.
+        let below = 18_446_744_073_709_549_568.0; // 2^64 - 2048
+        assert_eq!(Json::Num(below).as_u64(), Some(18_446_744_073_709_549_568));
+        // 2^64 itself is representable as an f64 but not as a u64; the old
+        // `<= u64::MAX as f64` bound admitted it and `as u64` saturated.
+        let exactly = 18_446_744_073_709_551_616.0; // 2^64
+        assert_eq!(Json::Num(exactly).as_u64(), None);
+        // The next representable f64 above 2^64 must also be rejected.
+        let above = 18_446_744_073_709_555_712.0; // 2^64 + 4096
+        assert_eq!(Json::Num(above).as_u64(), None);
+        // Sanity at the small end and for non-integers.
+        assert_eq!(Json::Num(0.0).as_u64(), Some(0));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod compare;
 pub mod hash;
 pub mod json;
 pub mod ktries;
+pub mod metrics;
 pub mod par;
 pub mod registry;
 pub mod report;
@@ -39,7 +40,10 @@ pub use compare::{Comparison, PaperAnchor, Scorecard, Tolerance};
 pub use hash::{fnv64, Fnv64};
 pub use json::{Json, JsonError};
 pub use ktries::{best_of, KTRIES_DEFAULT, KTRIES_VFFT};
-pub use par::{host_parallelism, par_map, par_map_with, set_host_parallelism, WorkerPool};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS,
+};
+pub use par::{host_parallelism, par_map, par_map_with, plock, set_host_parallelism, WorkerPool};
 pub use registry::Registry;
 pub use report::{Artifact, Figure, Series, Table};
 pub use rng::SmallRng;

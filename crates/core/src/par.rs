@@ -7,7 +7,20 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the data if a previous holder panicked.
+///
+/// `Mutex::lock().unwrap()` turns one panic while the lock is held into a
+/// poisoned-lock cascade: every later locker panics too, and a daemon
+/// wedges forever on the first bug. Shared state guarded by counters and
+/// queues here stays structurally valid across a panicking critical
+/// section (all updates are single-field or push/pop), so recovering the
+/// guard is always safe; the panic itself still propagates to whoever
+/// caused it.
+pub fn plock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Process-wide host-parallelism cap. 0 = no cap (use every core); set by
 /// the `ncar-bench --jobs N` flag so CI boxes and laptops can bound how
@@ -96,6 +109,8 @@ struct PoolQueue {
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     ready: Condvar,
+    /// Workers currently executing a job (not parked, not between jobs).
+    busy: AtomicUsize,
 }
 
 /// A bounded pool of long-lived worker threads.
@@ -117,13 +132,14 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue { jobs: VecDeque::new(), shutting_down: false }),
             ready: Condvar::new(),
+            busy: AtomicUsize::new(0),
         });
         let handles = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || loop {
                     let job = {
-                        let mut q = shared.queue.lock().expect("pool queue poisoned");
+                        let mut q = plock(&shared.queue);
                         loop {
                             if let Some(job) = q.jobs.pop_front() {
                                 break Some(job);
@@ -131,11 +147,23 @@ impl WorkerPool {
                             if q.shutting_down {
                                 break None;
                             }
-                            q = shared.ready.wait(q).expect("pool queue poisoned");
+                            q = shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
                         }
                     };
                     match job {
-                        Some(job) => job(),
+                        Some(job) => {
+                            // Guarded so a panicking job (which kills this
+                            // worker) still leaves the busy gauge correct.
+                            struct Busy<'a>(&'a AtomicUsize);
+                            impl Drop for Busy<'_> {
+                                fn drop(&mut self) {
+                                    self.0.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            shared.busy.fetch_add(1, Ordering::Relaxed);
+                            let _busy = Busy(&shared.busy);
+                            job();
+                        }
                         None => break,
                     }
                 })
@@ -148,9 +176,19 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        plock(&self.shared.queue).jobs.len()
+    }
+
+    /// Workers currently executing a job.
+    pub fn busy_workers(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
     /// Enqueue a fire-and-forget job.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        let mut q = plock(&self.shared.queue);
         q.jobs.push_back(Box::new(job));
         drop(q);
         self.shared.ready.notify_one();
@@ -169,7 +207,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut q = plock(&self.shared.queue);
             q.shutting_down = true;
         }
         self.shared.ready.notify_all();
@@ -235,6 +273,51 @@ mod tests {
         assert_eq!(pool.run(|| 6 * 7), 42);
         drop(pool); // must drain the 50 submits before joining
         assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn plock_recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7usize));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "the mutex really is poisoned");
+        *plock(&m) += 1;
+        assert_eq!(*plock(&m), 8);
+    }
+
+    #[test]
+    fn worker_pool_reports_queue_depth_and_busy_workers() {
+        let pool = WorkerPool::new(1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        // One worker is occupied; two more jobs pile up behind it.
+        pool.submit(|| {});
+        pool.submit(|| {});
+        assert_eq!(pool.busy_workers(), 1);
+        assert_eq!(pool.queue_depth(), 2);
+        release_tx.send(()).unwrap();
+        drop(pool); // drains the queue
+    }
+
+    #[test]
+    fn worker_pool_busy_gauge_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        pool.run(|| {
+            // run() from inside a catch to keep the test thread alive.
+        });
+        pool.submit(|| panic!("job dies on a worker"));
+        // Wait for the panicking job to be consumed.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(pool.busy_workers(), 0, "busy gauge must not leak on panic");
     }
 
     #[test]

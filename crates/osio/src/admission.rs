@@ -37,6 +37,10 @@ pub struct Admission {
     node: Node,
     blocks: Vec<ResourceBlock>,
     running: Vec<Running>,
+    /// Callers currently parked waiting for a release (the NQS queue
+    /// depth an operator would watch). Maintained by the daemon around
+    /// its condvar waits via [`Admission::begin_wait`]/[`Admission::end_wait`].
+    waiting: usize,
 }
 
 impl Admission {
@@ -48,6 +52,7 @@ impl Admission {
             node: Node::new(model),
             blocks: vec![ResourceBlock { name: "batch".into(), procs, memory_bytes: 8 << 30 }],
             running: Vec::new(),
+            waiting: 0,
         }
     }
 
@@ -64,7 +69,7 @@ impl Admission {
                 available: model.procs,
             });
         }
-        Ok(Admission { node: Node::new(model), blocks, running: Vec::new() })
+        Ok(Admission { node: Node::new(model), blocks, running: Vec::new(), waiting: 0 })
     }
 
     pub fn blocks(&self) -> &[ResourceBlock] {
@@ -122,6 +127,21 @@ impl Admission {
     /// Number of currently co-scheduled jobs.
     pub fn running(&self) -> usize {
         self.running.len()
+    }
+
+    /// Mark one caller as parked waiting for a release.
+    pub fn begin_wait(&mut self) {
+        self.waiting += 1;
+    }
+
+    /// Mark one parked caller as woken (admitted, timed out or rejected).
+    pub fn end_wait(&mut self) {
+        self.waiting = self.waiting.saturating_sub(1);
+    }
+
+    /// Callers currently parked between `begin_wait` and `end_wait`.
+    pub fn waiting(&self) -> usize {
+        self.waiting
     }
 
     /// Memory-contention stretch factor (≥ 1) the current co-scheduled set
@@ -235,6 +255,20 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, NqsError::BlocksOversubscribed { requested: 40, available: 32 });
+    }
+
+    #[test]
+    fn wait_queue_depth_tracks_begin_and_end() {
+        let mut a = Admission::whole_node(presets::sx4_benchmarked());
+        assert_eq!(a.waiting(), 0);
+        a.begin_wait();
+        a.begin_wait();
+        assert_eq!(a.waiting(), 2);
+        a.end_wait();
+        assert_eq!(a.waiting(), 1);
+        a.end_wait();
+        a.end_wait(); // extra end_wait saturates instead of underflowing
+        assert_eq!(a.waiting(), 0);
     }
 
     #[test]

@@ -3,33 +3,59 @@
 //! Keys come from [`crate::proto::cache_key`]; values are the serialized
 //! result payloads, stored verbatim so that a hit replays the exact bytes
 //! of the run that populated it (the determinism tests rely on this).
+//!
+//! Recency is O(1) per operation: every touch stamps the entry with a
+//! fresh monotonic sequence number and appends `(seq, key)` to the order
+//! queue without removing the old position. Eviction pops from the front,
+//! lazily skipping stale stamps (entries whose stamp no longer matches the
+//! map — they were touched again later, or already evicted). The queue is
+//! compacted whenever stale stamps outnumber live entries, so the per-hit
+//! cost that used to be an O(n) `VecDeque` scan is now amortized constant.
 
 use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct Entry {
+    value: String,
+    /// The sequence number of this entry's newest stamp in `order`.
+    seq: u64,
+}
 
 /// Bounded map from run identity to its serialized result.
 #[derive(Debug)]
 pub struct ResultCache {
     cap: usize,
-    map: HashMap<u64, String>,
-    /// Keys from least- to most-recently used. Each live key appears once.
-    order: VecDeque<u64>,
+    map: HashMap<u64, Entry>,
+    /// `(seq, key)` stamps from oldest to newest. A key may appear many
+    /// times; only the stamp matching `map[key].seq` is live.
+    order: VecDeque<(u64, u64)>,
+    next_seq: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
     /// A cache holding at most `cap` results (`cap == 0` disables caching
     /// but still counts misses).
     pub fn new(cap: usize) -> ResultCache {
-        ResultCache { cap, map: HashMap::new(), order: VecDeque::new(), hits: 0, misses: 0 }
+        ResultCache {
+            cap,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            next_seq: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Look up a result, counting a hit or miss and refreshing recency.
     pub fn get(&mut self, key: u64) -> Option<String> {
         match self.map.get(&key) {
-            Some(v) => {
+            Some(e) => {
                 self.hits += 1;
-                let v = v.clone();
+                let v = e.value.clone();
                 self.touch(key);
                 Some(v)
             }
@@ -46,22 +72,50 @@ impl ResultCache {
         if self.cap == 0 {
             return;
         }
-        if self.map.insert(key, value).is_some() {
-            self.touch(key);
-            return;
-        }
-        self.order.push_back(key);
-        while self.map.len() > self.cap {
-            if let Some(old) = self.order.pop_front() {
-                self.map.remove(&old);
+        match self.map.get_mut(&key) {
+            Some(e) => {
+                e.value = value;
+                self.touch(key);
+                return;
+            }
+            None => {
+                self.next_seq += 1;
+                self.map.insert(key, Entry { value, seq: self.next_seq });
+                self.order.push_back((self.next_seq, key));
             }
         }
+        while self.map.len() > self.cap {
+            match self.order.pop_front() {
+                Some((seq, old)) => {
+                    // Live stamp: this really is the LRU entry. A stale
+                    // stamp (seq mismatch) is debris from a later touch.
+                    if self.map.get(&old).is_some_and(|e| e.seq == seq) {
+                        self.map.remove(&old);
+                        self.evictions += 1;
+                    }
+                }
+                None => break, // unreachable: every live entry has a stamp
+            }
+        }
+        self.maybe_compact();
     }
 
+    /// O(1): restamp the entry and append; the old stamp goes stale.
     fn touch(&mut self, key: u64) {
-        if let Some(pos) = self.order.iter().position(|&k| k == key) {
-            self.order.remove(pos);
-            self.order.push_back(key);
+        if let Some(e) = self.map.get_mut(&key) {
+            self.next_seq += 1;
+            e.seq = self.next_seq;
+            self.order.push_back((self.next_seq, key));
+        }
+        self.maybe_compact();
+    }
+
+    /// Drop stale stamps once they dominate, keeping the queue within a
+    /// constant factor of the live set (amortized O(1) per operation).
+    fn maybe_compact(&mut self) {
+        if self.order.len() > (2 * self.map.len()).max(16) {
+            let map = &self.map;
+            self.order.retain(|&(seq, key)| map.get(&key).is_some_and(|e| e.seq == seq));
         }
     }
 
@@ -71,6 +125,11 @@ impl ResultCache {
 
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries evicted to make room (not counting same-key refreshes).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     pub fn len(&self) -> usize {
@@ -83,6 +142,11 @@ impl ResultCache {
 
     pub fn cap(&self) -> usize {
         self.cap
+    }
+
+    #[cfg(test)]
+    fn order_len(&self) -> usize {
+        self.order.len()
     }
 }
 
@@ -110,6 +174,7 @@ mod tests {
         assert!(c.get(2).is_none(), "LRU entry evicted");
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -131,5 +196,44 @@ mod tests {
         assert!(c.get(1).is_none());
         assert_eq!(c.misses(), 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn repeated_hits_keep_the_order_queue_bounded() {
+        // The regression the seq scheme fixes: every hit used to scan the
+        // whole recency deque. Hammer one entry and make sure the lazy
+        // stamps are compacted instead of accumulating without bound.
+        let mut c = ResultCache::new(4);
+        for k in 0..4 {
+            c.insert(k, format!("v{k}"));
+        }
+        for _ in 0..10_000 {
+            assert!(c.get(2).is_some());
+        }
+        assert!(
+            c.order_len() <= 16.max(2 * c.len()),
+            "order queue must stay within a constant factor of the live set, got {}",
+            c.order_len()
+        );
+        // Recency is still correct after heavy touching: 2 is MRU.
+        c.insert(4, "v4".into());
+        c.insert(5, "v5".into());
+        c.insert(6, "v6".into());
+        assert!(c.get(2).is_some(), "hot entry must have survived the evictions");
+    }
+
+    #[test]
+    fn lru_order_correct_under_interleaved_touches() {
+        let mut c = ResultCache::new(3);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        c.insert(3, "c".into());
+        // Touch in the order 3, 1 — making 2 the LRU.
+        assert!(c.get(3).is_some());
+        assert!(c.get(1).is_some());
+        c.insert(4, "d".into());
+        assert!(c.get(2).is_none(), "2 was least recently used");
+        assert!(c.get(1).is_some() && c.get(3).is_some() && c.get(4).is_some());
+        assert_eq!(c.evictions(), 1);
     }
 }

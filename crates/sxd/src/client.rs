@@ -100,6 +100,16 @@ impl Client {
             .ok_or_else(|| SxdError::BadJson { detail: "stats reply lacks \"stats\"".into() })
     }
 
+    /// Fetch the full observability snapshot (the `metrics` member:
+    /// embedded stats, gauges, per-stage latency histograms, per-suite
+    /// breakdown and the `reconciled` flag).
+    pub fn metrics(&mut self) -> Result<Json, SxdError> {
+        let (doc, _) = self.roundtrip(&Request::Metrics.to_line())?;
+        doc.get("metrics")
+            .cloned()
+            .ok_or_else(|| SxdError::BadJson { detail: "metrics reply lacks \"metrics\"".into() })
+    }
+
     /// Ask the daemon to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), SxdError> {
         self.roundtrip(&Request::Shutdown.to_line()).map(|_| ())
@@ -131,6 +141,12 @@ pub struct FloodOutcome {
     pub rejected: u64,
     pub queued: u64,
     pub running: u64,
+    /// Submits that coalesced onto an identical in-flight run instead of
+    /// executing again (the single-flight dedup at work).
+    pub coalesced: u64,
+    /// The daemon's own snapshot-consistency verdict: the `job` latency
+    /// histogram count equals `done + rejected` in the same snapshot.
+    pub reconciled: bool,
     /// Empty when every acceptance criterion held.
     pub problems: Vec<String>,
 }
@@ -158,12 +174,18 @@ pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
         })
         .collect();
 
+    // Clients connect first, then cross a barrier before submitting, so
+    // the first wave hits the daemon simultaneously — the regime where
+    // single-flight coalescing (rather than the cache) must dedup.
+    let start = std::sync::Arc::new(std::sync::Barrier::new(clients));
     let mut handles = Vec::new();
     for assigned in per_client {
         let addr = config.addr.clone();
         let machine = config.machine.clone();
+        let start = std::sync::Arc::clone(&start);
         handles.push(std::thread::spawn(move || -> Result<(usize, usize), SxdError> {
             let mut client = Client::connect(&addr)?;
+            start.wait();
             let params = BTreeMap::new();
             let mut completed = 0;
             let mut cached = 0;
@@ -195,11 +217,15 @@ pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
         problems.push(format!("dropped jobs: {completed}/{} completed", config.jobs));
     }
 
-    let stats = Client::connect(&config.addr)?.stats()?;
+    // One connection reads both views; METRICS embeds its own stats and
+    // the daemon's reconciliation verdict over a single atomic snapshot.
+    let mut observer = Client::connect(&config.addr)?;
+    let metrics = observer.metrics()?;
+    let stats = metrics.get("stats").cloned().unwrap_or(Json::Null);
     let n = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
     let cache = stats.get("cache").cloned().unwrap_or(Json::Null);
     let cn = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap_or(0);
-    let outcome = FloodOutcome {
+    let mut outcome = FloodOutcome {
         submitted: config.jobs,
         completed,
         cached_replies,
@@ -210,9 +236,10 @@ pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
         rejected: n("rejected"),
         queued: n("queued"),
         running: n("running"),
+        coalesced: n("coalesced"),
+        reconciled: metrics.get("reconciled").and_then(Json::as_bool).unwrap_or(false),
         problems,
     };
-    let mut outcome = outcome;
     if outcome.cache_hits == 0 && config.jobs > suites.len() {
         outcome.problems.push("cache hit-rate is zero despite repeated configs".into());
     }
@@ -222,6 +249,11 @@ pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
             "counters do not reconcile: accepted={} but done+rejected+queued+running={recon}",
             outcome.accepted
         ));
+    }
+    if !outcome.reconciled {
+        outcome
+            .problems
+            .push("metrics snapshot is not reconciled: job histogram != done+rejected".into());
     }
     Ok(outcome)
 }

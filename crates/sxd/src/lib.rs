@@ -14,8 +14,11 @@
 //!   the FNV-1a cache key over (code version, suite, machine model bytes,
 //!   parameter set);
 //! - [`cache`] — the LRU result cache with hit/miss accounting;
-//! - [`server`] — the daemon: accept loop, admission wait, contention-
-//!   stretched simulated seconds, always-consistent counters;
+//! - [`server`] — the daemon: accept loop, bounded admission wait,
+//!   contention-stretched simulated seconds, single-flighted identical
+//!   submits, always-consistent counters, and the `METRICS` verb serving
+//!   per-stage latency histograms and level gauges (the daemon's PROGINF/
+//!   FTRACE analogue, backed by `ncar_suite::metrics`);
 //! - [`client`] — typed client, plus the `flood` load generator that
 //!   reproduces the ensemble regime of Table 6 over live connections;
 //! - [`error`] — [`SxdError`]: every failure as a value; the serving path
@@ -31,4 +34,4 @@ pub use cache::ResultCache;
 pub use client::{flood, Client, FloodConfig, FloodOutcome, Submission};
 pub use error::SxdError;
 pub use proto::{cache_key, read_frame, Request, CODE_VERSION, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};
-pub use server::{Counters, Demand, JobEntry, RunFn, Server, ServerConfig};
+pub use server::{Counters, Demand, JobEntry, RunFn, Server, ServerConfig, SuiteStat};

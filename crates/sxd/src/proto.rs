@@ -9,12 +9,18 @@
 //! closes — there is no way to resync inside an oversized frame).
 //!
 //! ```text
-//! request  = submit | stats | shutdown
+//! request  = submit | stats | metrics | shutdown
 //! submit   = {"op":"submit","suite":S,"machine":M?,"params":{K:V,...}?}
 //! stats    = {"op":"stats"}
+//! metrics  = {"op":"metrics"}
 //! shutdown = {"op":"shutdown"}
 //! reply    = {"ok":true,...} | {"ok":false,"error":{"kind":K,"detail":D}}
 //! ```
+//!
+//! `metrics` returns the daemon's full observability snapshot — per-stage
+//! latency histograms, gauges, and the per-suite simulated-seconds
+//! breakdown — reconciled against the same job counters `stats` reports
+//! (see the README section "Observing the daemon" for the schema).
 //!
 //! `machine` defaults to `"sx4-9.2"` (the February-1996 benchmarked
 //! system); `params` values may be strings, numbers or booleans and are
@@ -82,6 +88,7 @@ pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, S
 pub enum Request {
     Submit { suite: String, machine: String, params: BTreeMap<String, String> },
     Stats,
+    Metrics,
     Shutdown,
 }
 
@@ -96,6 +103,7 @@ impl Request {
             .ok_or_else(|| bad_request("request must be an object with a string \"op\""))?;
         match op {
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => {
                 let suite = doc
@@ -130,7 +138,7 @@ impl Request {
                 }
                 Ok(Request::Submit { suite, machine, params })
             }
-            _ => Err(bad_request("op must be one of submit/stats/shutdown")),
+            _ => Err(bad_request("op must be one of submit/stats/metrics/shutdown")),
         }
     }
 
@@ -138,6 +146,7 @@ impl Request {
     pub fn to_line(&self) -> String {
         match self {
             Request::Stats => "{\"op\":\"stats\"}".into(),
+            Request::Metrics => "{\"op\":\"metrics\"}".into(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
             Request::Submit { suite, machine, params } => {
                 let members = vec![
@@ -197,6 +206,7 @@ mod tests {
         params.insert("note".into(), "quote \" and \\".into());
         for req in [
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Submit { suite: "fig5".into(), machine: "sx4-9.2".into(), params },
         ] {

@@ -4,21 +4,37 @@
 //! Jobs are admitted through the same Resource-Block gate NQS applies on
 //! the real machine (paper §2.6.3): a submit that cannot fit its block is
 //! *rejected* with a typed error, one that could fit but finds the node
-//! busy *waits*, and admitted jobs run with their simulated time stretched
-//! by the memory-contention model of Table 6. Every state transition
-//! updates the [`Counters`] inside a single critical section, so the
-//! invariant `accepted == done + rejected + queued + running` holds at
-//! every instant, not just at quiescence.
+//! busy *waits* (bounded by [`ServerConfig::admit_timeout`]), and admitted
+//! jobs run with their simulated time stretched by the memory-contention
+//! model of Table 6. Every state transition updates the [`Counters`]
+//! inside a single critical section, so the invariant
+//! `accepted == done + rejected + queued + running` holds at every
+//! instant, not just at quiescence.
+//!
+//! Concurrent identical submits are *single-flighted*: the first miss for
+//! a cache key becomes the leader and runs the job; followers arriving
+//! while it is in flight park on its slot and replay the leader's payload
+//! (counted in `coalesced`), so a thundering herd of one configuration
+//! costs one simulation.
+//!
+//! Observability mirrors SUPER-UX's own instruments: PROGINF-style job
+//! accounting (the counters) and FTRACE-style breakdowns (per-stage
+//! latency histograms, the per-suite simulated-seconds table), served by
+//! the `METRICS` verb. The `job` histogram is observed inside the same
+//! counters critical sections that retire a job, so a METRICS snapshot is
+//! internally reconciled: `latency.job.count == done + rejected`, exactly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
+use ncar_suite::metrics::{Gauge, Histogram, MetricsRegistry};
 use ncar_suite::report::{json_escape, json_f64};
-use ncar_suite::{Artifact, Json, Registry, WorkerPool};
+use ncar_suite::{plock, Artifact, Json, Registry, WorkerPool};
 use superux::{Admission, JobSpec};
 use sxsim::{presets, MachineModel};
 
@@ -83,6 +99,11 @@ pub struct ServerConfig {
     pub cache_cap: usize,
     /// The machine whose node the admission gate models.
     pub machine: MachineModel,
+    /// How long a feasible job may wait for the node to free capacity
+    /// before it is rejected with a typed error. Without this bound a job
+    /// parked on the admission condvar waits forever if capacity never
+    /// frees (a wedged runner, a leak), holding its connection hostage.
+    pub admit_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -92,8 +113,21 @@ impl Default for ServerConfig {
             workers: 4,
             cache_cap: 256,
             machine: presets::sx4_benchmarked(),
+            admit_timeout: Duration::from_secs(30),
         }
     }
+}
+
+/// Per-suite serving totals (the FTRACE-style breakdown's raw data).
+#[derive(Debug, Default, Clone)]
+pub struct SuiteStat {
+    /// Actual simulations executed (cache hits and coalesced followers
+    /// replay a payload without running).
+    pub runs: u64,
+    /// Simulated seconds charged, contention stretch included.
+    pub sim_seconds: f64,
+    /// Sum of the stretch factors seen, for the average.
+    pub stretch_sum: f64,
 }
 
 /// Job counters. All transitions happen under one lock (see module docs).
@@ -106,8 +140,80 @@ pub struct Counters {
     pub done: u64,
     /// Frames that never became jobs (garbage, unknown suite/machine).
     pub bad_requests: u64,
-    /// Simulated seconds per suite, contention stretch included.
-    pub suite_seconds: BTreeMap<String, f64>,
+    /// Submits that coalesced onto another in-flight identical run.
+    pub coalesced: u64,
+    /// Per-suite serving totals, keyed by lowercased suite name.
+    pub suites: BTreeMap<String, SuiteStat>,
+}
+
+/// The latency histograms and level gauges the daemon maintains. Stage
+/// histograms are named after the serving pipeline; the `job` histogram is
+/// the reconciled end-to-end one (see module docs).
+struct DaemonMetrics {
+    registry: MetricsRegistry,
+    frame_parse: Arc<Histogram>,
+    cache_lookup: Arc<Histogram>,
+    admission_wait: Arc<Histogram>,
+    run: Arc<Histogram>,
+    render: Arc<Histogram>,
+    job: Arc<Histogram>,
+    admission_waiting: Arc<Gauge>,
+    admission_running: Arc<Gauge>,
+    admission_stretch: Arc<Gauge>,
+    pool_queue_depth: Arc<Gauge>,
+    pool_busy_workers: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+}
+
+impl DaemonMetrics {
+    fn new() -> DaemonMetrics {
+        let registry = MetricsRegistry::new();
+        DaemonMetrics {
+            frame_parse: registry.latency("frame_parse"),
+            cache_lookup: registry.latency("cache_lookup"),
+            admission_wait: registry.latency("admission_wait"),
+            run: registry.latency("run"),
+            render: registry.latency("render"),
+            job: registry.latency("job"),
+            admission_waiting: registry.gauge("admission_waiting"),
+            admission_running: registry.gauge("admission_running"),
+            admission_stretch: registry.gauge("admission_stretch"),
+            pool_queue_depth: registry.gauge("pool_queue_depth"),
+            pool_busy_workers: registry.gauge("pool_busy_workers"),
+            cache_entries: registry.gauge("cache_entries"),
+            registry,
+        }
+    }
+}
+
+/// Where followers of an in-flight run park until the leader publishes.
+#[derive(Default)]
+struct InflightSlot {
+    state: Mutex<Option<Result<String, SxdError>>>,
+    cv: Condvar,
+}
+
+impl InflightSlot {
+    /// Publish the leader's outcome (first publish wins) and wake waiters.
+    fn publish(&self, outcome: Result<String, SxdError>) {
+        let mut s = plock(&self.state);
+        if s.is_none() {
+            *s = Some(outcome);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Park until the leader publishes; returns a clone of its outcome.
+    fn wait(&self) -> Result<String, SxdError> {
+        let mut s = plock(&self.state);
+        loop {
+            match &*s {
+                Some(outcome) => return outcome.clone(),
+                None => s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
 }
 
 struct Daemon {
@@ -116,8 +222,12 @@ struct Daemon {
     workers: usize,
     admission: Mutex<Admission>,
     admit_cv: Condvar,
+    admit_timeout: Duration,
     cache: Mutex<ResultCache>,
     counters: Mutex<Counters>,
+    /// Single-flight table: cache key -> the slot of its in-flight run.
+    inflight: Mutex<HashMap<u64, Arc<InflightSlot>>>,
+    metrics: DaemonMetrics,
     pool: WorkerPool,
     shutting_down: AtomicBool,
     seq: AtomicU64,
@@ -142,8 +252,11 @@ impl Server {
             workers: config.workers.max(1),
             admission: Mutex::new(Admission::whole_node(config.machine)),
             admit_cv: Condvar::new(),
+            admit_timeout: config.admit_timeout,
             cache: Mutex::new(ResultCache::new(config.cache_cap)),
             counters: Mutex::new(Counters::default()),
+            inflight: Mutex::new(HashMap::new()),
+            metrics: DaemonMetrics::new(),
             pool: WorkerPool::new(config.workers.max(1)),
             shutting_down: AtomicBool::new(false),
             seq: AtomicU64::new(0),
@@ -170,7 +283,7 @@ impl Server {
             };
             let id = self.daemon.seq.fetch_add(1, Ordering::SeqCst);
             if let Ok(track) = stream.try_clone() {
-                self.daemon.conns.lock().unwrap().push((id, track));
+                plock(&self.daemon.conns).push((id, track));
             }
             let d = Arc::clone(&self.daemon);
             handles.push(std::thread::spawn(move || handle_conn(&d, stream, id)));
@@ -213,14 +326,28 @@ fn handle_conn(d: &Daemon, stream: TcpStream, id: u64) {
     d.untrack(id);
 }
 
+/// How one submit resolved against the cache and the in-flight table.
+enum SubmitPath {
+    /// Served from the result cache.
+    Hit(String),
+    /// This submit runs the job and publishes for any followers.
+    Leader(Arc<InflightSlot>),
+    /// An identical run is in flight; park and replay its payload.
+    Follower(Arc<InflightSlot>),
+}
+
 impl Daemon {
     fn handle_frame(&self, frame: &str) -> String {
-        match Request::parse(frame) {
+        let t_parse = Instant::now();
+        let parsed = Request::parse(frame);
+        self.metrics.frame_parse.observe(t_parse.elapsed().as_secs_f64());
+        match parsed {
             Err(e) => {
-                self.counters.lock().unwrap().bad_requests += 1;
+                plock(&self.counters).bad_requests += 1;
                 e.to_reply()
             }
             Ok(Request::Stats) => self.stats_reply(),
+            Ok(Request::Metrics) => self.metrics_reply(),
             Ok(Request::Shutdown) => {
                 self.initiate_shutdown();
                 "{\"ok\":true,\"shutting_down\":true}".into()
@@ -240,37 +367,97 @@ impl Daemon {
         machine: &str,
         params: &BTreeMap<String, String>,
     ) -> Result<String, SxdError> {
+        let t_job = Instant::now();
         if self.shutting_down.load(Ordering::SeqCst) {
             return Err(SxdError::ShuttingDown);
         }
         let entry = match self.registry.get(suite) {
             Some(e) => e,
             None => {
-                self.counters.lock().unwrap().bad_requests += 1;
+                plock(&self.counters).bad_requests += 1;
                 return Err(SxdError::UnknownSuite { suite: suite.into() });
             }
         };
         let model = match presets::by_name(machine) {
             Some(m) => m,
             None => {
-                self.counters.lock().unwrap().bad_requests += 1;
+                plock(&self.counters).bad_requests += 1;
                 return Err(SxdError::UnknownMachine { machine: machine.into() });
             }
         };
         let key = cache_key(suite, &model, params);
 
         {
-            let mut c = self.counters.lock().unwrap();
+            let mut c = plock(&self.counters);
             c.accepted += 1;
             c.queued += 1;
         }
-        if let Some(payload) = self.cache.lock().unwrap().get(key) {
-            let mut c = self.counters.lock().unwrap();
-            c.queued -= 1;
-            c.done += 1;
-            return Ok(submit_reply(true, key, &payload));
-        }
 
+        // Cache lookup and single-flight resolution are one atomic
+        // decision under the inflight lock: a submit either sees the
+        // cached payload, joins the in-flight run, or becomes its leader.
+        // Leaders insert into the cache *before* retiring their slot, so
+        // no identical submit can slip between the two tables and re-run.
+        let t_lookup = Instant::now();
+        let path = {
+            let mut inflight = plock(&self.inflight);
+            if let Some(payload) = plock(&self.cache).get(key) {
+                SubmitPath::Hit(payload)
+            } else if let Some(slot) = inflight.get(&key) {
+                SubmitPath::Follower(Arc::clone(slot))
+            } else {
+                let slot = Arc::new(InflightSlot::default());
+                inflight.insert(key, Arc::clone(&slot));
+                SubmitPath::Leader(slot)
+            }
+        };
+        self.metrics.cache_lookup.observe(t_lookup.elapsed().as_secs_f64());
+
+        match path {
+            SubmitPath::Hit(payload) => {
+                let mut c = plock(&self.counters);
+                c.queued -= 1;
+                c.done += 1;
+                self.metrics.job.observe(t_job.elapsed().as_secs_f64());
+                drop(c);
+                Ok(submit_reply(true, key, &payload))
+            }
+            SubmitPath::Follower(slot) => {
+                let outcome = slot.wait();
+                let mut c = plock(&self.counters);
+                c.queued -= 1;
+                c.coalesced += 1;
+                match &outcome {
+                    Ok(_) => c.done += 1,
+                    Err(_) => c.rejected += 1,
+                }
+                self.metrics.job.observe(t_job.elapsed().as_secs_f64());
+                drop(c);
+                outcome.map(|payload| submit_reply(true, key, &payload))
+            }
+            SubmitPath::Leader(slot) => {
+                let outcome = self.run_as_leader(suite, entry, &model, params, key, t_job);
+                // Retire the slot (the cache was populated first on
+                // success) and publish so followers wake with the result.
+                plock(&self.inflight).remove(&key);
+                slot.publish(outcome.clone());
+                outcome.map(|payload| submit_reply(false, key, &payload))
+            }
+        }
+    }
+
+    /// Admit, execute and render one job, returning its payload. Every
+    /// early return retires the job in the counters (and observes the
+    /// reconciled `job` histogram) before surfacing the error.
+    fn run_as_leader(
+        &self,
+        suite: &str,
+        entry: &JobEntry,
+        model: &MachineModel,
+        params: &BTreeMap<String, String>,
+        key: u64,
+        t_job: Instant,
+    ) -> Result<String, SxdError> {
         let job = JobSpec {
             name: format!("sxd-{}", self.seq.fetch_add(1, Ordering::SeqCst)),
             procs: entry.demand.procs,
@@ -280,23 +467,51 @@ impl Daemon {
             block: 0,
             after: Vec::new(),
         };
+        let reject = |detail: String| {
+            let mut c = plock(&self.counters);
+            c.queued -= 1;
+            c.rejected += 1;
+            self.metrics.job.observe(t_job.elapsed().as_secs_f64());
+            drop(c);
+            Err(SxdError::Rejected { detail })
+        };
+
+        let t_adm = Instant::now();
+        let deadline = t_adm + self.admit_timeout;
         let stretch = {
-            let mut adm = self.admission.lock().unwrap();
+            let mut adm = plock(&self.admission);
             loop {
                 match adm.try_admit(&job) {
                     Err(e) => {
-                        let mut c = self.counters.lock().unwrap();
-                        c.queued -= 1;
-                        c.rejected += 1;
-                        return Err(SxdError::Rejected { detail: e.to_string() });
+                        drop(adm);
+                        self.metrics.admission_wait.observe(t_adm.elapsed().as_secs_f64());
+                        return reject(e.to_string());
                     }
                     Ok(true) => break adm.stretch(),
-                    Ok(false) => adm = self.admit_cv.wait(adm).unwrap(),
+                    Ok(false) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            drop(adm);
+                            self.metrics.admission_wait.observe(t_adm.elapsed().as_secs_f64());
+                            return reject(format!(
+                                "admission wait exceeded {:.3}s with the node still full",
+                                self.admit_timeout.as_secs_f64()
+                            ));
+                        }
+                        adm.begin_wait();
+                        let (mut woken, _timeout) = self
+                            .admit_cv
+                            .wait_timeout(adm, deadline - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        woken.end_wait();
+                        adm = woken;
+                    }
                 }
             }
         };
+        self.metrics.admission_wait.observe(t_adm.elapsed().as_secs_f64());
         {
-            let mut c = self.counters.lock().unwrap();
+            let mut c = plock(&self.counters);
             c.queued -= 1;
             c.running += 1;
         }
@@ -304,61 +519,146 @@ impl Daemon {
         let runner = entry.runner.clone();
         let run_params = params.clone();
         let run_model = model.clone();
+        let t_run = Instant::now();
         let outcome = self.pool.run(move || {
             catch_unwind(AssertUnwindSafe(|| runner(&run_model, &run_params)))
                 .unwrap_or_else(|_| Err("runner panicked".into()))
         });
+        self.metrics.run.observe(t_run.elapsed().as_secs_f64());
 
-        self.admission.lock().unwrap().release(&job.name);
+        plock(&self.admission).release(&job.name);
         self.admit_cv.notify_all();
 
         match outcome {
             Err(detail) => {
-                let mut c = self.counters.lock().unwrap();
+                let mut c = plock(&self.counters);
                 c.running -= 1;
                 c.rejected += 1;
+                self.metrics.job.observe(t_job.elapsed().as_secs_f64());
+                drop(c);
                 Err(SxdError::RunFailed { detail })
             }
             Ok(artifacts) => {
                 let sim_seconds = entry.demand.solo_seconds * stretch;
+                let t_render = Instant::now();
+                let payload =
+                    render_payload(suite, params, sim_seconds, stretch, &artifacts, &model.name);
+                self.metrics.render.observe(t_render.elapsed().as_secs_f64());
                 {
-                    let mut c = self.counters.lock().unwrap();
+                    let mut c = plock(&self.counters);
                     c.running -= 1;
                     c.done += 1;
-                    *c.suite_seconds.entry(suite.to_ascii_lowercase()).or_insert(0.0) +=
-                        sim_seconds;
+                    let s = c.suites.entry(suite.to_ascii_lowercase()).or_default();
+                    s.runs += 1;
+                    s.sim_seconds += sim_seconds;
+                    s.stretch_sum += stretch;
+                    self.metrics.job.observe(t_job.elapsed().as_secs_f64());
                 }
-                let payload =
-                    render_payload(suite, machine, params, sim_seconds, stretch, &artifacts);
-                self.cache.lock().unwrap().insert(key, payload.clone());
-                Ok(submit_reply(false, key, &payload))
+                plock(&self.cache).insert(key, payload.clone());
+                Ok(payload)
             }
         }
     }
 
-    fn stats_reply(&self) -> String {
-        let (hits, misses, entries, cap) = {
-            let c = self.cache.lock().unwrap();
-            (c.hits(), c.misses(), c.len(), c.cap())
-        };
-        let snap = self.counters.lock().unwrap().clone();
-        let suite_seconds =
-            Json::Obj(snap.suite_seconds.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect());
+    /// The `stats` member both STATS and METRICS replies embed.
+    fn stats_json(&self, snap: &Counters, cache: (u64, u64, u64, usize, usize)) -> String {
+        let (hits, misses, evictions, entries, cap) = cache;
+        let suite_seconds = Json::Obj(
+            snap.suites.iter().map(|(k, s)| (k.clone(), Json::Num(s.sim_seconds))).collect(),
+        );
         format!(
-            "{{\"ok\":true,\"stats\":{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
-             \"running\":{},\"done\":{},\"bad_requests\":{},\"queue_depth\":{},\
-             \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"entries\":{entries},\
-             \"cap\":{cap}}},\"suite_seconds\":{},\"workers\":{},\"shutting_down\":{}}}}}",
+            "{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
+             \"running\":{},\"done\":{},\"bad_requests\":{},\"coalesced\":{},\
+             \"queue_depth\":{},\"cache\":{{\"hits\":{hits},\"misses\":{misses},\
+             \"evictions\":{evictions},\"entries\":{entries},\"cap\":{cap}}},\
+             \"suite_seconds\":{},\"workers\":{},\"shutting_down\":{}}}",
             snap.accepted,
             snap.rejected,
             snap.queued,
             snap.running,
             snap.done,
             snap.bad_requests,
+            snap.coalesced,
             snap.queued,
             suite_seconds,
             self.workers,
             self.shutting_down.load(Ordering::SeqCst),
+        )
+    }
+
+    fn cache_stats(&self) -> (u64, u64, u64, usize, usize) {
+        let c = plock(&self.cache);
+        (c.hits(), c.misses(), c.evictions(), c.len(), c.cap())
+    }
+
+    fn stats_reply(&self) -> String {
+        let cache = self.cache_stats();
+        let snap = plock(&self.counters).clone();
+        format!("{{\"ok\":true,\"stats\":{}}}", self.stats_json(&snap, cache))
+    }
+
+    /// The METRICS reply: counters, gauges, per-stage latency histograms
+    /// and the per-suite breakdown, with the reconciliation guarantee that
+    /// `latency.job.count == stats.done + stats.rejected` (both captured
+    /// under one counters lock; `job` is only observed inside it).
+    fn metrics_reply(&self) -> String {
+        // Refresh level gauges from their live sources (separate locks;
+        // gauges are instantaneous readings, not part of the guarantee).
+        {
+            let adm = plock(&self.admission);
+            self.metrics.admission_waiting.set(adm.waiting() as f64);
+            self.metrics.admission_running.set(adm.running() as f64);
+            self.metrics.admission_stretch.set(adm.stretch());
+        }
+        self.metrics.pool_queue_depth.set(self.pool.queue_depth() as f64);
+        self.metrics.pool_busy_workers.set(self.pool.busy_workers() as f64);
+        let cache = self.cache_stats();
+        self.metrics.cache_entries.set(cache.3 as f64);
+
+        let (snap, reg) = {
+            let c = plock(&self.counters);
+            // Histograms snapshotted while the counters are frozen: every
+            // `job` observation happens under this same lock.
+            (c.clone(), self.metrics.registry.snapshot())
+        };
+        let reconciled =
+            reg.histograms.get("job").is_some_and(|h| h.count == snap.done + snap.rejected);
+        let gauges = Json::Obj(
+            reg.gauges.iter().map(|(k, &v)| (k.clone(), Json::Num(v))).collect::<Vec<_>>(),
+        );
+        let latency = Json::Obj(
+            reg.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect::<Vec<_>>(),
+        );
+        let suites = Json::Obj(
+            snap.suites
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        Json::Obj(vec![
+                            ("runs".into(), Json::Num(s.runs as f64)),
+                            ("sim_seconds".into(), Json::Num(s.sim_seconds)),
+                            (
+                                "avg_stretch".into(),
+                                Json::Num(if s.runs > 0 {
+                                    s.stretch_sum / s.runs as f64
+                                } else {
+                                    0.0
+                                }),
+                            ),
+                        ]),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        format!(
+            "{{\"ok\":true,\"metrics\":{{\"stats\":{},\"gauges\":{},\"latency\":{},\
+             \"suites\":{},\"reconciled\":{}}}}}",
+            self.stats_json(&snap, cache),
+            gauges,
+            latency,
+            suites,
+            reconciled,
         )
     }
 
@@ -370,7 +670,7 @@ impl Daemon {
         }
         // Half-close tracked connections: blocked reads return EOF while
         // replies still in flight can be written out.
-        for (_, s) in self.conns.lock().unwrap().iter() {
+        for (_, s) in plock(&self.conns).iter() {
             let _ = s.shutdown(Shutdown::Read);
         }
         // Unblock the accept loop so it can observe the flag.
@@ -378,7 +678,7 @@ impl Daemon {
     }
 
     fn untrack(&self, id: u64) {
-        let mut conns = self.conns.lock().unwrap();
+        let mut conns = plock(&self.conns);
         if let Some(pos) = conns.iter().position(|(i, _)| *i == id) {
             conns.remove(pos);
         }
@@ -390,11 +690,11 @@ impl Daemon {
 /// hits replay these exact bytes.
 fn render_payload(
     suite: &str,
-    machine: &str,
     params: &BTreeMap<String, String>,
     sim_seconds: f64,
     stretch: f64,
     artifacts: &[Artifact],
+    machine: &str,
 ) -> String {
     let params_json =
         Json::Obj(params.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
@@ -417,6 +717,7 @@ fn render_payload(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     fn toy_registry() -> Registry<JobEntry> {
         let mut r = Registry::new();
@@ -434,13 +735,20 @@ mod tests {
         r
     }
 
+    fn metrics_doc(d: &Daemon) -> Json {
+        let reply = d.metrics_reply();
+        let doc = Json::parse(&reply).expect("metrics reply must be valid JSON");
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        doc.get("metrics").unwrap().clone()
+    }
+
     #[test]
     fn payload_is_deterministic_for_equal_inputs() {
         let mut p = BTreeMap::new();
         p.insert("n".to_string(), "4".to_string());
         let a = vec![Artifact::Scalar { title: "t".into(), value: 1.5, unit: "u".into() }];
-        let one = render_payload("toy", "sx4-9.2", &p, 2.25, 1.125, &a);
-        let two = render_payload("toy", "sx4-9.2", &p, 2.25, 1.125, &a);
+        let one = render_payload("toy", &p, 2.25, 1.125, &a, "sx4-9.2");
+        let two = render_payload("toy", &p, 2.25, 1.125, &a, "sx4-9.2");
         assert_eq!(one, two);
         Json::parse(&one).expect("payload must be valid JSON");
     }
@@ -456,9 +764,11 @@ mod tests {
         assert!(second.contains("\"cached\":true"));
         // Byte-identical modulo the cached flag.
         assert_eq!(second, first.replace("\"cached\":false", "\"cached\":true"));
-        let c = d.counters.lock().unwrap();
+        let c = plock(&d.counters);
         assert_eq!((c.accepted, c.done, c.rejected, c.queued, c.running), (2, 2, 0, 0, 0));
-        assert!(*c.suite_seconds.get("toy").unwrap() > 0.0);
+        let toy = c.suites.get("toy").unwrap();
+        assert!(toy.sim_seconds > 0.0);
+        assert_eq!(toy.runs, 1, "the cache hit must not count as a run");
     }
 
     #[test]
@@ -470,7 +780,7 @@ mod tests {
         assert_eq!(e1.kind(), "unknown_suite");
         let e2 = d.handle_submit("toy", "cray-2", &params).unwrap_err();
         assert_eq!(e2.kind(), "unknown_machine");
-        let c = d.counters.lock().unwrap();
+        let c = plock(&d.counters);
         assert_eq!(c.accepted, 0);
         assert_eq!(c.bad_requests, 2);
     }
@@ -495,7 +805,7 @@ mod tests {
         let d = &server.daemon;
         let err = d.handle_submit("wide", "sx4", &BTreeMap::new()).unwrap_err();
         assert_eq!(err.kind(), "rejected");
-        let c = d.counters.lock().unwrap();
+        let c = plock(&d.counters);
         assert_eq!((c.accepted, c.rejected, c.done, c.queued, c.running), (1, 1, 0, 0, 0));
     }
 
@@ -513,7 +823,213 @@ mod tests {
         let server = Server::bind(r, ServerConfig::default()).unwrap();
         let err = server.daemon.handle_submit("boom", "sx4", &BTreeMap::new()).unwrap_err();
         assert_eq!(err.kind(), "run_failed");
-        let c = server.daemon.counters.lock().unwrap();
+        let c = plock(&server.daemon.counters);
         assert_eq!((c.accepted, c.rejected, c.running), (1, 1, 0));
+    }
+
+    #[test]
+    fn concurrent_identical_submits_run_once_and_coalesce() {
+        // The thundering-herd regression: a herd of identical cache-missing
+        // submits must execute the runner exactly once.
+        let runs = Arc::new(AtomicUsize::new(0));
+        let mut r = Registry::new();
+        let runs_in_runner = Arc::clone(&runs);
+        r.register(
+            "slow",
+            JobEntry::new(Demand::light(1.0), "slow runner", move |_m, _p| {
+                runs_in_runner.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(100));
+                Ok(vec![Artifact::Scalar { title: "s".into(), value: 1.0, unit: "u".into() }])
+            }),
+        );
+        let server = Server::bind(r, ServerConfig::default()).unwrap();
+        let d = Arc::clone(&server.daemon);
+
+        const HERD: usize = 8;
+        let replies: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..HERD)
+                .map(|_| {
+                    let d = Arc::clone(&d);
+                    s.spawn(move || d.handle_submit("slow", "sx4", &BTreeMap::new()).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "one run per unique key");
+        // Exactly one leader replied uncached; every follower replayed.
+        let uncached = replies.iter().filter(|r| r.contains("\"cached\":false")).count();
+        assert_eq!(uncached, 1);
+        // All replies carry byte-identical payloads.
+        let canon = replies[0].replace("\"cached\":false", "\"cached\":true");
+        for r in &replies {
+            assert_eq!(r.replace("\"cached\":false", "\"cached\":true"), canon);
+        }
+        let c = plock(&d.counters);
+        assert_eq!(c.coalesced, (HERD - 1) as u64);
+        assert_eq!((c.accepted, c.done, c.queued, c.running), (HERD as u64, HERD as u64, 0, 0));
+        assert_eq!(c.suites.get("slow").unwrap().runs, 1);
+    }
+
+    #[test]
+    fn followers_share_the_leaders_failure() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let mut r = Registry::new();
+        let runs_in_runner = Arc::clone(&runs);
+        r.register(
+            "failing",
+            JobEntry::new(Demand::light(1.0), "always fails slowly", move |_m, _p| {
+                runs_in_runner.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(80));
+                Err("deliberate failure".into())
+            }),
+        );
+        let server = Server::bind(r, ServerConfig::default()).unwrap();
+        let d = Arc::clone(&server.daemon);
+        let errs: Vec<SxdError> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let d = Arc::clone(&d);
+                    s.spawn(move || {
+                        d.handle_submit("failing", "sx4", &BTreeMap::new()).unwrap_err()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "failures are not retried by followers");
+        for e in &errs {
+            assert_eq!(e.kind(), "run_failed", "{e}");
+        }
+        let c = plock(&d.counters);
+        assert_eq!((c.accepted, c.rejected, c.done), (4, 4, 0));
+        assert_eq!(c.coalesced, 3);
+        // Failures are not cached: a later submit runs again.
+        drop(c);
+        let _ = d.handle_submit("failing", "sx4", &BTreeMap::new()).unwrap_err();
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn admission_wait_times_out_with_a_typed_rejection() {
+        let mut r = Registry::new();
+        // Occupies every processor of the node for 300 ms of host time.
+        r.register(
+            "hog",
+            JobEntry::new(
+                Demand {
+                    procs: 32,
+                    memory_bytes: 1 << 30,
+                    solo_seconds: 1.0,
+                    bytes_per_cycle_per_proc: 8.0,
+                },
+                "whole-node job",
+                |_m, _p| {
+                    std::thread::sleep(Duration::from_millis(300));
+                    Ok(vec![])
+                },
+            ),
+        );
+        r.register(
+            "wants-in",
+            JobEntry::new(
+                Demand {
+                    procs: 32,
+                    memory_bytes: 1 << 30,
+                    solo_seconds: 1.0,
+                    bytes_per_cycle_per_proc: 8.0,
+                },
+                "cannot fit beside the hog",
+                |_m, _p| Ok(vec![]),
+            ),
+        );
+        let config =
+            ServerConfig { admit_timeout: Duration::from_millis(50), ..ServerConfig::default() };
+        let server = Server::bind(r, config).unwrap();
+        let d = Arc::clone(&server.daemon);
+
+        let hog = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || d.handle_submit("hog", "sx4", &BTreeMap::new()))
+        };
+        // Let the hog take the node before the second job arrives.
+        std::thread::sleep(Duration::from_millis(60));
+        let err = d.handle_submit("wants-in", "sx4", &BTreeMap::new()).unwrap_err();
+        assert_eq!(err.kind(), "rejected");
+        assert!(err.detail().contains("admission wait exceeded"), "{err}");
+        {
+            let c = plock(&d.counters);
+            assert_eq!(c.rejected, 1);
+            assert_eq!(
+                c.accepted,
+                c.done + c.rejected + c.queued + c.running,
+                "invariant must hold with the hog still in flight"
+            );
+        }
+        hog.join().unwrap().unwrap();
+        let c = plock(&d.counters);
+        assert_eq!((c.accepted, c.done, c.rejected, c.queued, c.running), (2, 1, 1, 0, 0));
+    }
+
+    #[test]
+    fn stats_stay_serviceable_after_a_panic_poisons_the_counters() {
+        let server = Server::bind(toy_registry(), ServerConfig::default()).unwrap();
+        let d = Arc::clone(&server.daemon);
+        d.handle_submit("toy", "sx4", &BTreeMap::new()).unwrap();
+        // Poison the counters mutex the way a bug would: panic mid-section.
+        {
+            let d = Arc::clone(&d);
+            let _ = std::thread::spawn(move || {
+                let _guard = d.counters.lock().unwrap();
+                panic!("simulated bug while holding the counters lock");
+            })
+            .join();
+        }
+        assert!(d.counters.lock().is_err(), "the mutex really is poisoned");
+        // STATS, METRICS and new submits all still work.
+        let stats = d.stats_reply();
+        assert!(stats.contains("\"accepted\":1"), "{stats}");
+        let m = metrics_doc(&d);
+        assert_eq!(m.get("reconciled").unwrap().as_bool(), Some(true));
+        let reply = d.handle_submit("toy", "sx4", &BTreeMap::new()).unwrap();
+        assert!(reply.contains("\"cached\":true"));
+    }
+
+    #[test]
+    fn metrics_reconcile_job_histogram_with_counters() {
+        let server = Server::bind(toy_registry(), ServerConfig::default()).unwrap();
+        let d = &server.daemon;
+        let mut p = BTreeMap::new();
+        d.handle_submit("toy", "sx4", &p).unwrap(); // miss -> run
+        d.handle_submit("toy", "sx4", &p).unwrap(); // hit
+        p.insert("n".into(), "2".into());
+        d.handle_submit("toy", "sx4", &p).unwrap(); // second distinct run
+        let _ = d.handle_submit("missing", "sx4", &p).unwrap_err(); // not accepted
+
+        let m = metrics_doc(d);
+        assert_eq!(m.get("reconciled").unwrap().as_bool(), Some(true));
+        let stats = m.get("stats").unwrap();
+        let job = m.get("latency").unwrap().get("job").unwrap();
+        let done = stats.get("done").unwrap().as_u64().unwrap();
+        let rejected = stats.get("rejected").unwrap().as_u64().unwrap();
+        assert_eq!(job.get("count").unwrap().as_u64().unwrap(), done + rejected);
+        assert_eq!(done, 3);
+        // Bucket counts sum to the histogram count (overflow included).
+        let n: u64 =
+            job.get("n").unwrap().as_arr().unwrap().iter().map(|v| v.as_u64().unwrap()).sum();
+        assert_eq!(n, done + rejected);
+        // Stage histograms saw the two real runs.
+        let run = m.get("latency").unwrap().get("run").unwrap();
+        assert_eq!(run.get("count").unwrap().as_u64(), Some(2));
+        let render = m.get("latency").unwrap().get("render").unwrap();
+        assert_eq!(render.get("count").unwrap().as_u64(), Some(2));
+        // The per-suite breakdown counts runs, not serves.
+        let toy = m.get("suites").unwrap().get("toy").unwrap();
+        assert_eq!(toy.get("runs").unwrap().as_u64(), Some(2));
+        assert!(toy.get("avg_stretch").unwrap().as_f64().unwrap() >= 1.0);
+        // Gauges exist and are quiescent.
+        let g = m.get("gauges").unwrap();
+        assert_eq!(g.get("pool_busy_workers").unwrap().as_f64(), Some(0.0));
+        assert_eq!(g.get("admission_running").unwrap().as_f64(), Some(0.0));
     }
 }

@@ -174,6 +174,86 @@ fn shutdown_drains_and_refuses_new_work() {
 }
 
 #[test]
+fn metrics_verb_serves_a_reconciled_snapshot_over_tcp() {
+    let (addr, handle) = spawn_daemon(toy_registry());
+    let mut client = Client::connect(&addr).unwrap();
+    let params = BTreeMap::new();
+    client.submit("shallow", "sx4-9.2", &params).unwrap(); // run
+    client.submit("shallow", "sx4-9.2", &params).unwrap(); // cache hit
+    client.submit("radabs", "sx4-9.2", &params).unwrap(); // second run
+
+    let m = client.metrics().unwrap();
+    assert_eq!(m.get("reconciled").unwrap().as_bool(), Some(true));
+
+    // The embedded stats match what STATS reports.
+    let stats = m.get("stats").unwrap();
+    let n = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap();
+    assert_eq!(n("accepted"), 3);
+    assert_eq!(n("done"), 3);
+
+    // The job histogram reconciles exactly against the embedded stats.
+    let job = m.get("latency").unwrap().get("job").unwrap();
+    assert_eq!(job.get("count").unwrap().as_u64().unwrap(), n("done") + n("rejected"));
+    // Bucket counts sum to the count, and bounds come with them.
+    let le = job.get("le").unwrap().as_arr().unwrap();
+    let buckets = job.get("n").unwrap().as_arr().unwrap();
+    assert_eq!(buckets.len(), le.len() + 1, "one overflow bucket past the last bound");
+    let total: u64 = buckets.iter().map(|v| v.as_u64().unwrap()).sum();
+    assert_eq!(total, job.get("count").unwrap().as_u64().unwrap());
+
+    // Stage histograms cover the pipeline; only the misses ran.
+    for stage in ["frame_parse", "cache_lookup", "admission_wait", "run", "render"] {
+        assert!(m.get("latency").unwrap().get(stage).is_some(), "missing stage {stage}");
+    }
+    let runs = m.get("latency").unwrap().get("run").unwrap();
+    assert_eq!(runs.get("count").unwrap().as_u64(), Some(2));
+
+    // The per-suite FTRACE-style breakdown counts executions.
+    let suites = m.get("suites").unwrap();
+    assert_eq!(suites.get("shallow").unwrap().get("runs").unwrap().as_u64(), Some(1));
+    assert!(suites.get("shallow").unwrap().get("avg_stretch").unwrap().as_f64().unwrap() >= 1.0);
+
+    // Gauges exist (levels, so values depend on timing; names must not).
+    let gauges = m.get("gauges").unwrap();
+    for g in [
+        "admission_waiting",
+        "admission_running",
+        "admission_stretch",
+        "pool_queue_depth",
+        "pool_busy_workers",
+        "cache_entries",
+    ] {
+        assert!(gauges.get(g).is_some(), "missing gauge {g}");
+    }
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn flood_coalesces_identical_submits_and_reconciles_metrics() {
+    // One suite, many simultaneous clients: the barrier-synchronized first
+    // wave must coalesce onto a single run rather than run 8 times.
+    let (addr, handle) = spawn_daemon(toy_registry());
+    let outcome = flood(&FloodConfig {
+        addr: addr.clone(),
+        clients: 8,
+        jobs: 64,
+        suites: vec!["shallow".into()],
+        machine: "sx4-9.2".into(),
+    })
+    .unwrap();
+    assert!(outcome.ok(), "flood problems: {:?}", outcome.problems);
+    assert!(outcome.reconciled, "metrics snapshot must reconcile");
+    assert!(outcome.coalesced > 0, "simultaneous identical submits must coalesce");
+
+    // Exactly one simulation ran for the single unique configuration.
+    let mut client = Client::connect(&addr).unwrap();
+    let m = client.metrics().unwrap();
+    let shallow = m.get("suites").unwrap().get("shallow").unwrap();
+    assert_eq!(shallow.get("runs").unwrap().as_u64(), Some(1));
+    shut_down(&addr, handle);
+}
+
+#[test]
 fn concurrent_identical_submits_from_shared_registry_are_safe() {
     // Several clients racing the same config: all succeed, later ones hit.
     let (addr, handle) = spawn_daemon(toy_registry());

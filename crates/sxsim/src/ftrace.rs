@@ -123,32 +123,71 @@ impl Ftrace {
         &self.regions
     }
 
+    /// The analysis list as data: one row per region with the classic
+    /// extra columns (MFLOPS, vector operation ratio, average vector
+    /// length), for programmatic consumers of the breakdown.
+    pub fn rows(&self, clock_ns: f64) -> Vec<FtraceRow> {
+        self.regions
+            .iter()
+            .map(|(name, r)| FtraceRow {
+                name: name.clone(),
+                calls: r.calls,
+                seconds: r.seconds(clock_ns),
+                extra: vec![r.mflops(clock_ns), r.vector_ratio_pct(), r.average_vector_length()],
+            })
+            .collect()
+    }
+
     /// Render the classic FTRACE table, sorted by exclusive time.
     pub fn render(&self, clock_ns: f64) -> String {
-        let mut rows: Vec<(&String, &RegionTotals)> = self.regions.iter().collect();
-        rows.sort_by(|a, b| b.1.cost.cycles.total_cmp(&a.1.cost.cycles));
-        let total: f64 = rows.iter().map(|(_, r)| r.cost.cycles).sum();
-        let mut out = String::from(
-            "*----------------------*\n|  FTRACE ANALYSIS LIST |\n*----------------------*\n",
-        );
-        out.push_str(&format!(
-            "{:<20} {:>6} {:>12} {:>7} {:>10} {:>8} {:>8}\n",
-            "REGION", "CALLS", "EXCL.TIME(s)", "TIME%", "MFLOPS", "V.OP%", "AVG.VL"
-        ));
-        for (name, r) in rows {
-            out.push_str(&format!(
-                "{:<20} {:>6} {:>12.6} {:>7.1} {:>10.1} {:>8.1} {:>8.1}\n",
-                name,
-                r.calls,
-                r.seconds(clock_ns),
-                if total > 0.0 { 100.0 * r.cost.cycles / total } else { 0.0 },
-                r.mflops(clock_ns),
-                r.vector_ratio_pct(),
-                r.average_vector_length(),
-            ));
-        }
-        out
+        render_analysis_list(&["MFLOPS", "V.OP%", "AVG.VL"], self.rows(clock_ns))
     }
+}
+
+/// One row of an FTRACE-style analysis list: a named region, how often it
+/// was entered, its exclusive seconds, and caller-defined extra columns.
+///
+/// [`Ftrace::rows`] produces these for simulator regions; other exclusive
+/// breakdowns (the `sxd` daemon's per-suite simulated-seconds table) build
+/// their own rows and share [`render_analysis_list`] so every breakdown in
+/// the system reads the same way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtraceRow {
+    pub name: String,
+    pub calls: u64,
+    pub seconds: f64,
+    /// Values for the caller's extra columns, matching `extra_headers`.
+    pub extra: Vec<f64>,
+}
+
+/// Render rows in the FTRACE format: banner, REGION/CALLS/EXCL.TIME/TIME%
+/// plus the caller's extra column headers, sorted by exclusive time with
+/// TIME% computed over the rendered set.
+pub fn render_analysis_list(extra_headers: &[&str], mut rows: Vec<FtraceRow>) -> String {
+    rows.sort_by(|a, b| b.seconds.total_cmp(&a.seconds).then(a.name.cmp(&b.name)));
+    let total: f64 = rows.iter().map(|r| r.seconds).sum();
+    let mut out = String::from(
+        "*----------------------*\n|  FTRACE ANALYSIS LIST |\n*----------------------*\n",
+    );
+    out.push_str(&format!("{:<20} {:>6} {:>12} {:>7}", "REGION", "CALLS", "EXCL.TIME(s)", "TIME%"));
+    for h in extra_headers {
+        out.push_str(&format!(" {h:>10}"));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>12.6} {:>7.1}",
+            r.name,
+            r.calls,
+            r.seconds,
+            if total > 0.0 { 100.0 * r.seconds / total } else { 0.0 },
+        ));
+        for x in &r.extra {
+            out.push_str(&format!(" {x:>10.1}"));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -226,6 +265,33 @@ mod tests {
             })
             .collect();
         assert_eq!(names, vec!["+copy", "-copy"]);
+    }
+
+    #[test]
+    fn rows_match_render_and_custom_lists_share_the_format() {
+        let mut vm = vm();
+        let mut ft = Ftrace::new();
+        let a = vec![1.0f64; 1000];
+        let mut b = vec![0.0f64; 1000];
+        ft.region("copy", &mut vm, |vm| vm.copy(&mut b, &a));
+        let rows = ft.rows(9.2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "copy");
+        assert_eq!(rows[0].calls, 1);
+        assert!(rows[0].seconds > 0.0);
+        assert_eq!(rows[0].extra.len(), 3, "mflops, v.op%, avg.vl");
+        // A foreign breakdown through the same renderer: banner + headers.
+        let table = render_analysis_list(
+            &["AVG.STRETCH"],
+            vec![
+                FtraceRow { name: "fig5".into(), calls: 3, seconds: 6.0, extra: vec![1.02] },
+                FtraceRow { name: "radabs".into(), calls: 1, seconds: 1.5, extra: vec![1.0] },
+            ],
+        );
+        assert!(table.contains("FTRACE ANALYSIS LIST"));
+        assert!(table.contains("AVG.STRETCH"));
+        assert!(table.find("fig5").unwrap() < table.find("radabs").unwrap());
+        assert!(table.contains("80.0"), "fig5 holds 80% of the time:\n{table}");
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub mod xmu;
 pub use commreg::{CommRegisters, RegisterSet, SpinLock};
 pub use cost::Cost;
 pub use error::SimError;
-pub use ftrace::Ftrace;
+pub use ftrace::{render_analysis_list, Ftrace, FtraceRow};
 pub use ixs::Ixs;
 pub use model::{Intrinsic, MachineModel, VopClass};
 pub use node::{JobDemand, Node, NodeTiming, Region};
