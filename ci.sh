@@ -10,10 +10,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo clippy --offline --workspace --all-targets --features sxcheck/audit,ncar-bench/audit -- -D warnings
+cargo clippy --offline --workspace --all-targets --features sxd/faults,ncar-bench/faults -- -D warnings
 
 echo "==> cargo test"
 cargo test --offline --workspace -q
 cargo test --offline -q -p sxcheck -p ncar-bench --features sxcheck/audit,ncar-bench/audit
+
+echo "==> crash-recovery fault matrix (SXD_FAULTPOINT, kill-and-restart at every point)"
+cargo test --offline -q -p ncar-bench --features faults --test crash_recovery
 
 echo "==> ncar-bench check --deny-warnings (fixtures must flag, reports deterministic)"
 out1="$(cargo run --offline -q -p ncar-bench --features audit -- check --deny-warnings)" && rc=0 || rc=$?
@@ -85,5 +89,75 @@ if ! wait "$serve_pid"; then
     exit 1
 fi
 rm -f "$smoke_log"
+
+echo "==> sxd crash-recovery smoke (flood, kill -9, restart on the same state dir, replayed cache)"
+state_dir="$(mktemp -d)"
+crash_log="$(mktemp)"
+"$bench" serve --addr 127.0.0.1:0 --state-dir "$state_dir" >"$crash_log" 2>&1 &
+crash_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^sxd listening on //p' "$crash_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "durable sxd never reported a listening address" >&2
+    kill "$crash_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! "$bench" flood --addr "$addr" --clients 8 --jobs 48 >/dev/null; then
+    echo "pre-crash flood failed its acceptance checks" >&2
+    exit 1
+fi
+before="$("$bench" submit radabs --addr "$addr" --json true)"
+case "$before" in *'"cached":true'*) ;; *) echo "flooded config should already be cached: $before" >&2; exit 1;; esac
+kill -9 "$crash_pid"
+wait "$crash_pid" 2>/dev/null || true
+: >"$crash_log"
+"$bench" serve --addr 127.0.0.1:0 --state-dir "$state_dir" >"$crash_log" 2>&1 &
+crash_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^sxd listening on //p' "$crash_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "restarted sxd never reported a listening address" >&2
+    kill "$crash_pid" 2>/dev/null || true
+    exit 1
+fi
+# Every configuration the flood completed must be a cache hit after the
+# restart — the journal replay is the only thing that can make it one.
+for s in fig5 radabs table3; do
+    reply="$("$bench" submit "$s" --addr "$addr" --json true)"
+    case "$reply" in
+        *'"cached":true'*) ;;
+        *) echo "post-restart submit of $s must replay from the journal: $reply" >&2; exit 1;;
+    esac
+done
+after="$("$bench" submit radabs --addr "$addr" --json true)"
+if [ "$after" != "$before" ]; then
+    echo "replayed radabs result is not byte-identical to the pre-crash reply" >&2
+    exit 1
+fi
+stats="$("$bench" stats --addr "$addr")"
+case "$stats" in
+    *'"replayed":3'*) ;;
+    *) echo "restarted daemon must report three replayed journal records: $stats" >&2; exit 1;;
+esac
+metrics="$("$bench" metrics --addr "$addr" --json true)"
+case "$metrics" in
+    *'"reconciled":true'*) ;;
+    *) echo "restarted daemon's counters must reconcile: $metrics" >&2; exit 1;;
+esac
+# Exit through the new drain verb: nothing is pending, so it exits 0 fast.
+"$bench" drain --addr "$addr" --deadline 5 >/dev/null
+if ! wait "$crash_pid"; then
+    echo "sxd did not exit 0 after drain" >&2
+    exit 1
+fi
+rm -rf "$state_dir" "$crash_log"
 
 echo "==> CI OK"

@@ -65,6 +65,7 @@ fn main() {
             "stats" => Some(serve::cmd_stats(rest)),
             "metrics" => Some(serve::cmd_metrics(rest)),
             "shutdown" => Some(serve::cmd_shutdown(rest)),
+            "drain" => Some(serve::cmd_drain(rest)),
             "flood" => Some(serve::cmd_flood(rest)),
             "raw" => Some(serve::cmd_raw(rest)),
             _ => None,
@@ -104,10 +105,11 @@ fn main() {
         eprintln!("       ncar-bench check [--deny-warnings]   # run the sxcheck analyzer");
         eprintln!(
             "       ncar-bench serve [--addr A] [--workers N] [--cache-cap N] \
-             [--admit-timeout SECS]"
+             [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]"
         );
         eprintln!("       ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]...");
         eprintln!("       ncar-bench stats|shutdown|raw <line> [--addr A]");
+        eprintln!("       ncar-bench drain [--addr A] [--deadline SECS]");
         eprintln!("       ncar-bench metrics [--addr A] [--json true] [--watch SECS]");
         eprintln!("       ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...");
         eprintln!("experiments:");

@@ -1,6 +1,6 @@
 //! The serving subcommands: `serve`, `submit`, `stats`, `shutdown`,
-//! `flood` and `raw` — the client/daemon face of the harness (see the
-//! `sxd` crate for the protocol itself).
+//! `drain`, `flood` and `raw` — the client/daemon face of the harness
+//! (see the `sxd` crate for the protocol itself).
 //!
 //! Every experiment of the batch CLI is also a servable suite. Each gets
 //! an NQS [`Demand`] sized after what the paper says the workload needs:
@@ -132,7 +132,8 @@ fn fail(detail: &str) -> i32 {
     1
 }
 
-/// `ncar-bench serve [--addr A] [--workers N] [--cache-cap N] [--admit-timeout SECS]`
+/// `ncar-bench serve [--addr A] [--workers N] [--cache-cap N]
+/// [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]`
 pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
     let args = match Args::parse(args) {
         Ok(a) => a,
@@ -150,6 +151,17 @@ pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
     match args.get_f64("admit-timeout") {
         Ok(Some(secs)) if secs > 0.0 => config.admit_timeout = Duration::from_secs_f64(secs),
         Ok(Some(_)) => return fail("--admit-timeout wants a positive number of seconds"),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    // --state-dir turns on the durable journal: results survive restarts,
+    // and a drain past its deadline checkpoints stragglers there.
+    if let Some(dir) = args.get("state-dir") {
+        config.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    match args.get_f64("drain-deadline") {
+        Ok(Some(secs)) if secs >= 0.0 => config.drain_deadline = Duration::from_secs_f64(secs),
+        Ok(Some(_)) => return fail("--drain-deadline wants a non-negative number of seconds"),
         Ok(None) => {}
         Err(e) => return fail(&e),
     }
@@ -340,6 +352,34 @@ pub fn cmd_shutdown(args: &[String]) -> i32 {
     match client.shutdown() {
         Ok(()) => {
             println!("sxd acknowledged shutdown");
+            0
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+/// `ncar-bench drain [--addr A] [--deadline SECS]` — graceful drain: the
+/// daemon stops admission, gives in-flight jobs the deadline to finish,
+/// checkpoints the stragglers to restart specs (when it has a state dir)
+/// and exits. Without `--deadline` the server's configured default applies.
+pub fn cmd_drain(args: &[String]) -> i32 {
+    let args = match Args::parse(args) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let deadline_ms = match args.get_f64("deadline") {
+        Ok(Some(secs)) if secs >= 0.0 => Some((secs * 1000.0) as u64),
+        Ok(Some(_)) => return fail("--deadline wants a non-negative number of seconds"),
+        Ok(None) => None,
+        Err(e) => return fail(&e),
+    };
+    let mut client = match Client::connect(&args.addr()) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    match client.drain(deadline_ms) {
+        Ok(()) => {
+            println!("sxd acknowledged drain");
             0
         }
         Err(e) => fail(&e.to_string()),

@@ -286,6 +286,15 @@ impl<'a> Parser<'a> {
                                     return Err(self.err("lone surrogate"));
                                 }
                                 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                // A low surrogate with no preceding high
+                                // half (lone, or an inverted pair) can
+                                // never form a scalar value. Reporting it
+                                // here keeps the diagnosis precise;
+                                // `char::from_u32` below would reject it
+                                // anyway, so no surrogate ever leaks
+                                // through as U+FFFD or worse.
+                                return Err(self.err("lone surrogate"));
                             } else {
                                 hi
                             };
@@ -452,6 +461,41 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn surrogate_escapes_pair_or_fail_typed() {
+        // A valid pair decodes to the astral code point.
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+
+        // Every malformed surrogate shape is a typed JsonError — never a
+        // panic, never a silent U+FFFD replacement.
+        for (doc, detail) in [
+            // Unpaired high surrogate: end of string, non-escape tail,
+            // or followed by a non-surrogate escape.
+            (r#""\ud800""#, "lone surrogate"),
+            (r#""\ud800 tail""#, "lone surrogate"),
+            (r#""\ud800\n""#, "lone surrogate"),
+            (r#""\ud800A""#, "lone surrogate"),
+            // Two high halves in a row.
+            (r#""\ud800\ud801""#, "lone surrogate"),
+            // Lone low surrogate, both range edges.
+            (r#""\udc00""#, "lone surrogate"),
+            (r#""\udfff x""#, "lone surrogate"),
+            // Inverted pair: low half first.
+            (r#""\udc00\ud800""#, "lone surrogate"),
+            // Truncated escapes inside the pair.
+            (r#""\ud800\u00""#, "bad \\u escape"),
+            (r#""\ud800\u""#, "bad \\u escape"),
+            (r#""\ud8""#, "bad \\u escape"),
+        ] {
+            let err = Json::parse(doc).unwrap_err();
+            assert_eq!(err.detail, detail, "doc {doc}");
+        }
+
+        // The surrogate range boundaries themselves are ordinary escapes.
+        assert_eq!(Json::parse(r#""\ud7ff\ue000""#).unwrap().as_str(), Some("\u{d7ff}\u{e000}"));
     }
 
     #[test]

@@ -14,11 +14,19 @@
 //!   yield a [`WireError`], and length-prefixed reads are validated
 //!   against the bytes actually present before any allocation happens.
 
+use crate::hash::fnv64;
+
 /// Hard cap on a single length-prefixed field ([`WireWriter::put_str`] /
 /// [`WireReader::try_get_str`]). Decoders reject longer claims before
 /// allocating, so a hostile 4 GB length prefix on a 10-byte frame costs
 /// nothing.
 pub const MAX_FIELD_BYTES: usize = 1 << 20;
+
+/// Hard cap on one checksummed record ([`WireWriter::put_record`] /
+/// [`WireReader::try_get_record`]). Records carry whole serialized result
+/// payloads (up to a reply frame), so the cap matches the 16 MiB reply
+/// frame rather than the 1 MiB identifier-field cap.
+pub const MAX_RECORD_BYTES: usize = 16 << 20;
 
 /// Typed decode failure for the fallible reader API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +37,9 @@ pub enum WireError {
     FieldTooLong { len: usize, max: usize },
     /// A string field decoded to invalid UTF-8.
     BadUtf8,
+    /// A record's stored FNV-1a digest does not match its bytes (torn or
+    /// corrupted write).
+    BadDigest { expect: u64, got: u64 },
 }
 
 impl std::fmt::Display for WireError {
@@ -41,6 +52,9 @@ impl std::fmt::Display for WireError {
                 write!(f, "wire field of {len} bytes exceeds the {max}-byte cap")
             }
             WireError::BadUtf8 => write!(f, "wire string field is not valid UTF-8"),
+            WireError::BadDigest { expect, got } => {
+                write!(f, "wire record digest mismatch: stored {expect:016x}, computed {got:016x}")
+            }
         }
     }
 }
@@ -89,6 +103,20 @@ impl WireWriter {
         }
         self.put_u32(end as u32);
         self.buf.extend_from_slice(&s.as_bytes()[..end]);
+    }
+
+    /// Append one checksummed record: `u32` byte count, the payload bytes,
+    /// then the payload's FNV-1a/64 digest. This is the unit of the `sxd`
+    /// result journal: a reader that hits a short or digest-mismatched
+    /// record knows the stream ends in a torn write and can truncate there.
+    /// Payloads longer than [`MAX_RECORD_BYTES`] are truncated (journal
+    /// records are bounded by the reply-frame cap, so this never fires in
+    /// practice).
+    pub fn put_record(&mut self, payload: &[u8]) {
+        let end = payload.len().min(MAX_RECORD_BYTES);
+        self.put_u32(end as u32);
+        self.buf.extend_from_slice(&payload[..end]);
+        self.put_u64(fnv64(&payload[..end]));
     }
 
     pub fn len(&self) -> usize {
@@ -174,6 +202,16 @@ impl<'a> WireReader<'a> {
         Ok(f64::from_be_bytes(self.try_take::<8>()?))
     }
 
+    /// Take every remaining byte, advancing the cursor to the end. Used by
+    /// decoders whose last field is "the rest of the record" (the `sxd`
+    /// journal stores result payloads this way, unprefixed, because the
+    /// enclosing record already carries the length and digest).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let r = &self.data[self.pos..];
+        self.pos = self.data.len();
+        r
+    }
+
     /// Fallible [`WireReader::sub_reader`].
     pub fn try_sub_reader(&mut self, n: usize) -> Result<WireReader<'a>, WireError> {
         if self.remaining() < n {
@@ -196,6 +234,40 @@ impl<'a> WireReader<'a> {
         let bytes = &self.data[self.pos..self.pos + len];
         self.pos += len;
         std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read one [`WireWriter::put_record`] record, verifying its digest.
+    /// The claimed length is checked against the cap and the bytes present
+    /// before anything is hashed; a digest mismatch is a typed error. On
+    /// any error the cursor is left where the record started, so a journal
+    /// reader can truncate the stream at the last good record boundary.
+    pub fn try_get_record(&mut self) -> Result<&'a [u8], WireError> {
+        let start = self.pos;
+        let rewind = |r: &mut Self, e: WireError| {
+            r.pos = start;
+            Err(e)
+        };
+        let len = match self.try_get_u32() {
+            Ok(n) => n as usize,
+            Err(e) => return rewind(self, e),
+        };
+        if len > MAX_RECORD_BYTES {
+            return rewind(self, WireError::FieldTooLong { len, max: MAX_RECORD_BYTES });
+        }
+        if len + 8 > self.remaining() {
+            return rewind(
+                self,
+                WireError::Underflow { needed: len + 8, remaining: self.remaining() },
+            );
+        }
+        let payload = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        let expect = self.get_u64();
+        let got = fnv64(payload);
+        if expect != got {
+            return rewind(self, WireError::BadDigest { expect, got });
+        }
+        Ok(payload)
     }
 }
 
@@ -231,6 +303,19 @@ mod tests {
         let mut head = r.sub_reader(4);
         assert_eq!(head.get_u32(), 7);
         assert_eq!(r.get_u32(), 9);
+    }
+
+    #[test]
+    fn rest_takes_everything_left_exactly_once() {
+        let mut w = WireWriter::default();
+        w.put_u16(3);
+        w.put_bytes(b"tail bytes");
+        let v = w.into_vec();
+        let mut r = WireReader::new(&v);
+        assert_eq!(r.get_u16(), 3);
+        assert_eq!(r.rest(), b"tail bytes");
+        assert_eq!(r.rest(), b"");
+        assert_eq!(r.remaining(), 0);
     }
 
     #[test]
@@ -300,6 +385,55 @@ mod tests {
         let back = r.try_get_str().unwrap();
         assert!(back.len() <= MAX_FIELD_BYTES);
         assert!(s.starts_with(&back));
+    }
+
+    #[test]
+    fn records_roundtrip_and_leave_the_cursor_between_records() {
+        let mut w = WireWriter::default();
+        w.put_record(b"first payload");
+        w.put_record(b"");
+        w.put_record(b"third");
+        let v = w.into_vec();
+        let mut r = WireReader::new(&v);
+        assert_eq!(r.try_get_record().unwrap(), b"first payload");
+        assert_eq!(r.try_get_record().unwrap(), b"");
+        assert_eq!(r.try_get_record().unwrap(), b"third");
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(r.try_get_record(), Err(WireError::Underflow { .. })));
+    }
+
+    #[test]
+    fn torn_and_corrupted_records_rewind_to_the_record_boundary() {
+        let mut w = WireWriter::default();
+        w.put_record(b"good");
+        w.put_record(b"torn-away");
+        let v = w.into_vec();
+        let good_end = 4 + 4 + 8; // len + "good" + digest
+
+        // Every strict truncation of the second record fails and leaves
+        // the cursor exactly at the end of the first (truncation point).
+        for cut in good_end..v.len() {
+            let mut r = WireReader::new(&v[..cut]);
+            assert_eq!(r.try_get_record().unwrap(), b"good");
+            assert!(r.try_get_record().is_err(), "cut at {cut} decoded");
+            assert_eq!(r.remaining(), cut - good_end, "cursor must rewind to the boundary");
+        }
+
+        // A flipped payload byte is a digest mismatch, not silent data.
+        let mut corrupt = v.clone();
+        corrupt[good_end + 4] ^= 0x40;
+        let mut r = WireReader::new(&corrupt);
+        assert_eq!(r.try_get_record().unwrap(), b"good");
+        assert!(matches!(r.try_get_record(), Err(WireError::BadDigest { .. })));
+
+        // A hostile length prefix is rejected before hashing anything.
+        let mut w = WireWriter::default();
+        w.put_u32((MAX_RECORD_BYTES + 1) as u32);
+        w.put_bytes(b"xx");
+        let hostile = w.into_vec();
+        let mut r = WireReader::new(&hostile);
+        assert!(matches!(r.try_get_record(), Err(WireError::FieldTooLong { .. })));
+        assert_eq!(r.remaining(), hostile.len(), "failed record read consumes nothing");
     }
 
     /// Property-style round-trip: a seeded random schema of typed fields

@@ -58,7 +58,7 @@ pub struct Schedule {
 /// Why a job mix could not be scheduled. These used to be panics; they are
 /// values so operators driving NQS from job files get a message, not an
 /// abort.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NqsError {
     /// The Resource Blocks together exceed the node's processors.
     BlocksOversubscribed { requested: usize, available: usize },
@@ -71,6 +71,9 @@ pub enum NqsError {
     JobTooBig { job: String, needs: u64, block: String, has: u64 },
     /// Jobs remain but none can ever start (dependency cycle).
     Deadlock { waiting: Vec<String> },
+    /// A checkpoint split was asked for a completed fraction outside
+    /// `[0, 1]` (or NaN), which would manufacture negative restart work.
+    BadFraction { job: String, fraction: f64 },
 }
 
 impl std::fmt::Display for NqsError {
@@ -91,6 +94,9 @@ impl std::fmt::Display for NqsError {
             ),
             NqsError::Deadlock { waiting } => {
                 write!(f, "NQS deadlock: jobs remain but none can run: {}", waiting.join(", "))
+            }
+            NqsError::BadFraction { job, fraction } => {
+                write!(f, "checkpoint of job {job} at fraction {fraction} is outside [0, 1]")
             }
         }
     }
@@ -253,20 +259,29 @@ impl<'a> Nqs<'a> {
 /// checkpoint write appended, restart spec for the remainder). Checkpoint
 /// and restart both move `state_bytes` through the file system; the caller
 /// adds those seconds (from [`crate::sfs::Sfs`]) to the halves.
+///
+/// `fraction_done` must lie in `[0, 1]` (both edges are legitimate: a job
+/// checkpointed before its first cycle, or exactly at completion). Any
+/// other value — including NaN — used to be an `assert!` abort and now
+/// returns a typed [`NqsError::BadFraction`]: a fraction outside the range
+/// would fabricate negative solo seconds for one of the halves, which the
+/// scheduler would then happily "run" backwards in time.
 pub fn checkpoint_split(
     job: &JobSpec,
     fraction_done: f64,
     ckpt_seconds: f64,
     restart_seconds: f64,
-) -> (JobSpec, JobSpec) {
-    assert!((0.0..1.0).contains(&fraction_done));
+) -> Result<(JobSpec, JobSpec), NqsError> {
+    if !(0.0..=1.0).contains(&fraction_done) {
+        return Err(NqsError::BadFraction { job: job.name.clone(), fraction: fraction_done });
+    }
     let mut first = job.clone();
     first.name = format!("{}-ckpt", job.name);
     first.solo_seconds = job.solo_seconds * fraction_done + ckpt_seconds;
     let mut rest = job.clone();
     rest.name = format!("{}-restart", job.name);
     rest.solo_seconds = job.solo_seconds * (1.0 - fraction_done) + restart_seconds;
-    (first, rest)
+    Ok((first, rest))
 }
 
 #[cfg(test)]
@@ -360,9 +375,39 @@ mod tests {
     #[test]
     fn checkpoint_split_preserves_total_work() {
         let j = job("long", 8, 1000.0);
-        let (a, b) = checkpoint_split(&j, 0.4, 5.0, 3.0);
+        let (a, b) = checkpoint_split(&j, 0.4, 5.0, 3.0).unwrap();
         assert!((a.solo_seconds + b.solo_seconds - (1000.0 + 8.0)).abs() < 1e-9);
         assert!(a.name.contains("ckpt") && b.name.contains("restart"));
+    }
+
+    #[test]
+    fn checkpoint_split_accepts_both_edges_exactly() {
+        let j = job("edge", 8, 1000.0);
+        // fraction 0: nothing done, the restart half carries all the work.
+        let (a, b) = checkpoint_split(&j, 0.0, 5.0, 3.0).unwrap();
+        assert_eq!(a.solo_seconds, 5.0);
+        assert_eq!(b.solo_seconds, 1003.0);
+        // fraction 1: everything done, the restart half is overhead only.
+        let (a, b) = checkpoint_split(&j, 1.0, 5.0, 3.0).unwrap();
+        assert_eq!(a.solo_seconds, 1005.0);
+        assert_eq!(b.solo_seconds, 3.0);
+        // No half may ever owe negative work.
+        for f in [0.0, 0.5, 1.0] {
+            let (a, b) = checkpoint_split(&j, f, 0.0, 0.0).unwrap();
+            assert!(a.solo_seconds >= 0.0 && b.solo_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_split_rejects_out_of_range_fractions_typed() {
+        let j = job("bad", 8, 1000.0);
+        for f in [-0.1, 1.1, -f64::EPSILON, 1.0 + 1e-9, f64::NAN, f64::INFINITY, -1e9] {
+            let err = checkpoint_split(&j, f, 5.0, 3.0).unwrap_err();
+            assert!(
+                matches!(err, NqsError::BadFraction { ref job, .. } if job == "bad"),
+                "fraction {f} -> {err}"
+            );
+        }
     }
 
     #[test]

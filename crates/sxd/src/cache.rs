@@ -144,6 +144,17 @@ impl ResultCache {
         self.cap
     }
 
+    /// Snapshot every live entry in LRU order (least recently used first).
+    /// This is the journal-compaction feed: replaying the snapshot
+    /// oldest-first through [`ResultCache::insert`] rebuilds the same
+    /// recency order, so eviction behaves identically across a restart.
+    pub fn entries_lru(&self) -> Vec<(u64, String)> {
+        let mut v: Vec<(u64, u64, &String)> =
+            self.map.iter().map(|(k, e)| (e.seq, *k, &e.value)).collect();
+        v.sort_unstable_by_key(|&(seq, _, _)| seq);
+        v.into_iter().map(|(_, k, val)| (k, val.clone())).collect()
+    }
+
     #[cfg(test)]
     fn order_len(&self) -> usize {
         self.order.len()
@@ -220,6 +231,89 @@ mod tests {
         c.insert(5, "v5".into());
         c.insert(6, "v6".into());
         assert!(c.get(2).is_some(), "hot entry must have survived the evictions");
+    }
+
+    /// Property test against a reference model: a naive ordered-list LRU
+    /// driven by the same random insert/hit/evict churn. At every step the
+    /// real cache must agree with the model on membership, values,
+    /// counters and bounds; at the end, [`ResultCache::entries_lru`] must
+    /// reproduce the model's exact recency order (the journal-compaction
+    /// contract).
+    #[test]
+    fn random_churn_matches_reference_model_and_stays_bounded() {
+        use ncar_suite::SmallRng;
+
+        // The model: front = least recently used, back = most recent.
+        struct Model {
+            cap: usize,
+            list: Vec<(u64, String)>,
+            hits: u64,
+            misses: u64,
+            evictions: u64,
+        }
+        impl Model {
+            fn get(&mut self, k: u64) -> Option<String> {
+                match self.list.iter().position(|(mk, _)| *mk == k) {
+                    Some(i) => {
+                        self.hits += 1;
+                        let e = self.list.remove(i);
+                        let v = e.1.clone();
+                        self.list.push(e);
+                        Some(v)
+                    }
+                    None => {
+                        self.misses += 1;
+                        None
+                    }
+                }
+            }
+            fn insert(&mut self, k: u64, v: String) {
+                if let Some(i) = self.list.iter().position(|(mk, _)| *mk == k) {
+                    self.list.remove(i);
+                    self.list.push((k, v));
+                    return;
+                }
+                self.list.push((k, v));
+                while self.list.len() > self.cap {
+                    self.list.remove(0);
+                    self.evictions += 1;
+                }
+            }
+        }
+
+        let mut rng = SmallRng::seed_from_u64(0x4c52_5543); // "LRUC"
+        for trial in 0..20 {
+            let cap = rng.range(1, 9);
+            let keyspace = (rng.range(1, 4) * cap + 1) as u64;
+            let mut real = ResultCache::new(cap);
+            let mut model = Model { cap, list: Vec::new(), hits: 0, misses: 0, evictions: 0 };
+            for step in 0..1000u64 {
+                let k = rng.next_u64() % keyspace;
+                if rng.next_below(3) == 0 {
+                    let v = format!("t{trial}s{step}");
+                    real.insert(k, v.clone());
+                    model.insert(k, v);
+                } else {
+                    assert_eq!(real.get(k), model.get(k), "trial {trial} step {step} key {k}");
+                }
+                assert!(real.len() <= cap, "capacity exceeded: {} > {cap}", real.len());
+                assert!(
+                    real.order_len() <= (2 * real.len()).max(16) + 1,
+                    "order queue unbounded at trial {trial} step {step}: {}",
+                    real.order_len()
+                );
+                assert_eq!(
+                    (real.hits(), real.misses(), real.evictions()),
+                    (model.hits, model.misses, model.evictions),
+                    "counter drift at trial {trial} step {step}"
+                );
+            }
+            assert_eq!(
+                real.entries_lru(),
+                model.list,
+                "entries_lru must reproduce the model's recency order (trial {trial})"
+            );
+        }
     }
 
     #[test]

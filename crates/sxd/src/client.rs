@@ -9,7 +9,7 @@ use std::net::TcpStream;
 use ncar_suite::Json;
 
 use crate::error::SxdError;
-use crate::proto::{read_frame, Request, MAX_REPLY_FRAME};
+use crate::proto::{read_frame, Request, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};
 
 /// A connected protocol client.
 pub struct Client {
@@ -47,7 +47,17 @@ impl Client {
     }
 
     /// Send a line, parse the reply, surface `ok:false` as a typed error.
+    ///
+    /// Preflights the frame cap before writing a byte: the server would
+    /// reject an oversized line with the same `frame_too_long` kind *and
+    /// then close the connection* (there is no resync point inside an
+    /// unterminated frame), so catching it client-side keeps the
+    /// connection usable. [`Client::raw`] deliberately skips this check —
+    /// it exists to throw hostile frames at the server.
     fn roundtrip(&mut self, line: &str) -> Result<(Json, String), SxdError> {
+        if line.len() > MAX_REQUEST_FRAME {
+            return Err(SxdError::FrameTooLong { len: line.len(), max: MAX_REQUEST_FRAME });
+        }
         let raw = self.raw(line)?;
         let doc =
             Json::parse(&raw).map_err(|e| SxdError::BadJson { detail: format!("reply: {e}") })?;
@@ -113,6 +123,13 @@ impl Client {
     /// Ask the daemon to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), SxdError> {
         self.roundtrip(&Request::Shutdown.to_line()).map(|_| ())
+    }
+
+    /// Ask the daemon to drain gracefully: stop admission, give in-flight
+    /// jobs `deadline_ms` to finish (the server's configured default when
+    /// `None`), checkpoint the stragglers to restart specs, then exit.
+    pub fn drain(&mut self, deadline_ms: Option<u64>) -> Result<(), SxdError> {
+        self.roundtrip(&Request::Drain { deadline_ms }.to_line()).map(|_| ())
     }
 }
 

@@ -30,6 +30,11 @@ pub enum SxdError {
     RunFailed { detail: String },
     /// The daemon is draining and refuses new work.
     ShuttingDown,
+    /// A drain deadline expired while this job was still pending; its
+    /// remaining work was checkpointed to a restart spec and will be
+    /// re-admitted on the next boot (the SUPER-UX checkpoint/restart
+    /// model, paper §2.6.2).
+    Checkpointed { detail: String },
     /// Client-side view of an error reply whose kind the client does not
     /// interpret further.
     Remote { kind: String, detail: String },
@@ -52,6 +57,7 @@ impl SxdError {
             SxdError::Rejected { .. } => "rejected",
             SxdError::RunFailed { .. } => "run_failed",
             SxdError::ShuttingDown => "shutting_down",
+            SxdError::Checkpointed { .. } => "checkpointed",
             SxdError::Remote { kind, .. } => kind,
         }
     }
@@ -64,6 +70,7 @@ impl SxdError {
             | SxdError::BadRequest { detail }
             | SxdError::Rejected { detail }
             | SxdError::RunFailed { detail }
+            | SxdError::Checkpointed { detail }
             | SxdError::Remote { detail, .. } => detail.clone(),
             SxdError::FrameTooLong { len, max } => {
                 format!("frame of {len}+ bytes exceeds the {max}-byte cap")

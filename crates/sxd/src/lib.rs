@@ -14,6 +14,12 @@
 //!   the FNV-1a cache key over (code version, suite, machine model bytes,
 //!   parameter set);
 //! - [`cache`] — the LRU result cache with hit/miss accounting;
+//! - [`journal`] — the durable write-ahead result journal (checksummed
+//!   records, torn-tail truncation, snapshot compaction) and the drain-
+//!   checkpoint restart specs, the daemon's SUPER-UX checkpoint/restart
+//!   analogue (paper §2.6.2);
+//! - [`faultpoint`] — named crash/IO-error injection points (behind the
+//!   `faults` feature) that the kill-and-restart tests arm one at a time;
 //! - [`server`] — the daemon: accept loop, bounded admission wait,
 //!   contention-stretched simulated seconds, single-flighted identical
 //!   submits, always-consistent counters, and the `METRICS` verb serving
@@ -27,11 +33,14 @@
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod faultpoint;
+pub mod journal;
 pub mod proto;
 pub mod server;
 
 pub use cache::ResultCache;
 pub use client::{flood, Client, FloodConfig, FloodOutcome, Submission};
 pub use error::SxdError;
+pub use journal::{Journal, RestartSpec};
 pub use proto::{cache_key, read_frame, Request, CODE_VERSION, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};
 pub use server::{Counters, Demand, JobEntry, RunFn, Server, ServerConfig, SuiteStat};

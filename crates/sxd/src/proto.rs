@@ -9,10 +9,11 @@
 //! closes — there is no way to resync inside an oversized frame).
 //!
 //! ```text
-//! request  = submit | stats | metrics | shutdown
+//! request  = submit | stats | metrics | drain | shutdown
 //! submit   = {"op":"submit","suite":S,"machine":M?,"params":{K:V,...}?}
 //! stats    = {"op":"stats"}
 //! metrics  = {"op":"metrics"}
+//! drain    = {"op":"drain","deadline_ms":N?}
 //! shutdown = {"op":"shutdown"}
 //! reply    = {"ok":true,...} | {"ok":false,"error":{"kind":K,"detail":D}}
 //! ```
@@ -21,6 +22,11 @@
 //! latency histograms, gauges, and the per-suite simulated-seconds
 //! breakdown — reconciled against the same job counters `stats` reports
 //! (see the README section "Observing the daemon" for the schema).
+//!
+//! `drain` stops admission, waits `deadline_ms` (forever when omitted)
+//! for in-flight jobs, checkpoints whatever is still pending to restart
+//! specs, and then shuts down — see the README section "Durability and
+//! restart".
 //!
 //! `machine` defaults to `"sx4-9.2"` (the February-1996 benchmarked
 //! system); `params` values may be strings, numbers or booleans and are
@@ -45,7 +51,12 @@ use sxsim::MachineModel;
 
 use crate::error::SxdError;
 
-/// Cap on one request line, newline included.
+/// Cap on one request line's *content* — the terminating newline is not
+/// counted, so a request of exactly this many bytes plus its `\n` is the
+/// largest frame accepted. The server's [`read_frame`] and the client's
+/// pre-send check in [`crate::Client`] enforce the same boundary, so an
+/// oversized request fails identically (kind `frame_too_long`) whichever
+/// side catches it first.
 pub const MAX_REQUEST_FRAME: usize = 64 * 1024;
 
 /// Cap on one reply line (replies embed whole rendered reports).
@@ -86,9 +97,19 @@ pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, S
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    Submit { suite: String, machine: String, params: BTreeMap<String, String> },
+    Submit {
+        suite: String,
+        machine: String,
+        params: BTreeMap<String, String>,
+    },
     Stats,
     Metrics,
+    /// Stop admission, wait up to `deadline_ms` for in-flight jobs (no
+    /// deadline = wait indefinitely), checkpoint the stragglers, shut
+    /// down.
+    Drain {
+        deadline_ms: Option<u64>,
+    },
     Shutdown,
 }
 
@@ -105,6 +126,16 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
+            "drain" => {
+                let deadline_ms = match doc.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Num(x)) if *x >= 0.0 && x.is_finite() => Some(*x as u64),
+                    Some(_) => {
+                        return Err(bad_request("\"deadline_ms\" must be a non-negative number"))
+                    }
+                };
+                Ok(Request::Drain { deadline_ms })
+            }
             "submit" => {
                 let suite = doc
                     .get("suite")
@@ -138,7 +169,7 @@ impl Request {
                 }
                 Ok(Request::Submit { suite, machine, params })
             }
-            _ => Err(bad_request("op must be one of submit/stats/metrics/shutdown")),
+            _ => Err(bad_request("op must be one of submit/stats/metrics/drain/shutdown")),
         }
     }
 
@@ -148,6 +179,10 @@ impl Request {
             Request::Stats => "{\"op\":\"stats\"}".into(),
             Request::Metrics => "{\"op\":\"metrics\"}".into(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
+            Request::Drain { deadline_ms: None } => "{\"op\":\"drain\"}".into(),
+            Request::Drain { deadline_ms: Some(ms) } => {
+                format!("{{\"op\":\"drain\",\"deadline_ms\":{ms}}}")
+            }
             Request::Submit { suite, machine, params } => {
                 let members = vec![
                     ("op".to_string(), Json::Str("submit".into())),
@@ -208,6 +243,8 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
+            Request::Drain { deadline_ms: None },
+            Request::Drain { deadline_ms: Some(2500) },
             Request::Submit { suite: "fig5".into(), machine: "sx4-9.2".into(), params },
         ] {
             assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
@@ -237,6 +274,8 @@ mod tests {
             ("{\"op\":\"submit\",\"suite\":\"x\",\"params\":[1]}", "bad_request"),
             ("{\"op\":\"submit\",\"suite\":\"x\",\"params\":{\"k\":[]}}", "bad_request"),
             ("{\"op\":\"submit\",\"suite\":\"x\",\"machine\":5}", "bad_request"),
+            ("{\"op\":\"drain\",\"deadline_ms\":-1}", "bad_request"),
+            ("{\"op\":\"drain\",\"deadline_ms\":\"soon\"}", "bad_request"),
             ("{\"op\":", "bad_json"),
         ] {
             let err = Request::parse(frame).unwrap_err();
@@ -279,6 +318,34 @@ mod tests {
         // Non-UTF-8 is a typed error, not a panic.
         let mut bad = std::io::Cursor::new(vec![0xff, 0xfe, b'\n']);
         assert!(matches!(read_frame(&mut bad, 64), Err(SxdError::BadJson { .. })));
+    }
+
+    /// The cap boundary, pinned at the real limit: a frame of exactly
+    /// `MAX_REQUEST_FRAME` content bytes is the largest accepted, with or
+    /// without its trailing newline; one byte more is rejected, newline
+    /// present or not. The client preflight (`client.rs`) mirrors this
+    /// exact boundary, so both sides of the wire agree byte-for-byte.
+    #[test]
+    fn frame_cap_boundary_is_exact_at_max_request_frame() {
+        let max = MAX_REQUEST_FRAME;
+        for (content_len, ok) in [(max - 1, true), (max, true), (max + 1, false)] {
+            // Terminated frame.
+            let mut line = vec![b'z'; content_len];
+            line.push(b'\n');
+            let mut r = std::io::Cursor::new(line);
+            let got = read_frame(&mut r, max);
+            assert_eq!(got.is_ok(), ok, "terminated frame of {content_len} bytes");
+            if ok {
+                assert_eq!(got.unwrap().unwrap().len(), content_len);
+            } else {
+                assert!(matches!(got.unwrap_err(), SxdError::FrameTooLong { .. }));
+            }
+            // Final unterminated frame (EOF instead of newline): same
+            // verdict at every boundary point.
+            let mut r = std::io::Cursor::new(vec![b'z'; content_len]);
+            let got = read_frame(&mut r, max);
+            assert_eq!(got.is_ok(), ok, "unterminated frame of {content_len} bytes");
+        }
     }
 
     #[test]

@@ -23,11 +23,27 @@
 //! the `METRICS` verb. The `job` histogram is observed inside the same
 //! counters critical sections that retire a job, so a METRICS snapshot is
 //! internally reconciled: `latency.job.count == done + rejected`, exactly.
+//!
+//! With [`ServerConfig::state_dir`] set the daemon is *durable*: every
+//! completed result is appended to the write-ahead [`crate::journal`] and
+//! replayed into the cache on the next boot, so repeat configurations hit
+//! the cache — byte-identically — across a crash. The `drain` verb stops
+//! admission and lets in-flight jobs finish; past its deadline the
+//! stragglers are checkpointed through [`superux::nqs::checkpoint_split`]
+//! into restart specs that the next boot re-admits (SUPER-UX's NQS
+//! checkpoint/restart, paper §2.6.2). A checkpointed job retires as
+//! `rejected` (kind `checkpointed`), so the counters invariant holds
+//! unchanged on both sides of the restart boundary.
+//!
+//! Lock order, where nested: `inflight` before `cache`, and `journal`
+//! before `cache`. Nothing acquires `journal` or `inflight` while holding
+//! `cache`, so the hierarchy is acyclic.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -40,7 +56,13 @@ use sxsim::{presets, MachineModel};
 
 use crate::cache::ResultCache;
 use crate::error::SxdError;
+use crate::journal::{self, Journal, RestartSpec};
 use crate::proto::{cache_key, read_frame, submit_reply, Request, MAX_REQUEST_FRAME};
+
+/// Simulated seconds charged for writing a drain checkpoint (the `chkpnt`
+/// overhead in the NQS model) and for resuming from it on the next boot.
+const CKPT_SECONDS: f64 = 0.5;
+const RESTART_SECONDS: f64 = 0.5;
 
 /// What one job asks of the node, in NQS Resource-Block terms.
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +126,13 @@ pub struct ServerConfig {
     /// parked on the admission condvar waits forever if capacity never
     /// frees (a wedged runner, a leak), holding its connection hostage.
     pub admit_timeout: Duration,
+    /// Directory for the durable result journal and drain-checkpoint
+    /// restart specs. `None` (the default) serves from memory only, as
+    /// before.
+    pub state_dir: Option<PathBuf>,
+    /// Grace period a `drain` request without its own `deadline_ms` gives
+    /// in-flight jobs before checkpointing them.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +143,8 @@ impl Default for ServerConfig {
             cache_cap: 256,
             machine: presets::sx4_benchmarked(),
             admit_timeout: Duration::from_secs(30),
+            state_dir: None,
+            drain_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -142,6 +173,12 @@ pub struct Counters {
     pub bad_requests: u64,
     /// Submits that coalesced onto another in-flight identical run.
     pub coalesced: u64,
+    /// Jobs a drain deadline checkpointed to restart specs instead of
+    /// finishing. Informational: every checkpointed job is also counted in
+    /// `rejected` (its client got a typed `checkpointed` error), so the
+    /// `accepted == done + rejected + queued + running` invariant is
+    /// untouched.
+    pub checkpointed: u64,
     /// Per-suite serving totals, keyed by lowercased suite name.
     pub suites: BTreeMap<String, SuiteStat>,
 }
@@ -216,6 +253,17 @@ impl InflightSlot {
     }
 }
 
+/// What a drain needs to know about a job that is queued or running: how
+/// to reconstruct its submission (for the restart spec) and its demand
+/// (for [`superux::nqs::checkpoint_split`]).
+#[derive(Debug, Clone)]
+struct PendingJob {
+    suite: String,
+    machine: String,
+    params: BTreeMap<String, String>,
+    demand: Demand,
+}
+
 struct Daemon {
     registry: Registry<JobEntry>,
     addr: SocketAddr,
@@ -232,20 +280,57 @@ struct Daemon {
     shutting_down: AtomicBool,
     seq: AtomicU64,
     conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// The write-ahead result journal (`None` without a state dir).
+    /// Lock order: `journal` before `cache`, never the reverse.
+    journal: Mutex<Option<Journal>>,
+    state_dir: Option<PathBuf>,
+    drain_deadline: Duration,
+    /// Set by the `drain` verb: admission refuses new submits while
+    /// in-flight work winds down.
+    draining: AtomicBool,
+    /// Every leader currently queued or running, by cache key — the set a
+    /// drain deadline checkpoints.
+    pending: Mutex<HashMap<u64, PendingJob>>,
+    /// Keys whose restart specs have been durably persisted; their leaders
+    /// retire as `checkpointed` instead of completing.
+    ckpt: Mutex<HashSet<u64>>,
+    /// Journal appends that failed with an IO error (the result stayed
+    /// served from memory; only durability was lost).
+    journal_io_errors: AtomicU64,
 }
 
 /// A bound, not-yet-running daemon. [`Server::run`] blocks until a client
-/// sends `shutdown` and the queue drains.
+/// sends `shutdown` (or a `drain` completes) and the queue drains.
 pub struct Server {
     listener: TcpListener,
     daemon: Arc<Daemon>,
+    /// Restart specs a previous boot's drain checkpointed, re-admitted by
+    /// [`Server::run`] before the accept loop opens for business.
+    restarts: Vec<RestartSpec>,
 }
 
 impl Server {
-    /// Bind the listener and stand up the shared state.
+    /// Bind the listener and stand up the shared state. With a state dir
+    /// configured this is also recovery: the result journal is opened
+    /// (truncating any torn tail), its surviving records are replayed into
+    /// the cache oldest-first so LRU order carries across the restart, and
+    /// any drain-checkpointed restart specs are loaded for re-admission.
     pub fn bind(registry: Registry<JobEntry>, config: ServerConfig) -> Result<Server, SxdError> {
         let listener = TcpListener::bind(&config.addr).map_err(SxdError::io)?;
         let addr = listener.local_addr().map_err(SxdError::io)?;
+
+        let mut cache = ResultCache::new(config.cache_cap);
+        let (journal_slot, restarts) = match &config.state_dir {
+            Some(dir) => {
+                let (j, replay) = Journal::open(dir).map_err(SxdError::io)?;
+                for (key, payload) in replay {
+                    cache.insert(key, payload);
+                }
+                (Some(j), journal::load_restart_specs(dir))
+            }
+            None => (None, Vec::new()),
+        };
+
         let daemon = Arc::new(Daemon {
             registry,
             addr,
@@ -253,7 +338,7 @@ impl Server {
             admission: Mutex::new(Admission::whole_node(config.machine)),
             admit_cv: Condvar::new(),
             admit_timeout: config.admit_timeout,
-            cache: Mutex::new(ResultCache::new(config.cache_cap)),
+            cache: Mutex::new(cache),
             counters: Mutex::new(Counters::default()),
             inflight: Mutex::new(HashMap::new()),
             metrics: DaemonMetrics::new(),
@@ -261,8 +346,15 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
+            journal: Mutex::new(journal_slot),
+            state_dir: config.state_dir.clone(),
+            drain_deadline: config.drain_deadline,
+            draining: AtomicBool::new(false),
+            pending: Mutex::new(HashMap::new()),
+            ckpt: Mutex::new(HashSet::new()),
+            journal_io_errors: AtomicU64::new(0),
         });
-        Ok(Server { listener, daemon })
+        Ok(Server { listener, daemon, restarts })
     }
 
     /// Where the daemon is actually listening (resolves port 0).
@@ -271,8 +363,31 @@ impl Server {
     }
 
     /// Accept connections until shutdown, then drain and return.
-    pub fn run(self) -> Result<(), SxdError> {
+    pub fn run(mut self) -> Result<(), SxdError> {
         let mut handles = Vec::new();
+        // Re-admit work a previous boot's drain checkpointed. This runs
+        // beside the accept loop — clients can connect immediately — and
+        // the spec file is deleted only after every spec has been retired,
+        // so a crash mid-readmission re-loads the file next boot and the
+        // result cache dedupes whatever already completed.
+        let restarts = std::mem::take(&mut self.restarts);
+        if !restarts.is_empty() {
+            let d = Arc::clone(&self.daemon);
+            handles.push(std::thread::spawn(move || {
+                for spec in &restarts {
+                    let params: BTreeMap<String, String> = spec.params.iter().cloned().collect();
+                    let _ = d.submit_inner(
+                        &spec.suite,
+                        &spec.machine,
+                        &params,
+                        Some(spec.solo_seconds),
+                    );
+                }
+                if let Some(dir) = &d.state_dir {
+                    let _ = journal::clear_restart_specs(dir);
+                }
+            }));
+        }
         for stream in self.listener.incoming() {
             if self.daemon.shutting_down.load(Ordering::SeqCst) {
                 break;
@@ -297,7 +412,7 @@ impl Server {
     }
 }
 
-fn handle_conn(d: &Daemon, stream: TcpStream, id: u64) {
+fn handle_conn(d: &Arc<Daemon>, stream: TcpStream, id: u64) {
     let mut writer = stream;
     let mut reader = match writer.try_clone() {
         Ok(r) => BufReader::new(r),
@@ -337,7 +452,7 @@ enum SubmitPath {
 }
 
 impl Daemon {
-    fn handle_frame(&self, frame: &str) -> String {
+    fn handle_frame(self: &Arc<Self>, frame: &str) -> String {
         let t_parse = Instant::now();
         let parsed = Request::parse(frame);
         self.metrics.frame_parse.observe(t_parse.elapsed().as_secs_f64());
@@ -351,6 +466,15 @@ impl Daemon {
             Ok(Request::Shutdown) => {
                 self.initiate_shutdown();
                 "{\"ok\":true,\"shutting_down\":true}".into()
+            }
+            Ok(Request::Drain { deadline_ms }) => {
+                let deadline =
+                    deadline_ms.map(Duration::from_millis).unwrap_or(self.drain_deadline);
+                self.start_drain(deadline);
+                format!(
+                    "{{\"ok\":true,\"draining\":true,\"deadline_ms\":{}}}",
+                    deadline.as_millis()
+                )
             }
             Ok(Request::Submit { suite, machine, params }) => {
                 match self.handle_submit(&suite, &machine, &params) {
@@ -367,8 +491,21 @@ impl Daemon {
         machine: &str,
         params: &BTreeMap<String, String>,
     ) -> Result<String, SxdError> {
+        self.submit_inner(suite, machine, params, None)
+    }
+
+    /// One submission, end to end. `solo_override` replaces the suite's
+    /// registered solo seconds — the re-admission path uses it to run only
+    /// the work a checkpointed job had left.
+    fn submit_inner(
+        &self,
+        suite: &str,
+        machine: &str,
+        params: &BTreeMap<String, String>,
+        solo_override: Option<f64>,
+    ) -> Result<String, SxdError> {
         let t_job = Instant::now();
-        if self.shutting_down.load(Ordering::SeqCst) {
+        if self.shutting_down.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst) {
             return Err(SxdError::ShuttingDown);
         }
         let entry = match self.registry.get(suite) {
@@ -429,14 +566,20 @@ impl Daemon {
                 c.coalesced += 1;
                 match &outcome {
                     Ok(_) => c.done += 1,
-                    Err(_) => c.rejected += 1,
+                    Err(e) => {
+                        c.rejected += 1;
+                        if matches!(e, SxdError::Checkpointed { .. }) {
+                            c.checkpointed += 1;
+                        }
+                    }
                 }
                 self.metrics.job.observe(t_job.elapsed().as_secs_f64());
                 drop(c);
                 outcome.map(|payload| submit_reply(true, key, &payload))
             }
             SubmitPath::Leader(slot) => {
-                let outcome = self.run_as_leader(suite, entry, &model, params, key, t_job);
+                let outcome =
+                    self.run_as_leader(suite, entry, &model, params, key, t_job, solo_override);
                 // Retire the slot (the cache was populated first on
                 // success) and publish so followers wake with the result.
                 plock(&self.inflight).remove(&key);
@@ -448,7 +591,12 @@ impl Daemon {
 
     /// Admit, execute and render one job, returning its payload. Every
     /// early return retires the job in the counters (and observes the
-    /// reconciled `job` histogram) before surfacing the error.
+    /// reconciled `job` histogram) before surfacing the error. A drain
+    /// deadline can checkpoint the job while it is queued (it retires
+    /// without running) or while it is running (its result is discarded —
+    /// the persisted restart spec owns the work now, and completing both
+    /// would double-count it on the next boot).
+    #[allow(clippy::too_many_arguments)]
     fn run_as_leader(
         &self,
         suite: &str,
@@ -457,13 +605,27 @@ impl Daemon {
         params: &BTreeMap<String, String>,
         key: u64,
         t_job: Instant,
+        solo_override: Option<f64>,
     ) -> Result<String, SxdError> {
+        let demand = Demand {
+            solo_seconds: solo_override.unwrap_or(entry.demand.solo_seconds),
+            ..entry.demand
+        };
+        plock(&self.pending).insert(
+            key,
+            PendingJob {
+                suite: suite.to_string(),
+                machine: model.name.clone(),
+                params: params.clone(),
+                demand,
+            },
+        );
         let job = JobSpec {
             name: format!("sxd-{}", self.seq.fetch_add(1, Ordering::SeqCst)),
-            procs: entry.demand.procs,
-            memory_bytes: entry.demand.memory_bytes,
-            solo_seconds: entry.demand.solo_seconds,
-            bytes_per_cycle_per_proc: entry.demand.bytes_per_cycle_per_proc,
+            procs: demand.procs,
+            memory_bytes: demand.memory_bytes,
+            solo_seconds: demand.solo_seconds,
+            bytes_per_cycle_per_proc: demand.bytes_per_cycle_per_proc,
             block: 0,
             after: Vec::new(),
         };
@@ -473,6 +635,7 @@ impl Daemon {
             c.rejected += 1;
             self.metrics.job.observe(t_job.elapsed().as_secs_f64());
             drop(c);
+            plock(&self.pending).remove(&key);
             Err(SxdError::Rejected { detail })
         };
 
@@ -481,6 +644,14 @@ impl Daemon {
         let stretch = {
             let mut adm = plock(&self.admission);
             loop {
+                // A drain may have checkpointed this job while it sat in
+                // the queue: its remaining work is durably persisted, so it
+                // retires here without ever running.
+                if plock(&self.ckpt).remove(&key) {
+                    drop(adm);
+                    self.metrics.admission_wait.observe(t_adm.elapsed().as_secs_f64());
+                    return self.retire_checkpointed(key, t_job, false);
+                }
                 match adm.try_admit(&job) {
                     Err(e) => {
                         drop(adm);
@@ -529,6 +700,14 @@ impl Daemon {
         plock(&self.admission).release(&job.name);
         self.admit_cv.notify_all();
 
+        // A drain deadline may have checkpointed this job mid-run. The
+        // restart spec is already durable, so the next boot re-runs the
+        // work; serving this result too would double-count it. Discard it
+        // and retire as checkpointed, whatever the runner returned.
+        if plock(&self.ckpt).remove(&key) {
+            return self.retire_checkpointed(key, t_job, true);
+        }
+
         match outcome {
             Err(detail) => {
                 let mut c = plock(&self.counters);
@@ -536,10 +715,11 @@ impl Daemon {
                 c.rejected += 1;
                 self.metrics.job.observe(t_job.elapsed().as_secs_f64());
                 drop(c);
+                plock(&self.pending).remove(&key);
                 Err(SxdError::RunFailed { detail })
             }
             Ok(artifacts) => {
-                let sim_seconds = entry.demand.solo_seconds * stretch;
+                let sim_seconds = demand.solo_seconds * stretch;
                 let t_render = Instant::now();
                 let payload =
                     render_payload(suite, params, sim_seconds, stretch, &artifacts, &model.name);
@@ -554,10 +734,64 @@ impl Daemon {
                     s.stretch_sum += stretch;
                     self.metrics.job.observe(t_job.elapsed().as_secs_f64());
                 }
+                // Memory first, then disk: the cache is the source of
+                // truth this boot; the journal makes it the source of
+                // truth for the *next* boot. The compaction snapshot is
+                // taken after the insert so it can never lose the entry
+                // whose append it supersedes.
                 plock(&self.cache).insert(key, payload.clone());
+                self.persist_result(key, &payload);
+                plock(&self.pending).remove(&key);
                 Ok(payload)
             }
         }
+    }
+
+    /// Append one completed result to the journal (when durable) and
+    /// compact once enough appends have stacked up. Journal IO failures
+    /// are counted, not fatal: the client still gets its in-memory result,
+    /// only durability for this record is lost.
+    fn persist_result(&self, key: u64, payload: &str) {
+        let mut slot = plock(&self.journal);
+        let Some(j) = slot.as_mut() else { return };
+        if j.append(key, payload).is_err() {
+            self.journal_io_errors.fetch_add(1, Ordering::SeqCst);
+        }
+        if j.should_compact(plock(&self.cache).cap()) {
+            // Lock order: journal (held) -> cache. The snapshot is the
+            // cache's live LRU view, so replay rebuilds identical state.
+            let entries = plock(&self.cache).entries_lru();
+            if j.compact(&entries).is_err() {
+                self.journal_io_errors.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Retire a checkpointed leader: counted as `rejected` (the invariant
+    /// is untouched) plus the informational `checkpointed`, with the `job`
+    /// histogram observed in the same critical section as every other
+    /// retirement.
+    fn retire_checkpointed(
+        &self,
+        key: u64,
+        t_job: Instant,
+        was_running: bool,
+    ) -> Result<String, SxdError> {
+        {
+            let mut c = plock(&self.counters);
+            if was_running {
+                c.running -= 1;
+            } else {
+                c.queued -= 1;
+            }
+            c.rejected += 1;
+            c.checkpointed += 1;
+            self.metrics.job.observe(t_job.elapsed().as_secs_f64());
+        }
+        plock(&self.pending).remove(&key);
+        Err(SxdError::Checkpointed {
+            detail: "drain deadline checkpointed this job; it restarts on the next boot".into(),
+        })
     }
 
     /// The `stats` member both STATS and METRICS replies embed.
@@ -566,12 +800,26 @@ impl Daemon {
         let suite_seconds = Json::Obj(
             snap.suites.iter().map(|(k, s)| (k.clone(), Json::Num(s.sim_seconds))).collect(),
         );
+        let journal = match plock(&self.journal).as_ref() {
+            Some(j) => format!(
+                "{{\"appended\":{},\"replayed\":{},\"compactions\":{},\
+                 \"truncated_bytes\":{},\"io_errors\":{}}}",
+                j.appended(),
+                j.replayed(),
+                j.compactions(),
+                j.truncated_bytes(),
+                self.journal_io_errors.load(Ordering::SeqCst),
+            ),
+            None => "null".into(),
+        };
         format!(
             "{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
              \"running\":{},\"done\":{},\"bad_requests\":{},\"coalesced\":{},\
-             \"queue_depth\":{},\"cache\":{{\"hits\":{hits},\"misses\":{misses},\
+             \"checkpointed\":{},\"queue_depth\":{},\
+             \"cache\":{{\"hits\":{hits},\"misses\":{misses},\
              \"evictions\":{evictions},\"entries\":{entries},\"cap\":{cap}}},\
-             \"suite_seconds\":{},\"workers\":{},\"shutting_down\":{}}}",
+             \"suite_seconds\":{},\"workers\":{},\"journal\":{},\
+             \"draining\":{},\"shutting_down\":{}}}",
             snap.accepted,
             snap.rejected,
             snap.queued,
@@ -579,9 +827,12 @@ impl Daemon {
             snap.done,
             snap.bad_requests,
             snap.coalesced,
+            snap.checkpointed,
             snap.queued,
             suite_seconds,
             self.workers,
+            journal,
+            self.draining.load(Ordering::SeqCst),
             self.shutting_down.load(Ordering::SeqCst),
         )
     }
@@ -660,6 +911,82 @@ impl Daemon {
             suites,
             reconciled,
         )
+    }
+
+    /// Begin a graceful drain: stop admitting, give in-flight jobs
+    /// `deadline` to finish, checkpoint the stragglers, shut down.
+    /// Idempotent — the first drain wins.
+    fn start_drain(self: &Arc<Self>, deadline: Duration) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let d = Arc::clone(self);
+        std::thread::spawn(move || d.drain_worker(deadline));
+    }
+
+    /// The drain state machine. Phase 1: poll until every pending leader
+    /// retires or the deadline passes. Phase 2: split each straggler with
+    /// `checkpoint_split` and persist the restart halves — only once they
+    /// are durably on disk are the keys marked checkpointed, so a crash or
+    /// IO fault during persistence leaves the jobs to finish normally
+    /// instead of vanishing. Phase 3: wait for the stragglers to retire
+    /// (queued ones retire on the next condvar wake; running ones when the
+    /// runner returns), then shut the daemon down.
+    fn drain_worker(&self, deadline: Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < deadline && !plock(&self.pending).is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stragglers: Vec<(u64, PendingJob)> =
+            plock(&self.pending).iter().map(|(k, p)| (*k, p.clone())).collect();
+        if !stragglers.is_empty() {
+            if let Some(dir) = &self.state_dir {
+                let mut specs = Vec::with_capacity(stragglers.len());
+                for (key, p) in &stragglers {
+                    let job = JobSpec {
+                        name: format!("ckpt-{key:016x}"),
+                        procs: p.demand.procs,
+                        memory_bytes: p.demand.memory_bytes,
+                        solo_seconds: p.demand.solo_seconds,
+                        bytes_per_cycle_per_proc: p.demand.bytes_per_cycle_per_proc,
+                        block: 0,
+                        after: Vec::new(),
+                    };
+                    // The runner is a black box — the daemon has no
+                    // progress signal for it — so the checkpoint is taken
+                    // conservatively at fraction 0: the restart half
+                    // carries all the work (plus the restart overhead) and
+                    // nothing is lost, merely recomputed.
+                    let Ok((_spent, rest)) =
+                        superux::nqs::checkpoint_split(&job, 0.0, CKPT_SECONDS, RESTART_SECONDS)
+                    else {
+                        continue; // unreachable: 0.0 is in range
+                    };
+                    specs.push(RestartSpec {
+                        suite: p.suite.clone(),
+                        machine: p.machine.clone(),
+                        params: p.params.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+                        solo_seconds: rest.solo_seconds,
+                        fraction_done: 0.0,
+                    });
+                }
+                if journal::write_restart_specs(dir, &specs).is_ok() {
+                    let mut ck = plock(&self.ckpt);
+                    for (key, _) in &stragglers {
+                        ck.insert(*key);
+                    }
+                    drop(ck);
+                    // Wake queued leaders so they observe their checkpoint.
+                    self.admit_cv.notify_all();
+                }
+                // On persist failure the stragglers stay un-checkpointed
+                // and run to completion below — slower, but nothing lost.
+            }
+            while !plock(&self.pending).is_empty() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        self.initiate_shutdown();
     }
 
     /// Flip the drain flag, unblock every parked reader, poke the accept

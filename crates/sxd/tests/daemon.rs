@@ -33,6 +33,20 @@ fn toy_registry() -> Registry<JobEntry> {
             }])
         }),
     );
+    // Holds the run slot long enough that a barrier-synchronized herd of
+    // identical submits reliably overlaps the leader, even on a loaded
+    // machine — the coalescing test needs the window, not the speed.
+    r.register(
+        "herd",
+        JobEntry::new(Demand::light(1.0), "slow-enough-to-coalesce proxy", |m, _p| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            Ok(vec![Artifact::Scalar {
+                title: format!("{} herd", m.name),
+                value: 1.0,
+                unit: "runs".into(),
+            }])
+        }),
+    );
     r
 }
 
@@ -237,7 +251,7 @@ fn flood_coalesces_identical_submits_and_reconciles_metrics() {
         addr: addr.clone(),
         clients: 8,
         jobs: 64,
-        suites: vec!["shallow".into()],
+        suites: vec!["herd".into()],
         machine: "sx4-9.2".into(),
     })
     .unwrap();
@@ -248,8 +262,8 @@ fn flood_coalesces_identical_submits_and_reconciles_metrics() {
     // Exactly one simulation ran for the single unique configuration.
     let mut client = Client::connect(&addr).unwrap();
     let m = client.metrics().unwrap();
-    let shallow = m.get("suites").unwrap().get("shallow").unwrap();
-    assert_eq!(shallow.get("runs").unwrap().as_u64(), Some(1));
+    let herd = m.get("suites").unwrap().get("herd").unwrap();
+    assert_eq!(herd.get("runs").unwrap().as_u64(), Some(1));
     shut_down(&addr, handle);
 }
 

@@ -37,7 +37,7 @@ fn checkpoint_restart_through_sfs() {
         block: 0,
         after: vec![],
     };
-    let (first, rest) = checkpoint_split(&job, 0.3, io.blocked_s, io.blocked_s);
+    let (first, rest) = checkpoint_split(&job, 0.3, io.blocked_s, io.blocked_s).unwrap();
     let node = Node::new(machine.clone());
     let nqs = Nqs::whole_node(&node);
     let mut rest_dep = rest.clone();
