@@ -160,4 +160,14 @@ if ! wait "$crash_pid"; then
 fi
 rm -rf "$state_dir" "$crash_log"
 
+echo "==> perf smoke (release harness, schema validation, batched-vs-loop equivalence)"
+# The equivalence property tests must also hold under release-mode float
+# optimization — bit-identical ledgers are the whole point.
+cargo test --offline -q -p sxsim --release --test batch_props
+cargo build --offline -q --release -p ncar-bench
+perf_json="$(mktemp)"
+target/release/ncar-bench perf --smoke --out "$perf_json" >/dev/null
+target/release/ncar-bench perf --validate "$perf_json"
+rm -f "$perf_json"
+
 echo "==> CI OK"

@@ -100,10 +100,14 @@ pub fn fig5() -> Vec<Artifact> {
         "Figure 5: memory bandwidth (MB/sec) for COPY, IA and XPOSE on an SX-4/1 (KTRIES=20)",
     );
     let ladder = constant_volume_ladder(1_000_000);
-    fig.push(sweep(&m, MembwKind::Copy, &ladder, KTRIES_DEFAULT));
-    fig.push(sweep(&m, MembwKind::Ia, &ladder, KTRIES_DEFAULT));
     let xl = xpose_ladder(1_000_000, 1000);
-    fig.push(sweep(&m, MembwKind::Xpose, &xl, KTRIES_DEFAULT));
+    // The three curves are independent: sweep them host-parallel (each
+    // sweep also fans out over its own ladder).
+    let jobs =
+        vec![(MembwKind::Copy, ladder.clone()), (MembwKind::Ia, ladder), (MembwKind::Xpose, xl)];
+    for s in ncar_suite::par_map(jobs, |(kind, lad)| sweep(&m, kind, &lad, KTRIES_DEFAULT)) {
+        fig.push(s);
+    }
     vec![Artifact::Figure(fig)]
 }
 
@@ -132,9 +136,11 @@ pub fn fig7() -> Vec<Artifact> {
     let mut fig =
         Figure::new("Figure 7: VFFT (\"vector\" loop order) Mflops on an SX-4/1 (KTRIES=5)");
     let _ = KTRIES_VFFT; // timing is deterministic; constant kept for fidelity
-    for family in FftFamily::ALL {
-        // One curve per family at its largest paper length, swept over the
-        // paper's vector lengths M.
+
+    // One curve per family at its largest paper length, swept over the
+    // paper's vector lengths M; the families are independent so they run
+    // host-parallel.
+    for s in ncar_suite::par_map(FftFamily::ALL.to_vec(), |family| {
         let n = *family.vfft_lengths().last().unwrap();
         let mut s =
             Series::new(format!("{} (N={n})", family.label()), "M (vector length)", "Mflops");
@@ -142,6 +148,8 @@ pub fn fig7() -> Vec<Artifact> {
             let p = run_fft_point(&m, n, mm, LoopOrder::InstanceFastest);
             s.push(mm as f64, p.mflops);
         }
+        s
+    }) {
         fig.push(s);
     }
     vec![Artifact::Figure(fig)]

@@ -14,6 +14,7 @@ mod exp_check;
 mod exp_extra;
 mod exp_kernels;
 mod exp_system;
+mod perf;
 mod serve;
 
 use ncar_suite::Artifact;
@@ -68,6 +69,7 @@ fn main() {
             "drain" => Some(serve::cmd_drain(rest)),
             "flood" => Some(serve::cmd_flood(rest)),
             "raw" => Some(serve::cmd_raw(rest)),
+            "perf" => Some(perf::cmd_perf(rest, &exps)),
             _ => None,
         };
         if let Some(code) = code {
@@ -112,6 +114,7 @@ fn main() {
         eprintln!("       ncar-bench drain [--addr A] [--deadline SECS]");
         eprintln!("       ncar-bench metrics [--addr A] [--json true] [--watch SECS]");
         eprintln!("       ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...");
+        eprintln!("       ncar-bench perf [--smoke] [--out FILE] [--runs K] [--validate FILE]");
         eprintln!("experiments:");
         for (name, desc, _) in &exps {
             eprintln!("  {name:<12} {desc}");

@@ -1,0 +1,367 @@
+//! `ncar-bench perf` — the in-repo wall-clock harness that proves the
+//! simulator's own hot path is fast.
+//!
+//! The paper's argument is about *sustained* performance; ours is too, one
+//! level down: the analytic simulator must charge millions of vector ops
+//! per second or the daemon serves machine models slower than the models
+//! run. This subcommand times fixed macro-workloads (the Figure 5 ladder's
+//! charge stream, the Figure 6 RFFT families, a short CCM2 run, an sxd
+//! flood) with warmup + median-of-K and writes `BENCH_<pr>.json` so every
+//! later PR can compare against the trajectory.
+//!
+//! Schema (`ncar-bench-perf-v1`):
+//!
+//! ```text
+//! { "schema": "ncar-bench-perf-v1", "smoke": bool, "runs": K,
+//!   "machine": "sx4-9.2",
+//!   "workloads": { "<name>": { "wall_ms": f, "sim_seconds": f,
+//!                              "ops_charged": u, "ops_per_sec": f } } }
+//! ```
+//!
+//! `wall_ms` is host wall-clock (median of K timed runs after one warmup);
+//! `sim_seconds` is simulated seconds charged by one run; `ops_charged` is
+//! the number of vector operations the ledger recorded (completed jobs for
+//! the flood); `ops_per_sec` is `ops_charged / wall_ms * 1000` — the
+//! headline throughput number the acceptance criteria compare across PRs.
+
+use std::time::Instant;
+
+use ccm_proxy::{Ccm2Config, Ccm2Proxy, Resolution};
+use ncar_kernels::fft::{charge_transform, LoopOrder};
+use ncar_suite::{constant_volume_ladder, rfft_instances, xpose_ladder, FftFamily, Json};
+use sxd::{flood, Client, FloodConfig, Server, ServerConfig};
+use sxsim::{presets, Access, MachineModel, VecOp, Vm, VopClass};
+
+use crate::serve;
+use crate::Experiment;
+
+/// Machine every charge-stream workload runs on (the benchmarked SX-4).
+const MACHINE: &str = "sx4-9.2";
+
+fn machine() -> MachineModel {
+    presets::by_name(MACHINE).expect("the benchmarked SX-4 preset exists")
+}
+
+/// One measured workload: median host wall time over `runs` timed
+/// executions (after one warmup), plus the deterministic per-run ledger.
+struct Sample {
+    wall_ms: f64,
+    sim_seconds: f64,
+    ops_charged: u64,
+    ops_per_sec: f64,
+}
+
+fn measure(runs: usize, mut f: impl FnMut() -> (f64, u64)) -> Sample {
+    f(); // warmup: page in code and data, fill allocator pools
+    let mut walls = Vec::with_capacity(runs);
+    let (mut sim_seconds, mut ops_charged) = (0.0, 0);
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let (s, o) = f();
+        walls.push(t.elapsed().as_secs_f64() * 1e3);
+        sim_seconds = s;
+        ops_charged = o;
+    }
+    walls.sort_by(f64::total_cmp);
+    let wall_ms = walls[walls.len() / 2];
+    let ops_per_sec = if wall_ms > 0.0 { ops_charged as f64 / wall_ms * 1e3 } else { 0.0 };
+    Sample { wall_ms, sim_seconds, ops_charged, ops_per_sec }
+}
+
+/// Replay the Figure 5 charge stream: for every ladder instance, the COPY,
+/// IA (gather + scatter) and XPOSE kernels' vector operations, with the
+/// same per-op fidelity the kernels charge (`m` ops of length `n`, or
+/// `m*n` stride-`n` column ops for XPOSE). Pure simulator hot path — no
+/// functional data movement — so wall time is charging throughput.
+fn fig5_ladder(volume: usize, xpose_max_n: usize) -> (f64, u64) {
+    let mut vm = Vm::new(machine());
+    for inst in constant_volume_ladder(volume) {
+        let copy =
+            VecOp::new(inst.n, VopClass::Logical, &[Access::Stride(1)], &[Access::Stride(1)]);
+        let ia_gather =
+            VecOp::new(inst.n, VopClass::Logical, &[Access::Indexed], &[Access::Stride(1)]);
+        let ia_scatter =
+            VecOp::new(inst.n, VopClass::Logical, &[Access::Stride(1)], &[Access::Indexed]);
+        vm.charge_vector_op_repeated(&copy, inst.m);
+        vm.charge_vector_op_repeated(&ia_gather, inst.m);
+        vm.charge_vector_op_repeated(&ia_scatter, inst.m);
+    }
+    for inst in xpose_ladder(volume, xpose_max_n) {
+        let column =
+            VecOp::new(inst.n, VopClass::Logical, &[Access::Stride(1)], &[Access::Stride(inst.n)]);
+        vm.charge_vector_op_repeated(&column, inst.m * inst.n);
+    }
+    (vm.lifetime_cost().seconds(vm.model().clock_ns), vm.stats().vector_ops)
+}
+
+/// The Figure 6 regime: charge the RFFT (axis-fastest) transform for every
+/// length of all three families, repeated `reps` times.
+fn fig6_rfft(volume: usize, reps: usize) -> (f64, u64) {
+    let mut vm = Vm::new(machine());
+    for _ in 0..reps.max(1) {
+        for family in FftFamily::ALL {
+            for inst in rfft_instances(family, volume) {
+                charge_transform(&mut vm, inst.n, inst.m, LoopOrder::AxisFastest);
+            }
+        }
+    }
+    (vm.lifetime_cost().seconds(vm.model().clock_ns), vm.stats().vector_ops)
+}
+
+/// A short CCM2 run at T42 on 4 simulated processors.
+fn climate_t42(steps: usize, smoke: bool) -> (f64, u64) {
+    let config = if smoke {
+        Ccm2Config::adiabatic(Resolution::T42)
+    } else {
+        Ccm2Config::benchmark(Resolution::T42)
+    };
+    let mut model = Ccm2Proxy::new(config, machine());
+    let mut sim_seconds = 0.0;
+    for _ in 0..steps.max(1) {
+        sim_seconds += model.step(4).seconds;
+    }
+    (sim_seconds, model.op_stats().vector_ops)
+}
+
+/// An in-process sxd flood: bind a daemon on an ephemeral port, flood it
+/// with light kernel suites (the cache-heavy ensemble regime), and read
+/// the suite ledger back from STATS. `ops_charged` is completed jobs.
+fn sxd_flood(
+    experiments: &[Experiment],
+    clients: usize,
+    jobs: usize,
+    suites: &[&str],
+) -> Result<(f64, u64), String> {
+    let server = Server::bind(serve::registry(experiments), ServerConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let config = FloodConfig {
+        addr: addr.clone(),
+        clients,
+        jobs,
+        suites: suites.iter().map(|s| s.to_string()).collect(),
+        machine: MACHINE.to_string(),
+    };
+    let outcome = flood(&config).map_err(|e| format!("flood: {e}"))?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let sim_seconds = match stats.get("suite_seconds") {
+        Some(Json::Obj(members)) => members.iter().filter_map(|(_, v)| v.as_f64()).sum(),
+        _ => 0.0,
+    };
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    handle.join().map_err(|_| "daemon thread panicked".to_string())?.map_err(|e| e.to_string())?;
+    if !outcome.ok() {
+        return Err(format!("flood acceptance problems: {:?}", outcome.problems));
+    }
+    Ok((sim_seconds, outcome.completed as u64))
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn render(smoke: bool, runs: usize, results: &[(&str, Sample)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"ncar-bench-perf-v1\",\"smoke\":{smoke},\"runs\":{runs},\
+         \"machine\":\"{MACHINE}\",\"workloads\":{{"
+    ));
+    for (i, (name, s)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{name}\":{{\"wall_ms\":{},\"sim_seconds\":{},\"ops_charged\":{},\
+             \"ops_per_sec\":{}}}",
+            json_f64(s.wall_ms),
+            json_f64(s.sim_seconds),
+            s.ops_charged,
+            json_f64(s.ops_per_sec),
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Validate a `BENCH_*.json` file against the `ncar-bench-perf-v1` schema.
+fn validate_text(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("ncar-bench-perf-v1") => {}
+        other => return Err(format!("schema must be \"ncar-bench-perf-v1\", got {other:?}")),
+    }
+    if doc.get("smoke").and_then(Json::as_bool).is_none() {
+        return Err("missing boolean \"smoke\"".into());
+    }
+    if doc.get("runs").and_then(Json::as_u64).is_none() {
+        return Err("missing integer \"runs\"".into());
+    }
+    let workloads = match doc.get("workloads") {
+        Some(Json::Obj(members)) => members,
+        _ => return Err("missing object \"workloads\"".into()),
+    };
+    if workloads.is_empty() {
+        return Err("\"workloads\" is empty".into());
+    }
+    for (name, w) in workloads {
+        for key in ["wall_ms", "sim_seconds", "ops_charged", "ops_per_sec"] {
+            let v = w
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("workload {name:?} lacks numeric {key:?}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("workload {name:?} has bad {key:?}: {v}"));
+            }
+        }
+        if w.get("ops_charged").and_then(Json::as_u64).unwrap_or(0) == 0 {
+            return Err(format!("workload {name:?} charged zero ops"));
+        }
+    }
+    Ok(workloads.len())
+}
+
+/// `ncar-bench perf [--smoke] [--out FILE] [--runs K] [--validate FILE]`
+pub fn cmd_perf(args: &[String], experiments: &[Experiment]) -> i32 {
+    let mut smoke = false;
+    let mut out_path = "BENCH_5.json".to_string();
+    let mut runs: Option<usize> = None;
+    let mut validate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--runs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(k)) if k > 0 => runs = Some(k),
+                _ => return usage("--runs needs a positive count"),
+            },
+            "--validate" => match it.next() {
+                Some(v) => validate = Some(v.clone()),
+                None => return usage("--validate needs a path"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if let Some(path) = validate {
+        return match std::fs::read_to_string(&path) {
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                1
+            }
+            Ok(text) => match validate_text(&text) {
+                Ok(n) => {
+                    println!("{path}: valid ncar-bench-perf-v1 ({n} workloads)");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    1
+                }
+            },
+        };
+    }
+
+    let runs = runs.unwrap_or(if smoke { 3 } else { 5 });
+    // Workload sizes: full exercises the ladders at the paper's volumes;
+    // smoke shrinks everything so CI finishes in seconds.
+    let (fig5_volume, xpose_max_n) = if smoke { (20_000, 128) } else { (1_000_000, 1000) };
+    let (fig6_volume, fig6_reps) = if smoke { (20_000, 2) } else { (1_000_000, 20) };
+    let climate_steps = if smoke { 1 } else { 2 };
+    let (flood_clients, flood_jobs) = if smoke { (2, 8) } else { (4, 32) };
+    let flood_suites: &[&str] = if smoke { &["table3"] } else { &["table3", "correctness"] };
+
+    let mut results: Vec<(&str, Sample)> = Vec::new();
+
+    eprintln!("perf: fig5_ladder (volume {fig5_volume}, {runs} runs)...");
+    results.push(("fig5_ladder", measure(runs, || fig5_ladder(fig5_volume, xpose_max_n))));
+
+    eprintln!("perf: fig6_rfft (volume {fig6_volume} x{fig6_reps}, {runs} runs)...");
+    results.push(("fig6_rfft", measure(runs, || fig6_rfft(fig6_volume, fig6_reps))));
+
+    eprintln!("perf: climate_t42 ({climate_steps} steps, {runs} runs)...");
+    results.push(("climate_t42", measure(runs, || climate_t42(climate_steps, smoke))));
+
+    eprintln!("perf: sxd_flood ({flood_clients} clients x {flood_jobs} jobs, {runs} runs)...");
+    let mut flood_err = None;
+    results.push((
+        "sxd_flood",
+        measure(runs, || match sxd_flood(experiments, flood_clients, flood_jobs, flood_suites) {
+            Ok(v) => v,
+            Err(e) => {
+                flood_err = Some(e);
+                (0.0, 0)
+            }
+        }),
+    ));
+    if let Some(e) = flood_err {
+        eprintln!("error: sxd_flood workload failed: {e}");
+        return 1;
+    }
+
+    let text = render(smoke, runs, &results);
+    if let Err(e) = validate_text(&text) {
+        eprintln!("error: emitted JSON fails its own schema: {e}");
+        return 1;
+    }
+    if let Err(e) = std::fs::write(&out_path, format!("{text}\n")) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return 1;
+    }
+
+    println!(
+        "{:<14} {:>12} {:>14} {:>14} {:>14}",
+        "workload", "wall_ms", "sim_seconds", "ops_charged", "ops_per_sec"
+    );
+    for (name, s) in &results {
+        println!(
+            "{name:<14} {:>12.3} {:>14.4} {:>14} {:>14.0}",
+            s.wall_ms, s.sim_seconds, s.ops_charged, s.ops_per_sec
+        );
+    }
+    println!("wrote {out_path}");
+    0
+}
+
+fn usage(detail: &str) -> i32 {
+    eprintln!("error: {detail}");
+    eprintln!("usage: ncar-bench perf [--smoke] [--out FILE] [--runs K] [--validate FILE]");
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_charge_and_account() {
+        let (sim, ops) = fig5_ladder(512, 16);
+        assert!(sim > 0.0 && ops > 0);
+        let (sim, ops) = fig6_rfft(256, 1);
+        assert!(sim > 0.0 && ops > 0);
+        let (sim, ops) = climate_t42(1, true);
+        assert!(sim > 0.0 && ops > 0);
+    }
+
+    #[test]
+    fn schema_roundtrip_and_rejection() {
+        let sample =
+            Sample { wall_ms: 1.5, sim_seconds: 0.25, ops_charged: 42, ops_per_sec: 28_000.0 };
+        let text = render(true, 3, &[("fig5_ladder", sample)]);
+        assert_eq!(validate_text(&text), Ok(1));
+        assert!(validate_text("{}").is_err());
+        assert!(validate_text("{\"schema\":\"ncar-bench-perf-v1\"}").is_err());
+        let zero = Sample { wall_ms: 1.0, sim_seconds: 0.0, ops_charged: 0, ops_per_sec: 0.0 };
+        let text = render(true, 3, &[("w", zero)]);
+        assert!(validate_text(&text).is_err(), "zero ops must be rejected");
+    }
+}

@@ -28,7 +28,7 @@ use crate::slt::advect_row;
 use crate::spectral::SphericalTransform;
 use ncar_kernels::fft::C64;
 use sxsim::node::partition;
-use sxsim::{Access, Cost, MachineModel, Node, NodeTiming, Region, VecOp, Vm, VopClass};
+use sxsim::{Access, Cost, MachineModel, Node, NodeTiming, OpStats, Region, VecOp, Vm, VopClass};
 
 /// Earth radius (m).
 const EARTH_RADIUS: f64 = 6.371e6;
@@ -119,6 +119,10 @@ pub struct Ccm2Proxy {
     pub q: Vec<Vec<f64>>,
     /// Steps taken.
     pub steps: usize,
+    /// Lifetime op statistics absorbed from every internal `Vm` (the
+    /// model creates one per simulated processor per phase); feeds the
+    /// perf harness and PROGINF-style reporting.
+    op_stats: OpStats,
 }
 
 /// Borrowed view of the full prognostic state (both leapfrog levels).
@@ -204,7 +208,14 @@ impl Ccm2Proxy {
             phi,
             q,
             steps: 0,
+            op_stats: OpStats::default(),
         }
+    }
+
+    /// Lifetime operation statistics accumulated across every internal
+    /// `Vm` of every step so far (vector ops charged, elements, cycles).
+    pub fn op_stats(&self) -> OpStats {
+        self.op_stats
     }
 
     /// Timestep in seconds.
@@ -409,14 +420,15 @@ impl Ccm2Proxy {
                     }
                     // Charge the pointwise tendency arithmetic: the full
                     // momentum/energy product set (~24 fused ops per row).
-                    for _ in 0..24 {
-                        vm.charge_vector_op(&VecOp::new(
+                    vm.charge_vector_op_repeated(
+                        &VecOp::new(
                             nlon,
                             VopClass::Fma,
                             &[Access::Stride(1), Access::Stride(1)],
                             &[Access::Stride(1)],
-                        ));
-                    }
+                        ),
+                        24,
+                    );
                 }
 
                 if let Some(ft) = trace.as_deref_mut() {
@@ -509,6 +521,7 @@ impl Ccm2Proxy {
                     ft.exit(&mut vm).expect("region is open");
                 }
             }
+            self.op_stats.add(vm.stats());
             phase1.push(vm.take_cost());
         }
         regions.push(Region::Parallel(phase1));
@@ -533,6 +546,7 @@ impl Ccm2Proxy {
                         &[Access::Stride(1), Access::Stride(1)],
                         &[Access::Stride(1)],
                     ));
+                    self.op_stats.add(vm.stats());
                     p.add(vm.take_cost());
                 }
             }
@@ -591,14 +605,15 @@ impl Ccm2Proxy {
                 }
                 // Charge the per-coefficient update: ~24 fused ops + one
                 // divide sweep over the chunk.
-                for _ in 0..24 {
-                    vm.charge_vector_op(&VecOp::new(
+                vm.charge_vector_op_repeated(
+                    &VecOp::new(
                         sc.len(),
                         VopClass::Fma,
                         &[Access::Stride(1), Access::Stride(1)],
                         &[Access::Stride(1)],
-                    ));
-                }
+                    ),
+                    24,
+                );
                 vm.charge_vector_op(&VecOp::new(
                     sc.len(),
                     VopClass::Div,
@@ -609,6 +624,7 @@ impl Ccm2Proxy {
             if let Some(ft) = trace {
                 ft.exit(&mut vm).expect("region is open");
             }
+            self.op_stats.add(vm.stats());
             phase3.push(vm.take_cost());
         }
         regions.push(Region::Parallel(phase3));

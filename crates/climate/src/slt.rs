@@ -76,40 +76,34 @@ pub fn advect_row(vm: &mut Vm, q: &[f64], u_cells: &[f64]) -> Vec<f64> {
     // through the list-vector unit, and the Hermite evaluation.
     use sxsim::{Access, VecOp, VopClass};
     // departure points: ~4 ops
-    for _ in 0..4 {
-        vm.charge_vector_op(&VecOp::new(
-            n,
-            VopClass::Add,
-            &[Access::Stride(1)],
-            &[Access::Stride(1)],
-        ));
-    }
+    vm.charge_vector_op_repeated(
+        &VecOp::new(n, VopClass::Add, &[Access::Stride(1)], &[Access::Stride(1)]),
+        4,
+    );
     // four gathers
-    for _ in 0..4 {
-        vm.charge_vector_op(&VecOp::new(
-            n,
-            VopClass::Logical,
-            &[Access::Indexed],
-            &[Access::Stride(1)],
-        ));
-    }
+    vm.charge_vector_op_repeated(
+        &VecOp::new(n, VopClass::Logical, &[Access::Indexed], &[Access::Stride(1)]),
+        4,
+    );
     // slopes + limiter (~6 ops) and Hermite (~10 fused ops)
-    for _ in 0..6 {
-        vm.charge_vector_op(&VecOp::new(
+    vm.charge_vector_op_repeated(
+        &VecOp::new(
             n,
             VopClass::Add,
             &[Access::Stride(1), Access::Stride(1)],
             &[Access::Stride(1)],
-        ));
-    }
-    for _ in 0..10 {
-        vm.charge_vector_op(&VecOp::new(
+        ),
+        6,
+    );
+    vm.charge_vector_op_repeated(
+        &VecOp::new(
             n,
             VopClass::Fma,
             &[Access::Stride(1), Access::Stride(1)],
             &[Access::Stride(1)],
-        ));
-    }
+        ),
+        10,
+    );
 
     out
 }

@@ -130,11 +130,7 @@ impl SphericalTransform {
         let vec_len = len_avg * fused;
         let ops = total_elems.div_ceil(vec_len).max(1);
         let op = VecOp::new(vec_len, VopClass::Fma, &[Access::Stride(1), Access::Stride(1)], &[]);
-        for _ in 0..local_lats {
-            for _ in 0..ops {
-                vm.charge_vector_op(&op);
-            }
-        }
+        vm.charge_vector_op_repeated(&op, local_lats * ops);
     }
 
     /// Full analysis: grid → packed spectral coefficients.

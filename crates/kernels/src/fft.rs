@@ -278,9 +278,7 @@ pub fn charge_transform(vm: &mut Vm, n: usize, m: usize, order: LoopOrder) -> u6
                     &[Access::Stride(r), Access::Stride(1)],
                     &[Access::Stride(1)],
                 );
-                for _ in 0..groups * ops_per_group {
-                    vm.charge_vector_op(&op);
-                }
+                vm.charge_vector_op_repeated(&op, groups * ops_per_group);
             }
             LoopOrder::InstanceFastest => {
                 // All m instances advance together: each scalar operation of
@@ -292,9 +290,7 @@ pub fn charge_transform(vm: &mut Vm, n: usize, m: usize, order: LoopOrder) -> u6
                     &[Access::Stride(1), Access::Stride(1)],
                     &[Access::Stride(1)],
                 );
-                for _ in 0..ops {
-                    vm.charge_vector_op(&op);
-                }
+                vm.charge_vector_op_repeated(&op, ops);
             }
         }
         rem = l;
@@ -323,9 +319,7 @@ pub fn charge_transform_fused(vm: &mut Vm, n: usize, m: usize, fused: usize) -> 
             &[Access::Stride(1), Access::Stride(1)],
             &[Access::Stride(1)],
         );
-        for _ in 0..ops {
-            vm.charge_vector_op(&op);
-        }
+        vm.charge_vector_op_repeated(&op, ops);
         rem /= r;
     }
     total_flops

@@ -31,14 +31,15 @@ pub fn density(vm: &mut Vm, out: &mut [f64], temp: &[f64], salt: &[f64], depth_m
     }
     use sxsim::{Access, VecOp, VopClass};
     // ~8 fused ops + one sqrt-class op per point.
-    for _ in 0..8 {
-        vm.charge_vector_op(&VecOp::new(
+    vm.charge_vector_op_repeated(
+        &VecOp::new(
             out.len(),
             VopClass::Fma,
             &[Access::Stride(1), Access::Stride(1)],
             &[Access::Stride(1)],
-        ));
-    }
+        ),
+        8,
+    );
     vm.charge_intrinsic(sxsim::Intrinsic::Sqrt, out.len());
 }
 

@@ -273,16 +273,15 @@ impl Mom {
                 }
                 // Charge momentum arithmetic: pressure/Coriolis/friction/
                 // metric terms — ~48 fused ops per row (full MOM momentum).
-                for _ in 0..rows {
-                    for _ in 0..72 {
-                        vm.charge_vector_op(&VecOp::new(
-                            nlon,
-                            VopClass::Fma,
-                            &[Access::Stride(1), Access::Stride(1)],
-                            &[Access::Stride(1)],
-                        ));
-                    }
-                }
+                vm.charge_vector_op_repeated(
+                    &VecOp::new(
+                        nlon,
+                        VopClass::Fma,
+                        &[Access::Stride(1), Access::Stride(1)],
+                        &[Access::Stride(1)],
+                    ),
+                    rows * 72,
+                );
 
                 // Tracer advection-diffusion (flux form) for T and S.
                 for (field, out) in
@@ -305,16 +304,15 @@ impl Mom {
                     }
                     // Fluxes + laplacian + isopycnal-style mixing terms +
                     // update: ~60 fused ops per row per tracer.
-                    for _ in 0..rows {
-                        for _ in 0..80 {
-                            vm.charge_vector_op(&VecOp::new(
-                                nlon,
-                                VopClass::Fma,
-                                &[Access::Stride(1), Access::Stride(1)],
-                                &[Access::Stride(1)],
-                            ));
-                        }
-                    }
+                    vm.charge_vector_op_repeated(
+                        &VecOp::new(
+                            nlon,
+                            VopClass::Fma,
+                            &[Access::Stride(1), Access::Stride(1)],
+                            &[Access::Stride(1)],
+                        ),
+                        rows * 80,
+                    );
                 }
             }
 
@@ -328,16 +326,15 @@ impl Mom {
             // The vertical solve vectorizes across columns: ~14 ops per
             // level per prognostic over the slab's columns (Thomas forward
             // + backward sweeps with coefficient setup).
-            for _ in 0..(4 * nlev) {
-                for _ in 0..14 {
-                    vm.charge_vector_op(&VecOp::new(
-                        rows * nlon,
-                        VopClass::Fma,
-                        &[Access::Stride(1), Access::Stride(1)],
-                        &[Access::Stride(1)],
-                    ));
-                }
-            }
+            vm.charge_vector_op_repeated(
+                &VecOp::new(
+                    rows * nlon,
+                    VopClass::Fma,
+                    &[Access::Stride(1), Access::Stride(1)],
+                    &[Access::Stride(1)],
+                ),
+                4 * nlev * 14,
+            );
 
             // Convective adjustment: mix statically unstable adjacent
             // levels (EOS comparison per interface).
@@ -362,14 +359,15 @@ impl Mom {
                         new_salt[k + 1][idx] = sm;
                     }
                 }
-                for _ in 0..12 {
-                    vm.charge_vector_op(&VecOp::new(
+                vm.charge_vector_op_repeated(
+                    &VecOp::new(
                         rows * nlon,
                         VopClass::Fma,
                         &[Access::Stride(1), Access::Stride(1)],
                         &[Access::Stride(1)],
-                    ));
-                }
+                    ),
+                    12,
+                );
             }
             phase.push(vm.take_cost());
         }
@@ -404,16 +402,15 @@ impl Mom {
                 }
             }
             // RHS accumulation sweeps the 3-D grid (chained sum).
-            for _ in 0..nlev {
-                for _ in 0..2 {
-                    vm.charge_vector_op(&VecOp::new(
-                        ncol,
-                        VopClass::Add,
-                        &[Access::Stride(1), Access::Stride(1)],
-                        &[Access::Stride(1)],
-                    ));
-                }
-            }
+            vm.charge_vector_op_repeated(
+                &VecOp::new(
+                    ncol,
+                    VopClass::Add,
+                    &[Access::Stride(1), Access::Stride(1)],
+                    &[Access::Stride(1)],
+                ),
+                nlev * 2,
+            );
             let _res = jacobi(&mut vm, &mut self.psi, &rhs, self.config.jacobi_sweeps);
             regions.push(Region::Serial(vm.take_cost()));
         }

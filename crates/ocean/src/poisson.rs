@@ -59,16 +59,15 @@ impl Grid2 {
 /// Charge one full-stencil sweep over the interior.
 fn charge_sweep(vm: &mut Vm, nlat: usize, nlon: usize) {
     // Per latitude row: the 5-point update is ~6 fused ops over nlon.
-    for _ in 0..nlat {
-        for _ in 0..6 {
-            vm.charge_vector_op(&VecOp::new(
-                nlon,
-                VopClass::Fma,
-                &[Access::Stride(1), Access::Stride(1)],
-                &[Access::Stride(1)],
-            ));
-        }
-    }
+    vm.charge_vector_op_repeated(
+        &VecOp::new(
+            nlon,
+            VopClass::Fma,
+            &[Access::Stride(1), Access::Stride(1)],
+            &[Access::Stride(1)],
+        ),
+        nlat * 6,
+    );
 }
 
 /// Jacobi relaxation for `lap(x) = rhs`: runs exactly `sweeps` sweeps (the
@@ -149,16 +148,15 @@ fn apply_helmholtz(vm: &mut Vm, out: &mut Grid2, x: &Grid2, opt: &CgOptions) {
                 sxsim::LocalityPattern::Resident { working_set_bytes: 16 * 1024 },
             );
         }
-        for _ in 0..x.nlat {
-            for _ in 0..2 {
-                vm.charge_vector_op(&VecOp::new(
-                    x.nlon,
-                    VopClass::Fma,
-                    &[Access::Stride(1), Access::Stride(1)],
-                    &[Access::Stride(1)],
-                ));
-            }
-        }
+        vm.charge_vector_op_repeated(
+            &VecOp::new(
+                x.nlon,
+                VopClass::Fma,
+                &[Access::Stride(1), Access::Stride(1)],
+                &[Access::Stride(1)],
+            ),
+            x.nlat * 2,
+        );
     } else {
         charge_sweep(vm, x.nlat, x.nlon);
     }

@@ -130,14 +130,10 @@ impl Pop {
     /// hot, which is how the benchmarked code behaved.
     fn charge_cshift_group(&self, vm: &mut Vm, n: usize, count: usize) {
         if self.config.cshift_vectorized {
-            for _ in 0..count {
-                vm.charge_vector_op(&VecOp::new(
-                    n,
-                    VopClass::Logical,
-                    &[Access::Stride(1)],
-                    &[Access::Stride(1)],
-                ));
-            }
+            vm.charge_vector_op_repeated(
+                &VecOp::new(n, VopClass::Logical, &[Access::Stride(1)], &[Access::Stride(1)]),
+                count,
+            );
         } else {
             // The pre-release compiler's scalar loops.
             vm.charge_scalar_loop(n, 0.0, 1.0, 1.0, LocalityPattern::Streaming);
@@ -214,14 +210,15 @@ impl Pop {
                 // (~200 vectorized flops per point). F90 whole-array
                 // expressions vectorize over the entire 2-D slab, so the
                 // vector length is the slab, not one row.
-                for _ in 0..100 {
-                    vm.charge_vector_op(&VecOp::new(
+                vm.charge_vector_op_repeated(
+                    &VecOp::new(
                         chunk.len() * nlon,
                         VopClass::Fma,
                         &[Access::Stride(1), Access::Stride(1)],
                         &[Access::Stride(1)],
-                    ));
-                }
+                    ),
+                    100,
+                );
             }
             phase.push(vm.take_cost());
         }
@@ -258,14 +255,15 @@ impl Pop {
         let mut vm = Vm::new(self.machine.clone());
         // RHS assembly uses 4 CSHIFTs + arithmetic.
         self.charge_cshift_group(&mut vm, ncol, 4);
-        for _ in 0..6 {
-            vm.charge_vector_op(&VecOp::new(
+        vm.charge_vector_op_repeated(
+            &VecOp::new(
                 ncol,
                 VopClass::Fma,
                 &[Access::Stride(1), Access::Stride(1)],
                 &[Access::Stride(1)],
-            ));
-        }
+            ),
+            6,
+        );
         let mut eta_new = self.eta.clone();
         let (iters, _res) = conjugate_gradient(
             &mut vm,
@@ -297,14 +295,15 @@ impl Pop {
             }
         }
         self.charge_cshift_group(&mut vm, ncol, 4);
-        for _ in 0..8 {
-            vm.charge_vector_op(&VecOp::new(
+        vm.charge_vector_op_repeated(
+            &VecOp::new(
                 ncol,
                 VopClass::Fma,
                 &[Access::Stride(1), Access::Stride(1)],
                 &[Access::Stride(1)],
-            ));
-        }
+            ),
+            8,
+        );
         self.eta = eta_new;
         // The barotropic solve parallelizes over grid chunks in POP; on the
         // single node we model it as parallel with a barrier per CG

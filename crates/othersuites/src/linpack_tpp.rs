@@ -46,14 +46,15 @@ pub fn lu_blocked(vm: &mut Vm, a: &mut Matrix, block: usize) -> Result<(), Strin
                     &[Access::Stride(1)],
                     &[Access::Stride(1)],
                 ));
-                for _ in k + 1..end {
-                    vm.charge_vector_op(&VecOp::new(
+                vm.charge_vector_op_repeated(
+                    &VecOp::new(
                         n - k - 1,
                         VopClass::Fma,
                         &[Access::Stride(1), Access::Stride(1)],
                         &[Access::Stride(1)],
-                    ));
-                }
+                    ),
+                    end - k - 1,
+                );
             } else {
                 panel_elems += (n - k - 1) * (end - k);
             }
@@ -111,14 +112,15 @@ pub fn lu_blocked(vm: &mut Vm, a: &mut Matrix, block: usize) -> Result<(), Strin
         if vm.model().is_vector() {
             // Long vector updates; reuse does not matter without a cache.
             let cols = (n - k1) * kb;
-            for _ in 0..cols {
-                vm.charge_vector_op(&VecOp::new(
+            vm.charge_vector_op_repeated(
+                &VecOp::new(
                     n - k1,
                     VopClass::Fma,
                     &[Access::Stride(1), Access::Stride(1)],
                     &[Access::Stride(1)],
-                ));
-            }
+                ),
+                cols,
+            );
         } else if kb > 1 {
             // Cache machine: the DGEMM micro-kernel — resident panel,
             // 8-way unrolled inner loop (amortizing loop/branch overhead),

@@ -183,9 +183,16 @@ pub struct Counters {
     pub suites: BTreeMap<String, SuiteStat>,
 }
 
+/// Bucket edges for the `sim_throughput` histogram: simulated seconds
+/// produced per wall-clock second of runner time. The analytic simulator
+/// runs far faster than real time, so the ladder is log-spaced up to 1e6x.
+const SIM_THROUGHPUT_BUCKETS: [f64; 16] =
+    [0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1e3, 1e4, 1e5, 1e6];
+
 /// The latency histograms and level gauges the daemon maintains. Stage
 /// histograms are named after the serving pipeline; the `job` histogram is
-/// the reconciled end-to-end one (see module docs).
+/// the reconciled end-to-end one (see module docs). `sim_throughput` is
+/// dimensionless (simulated seconds per runner wall second), not a latency.
 struct DaemonMetrics {
     registry: MetricsRegistry,
     frame_parse: Arc<Histogram>,
@@ -194,6 +201,7 @@ struct DaemonMetrics {
     run: Arc<Histogram>,
     render: Arc<Histogram>,
     job: Arc<Histogram>,
+    sim_throughput: Arc<Histogram>,
     admission_waiting: Arc<Gauge>,
     admission_running: Arc<Gauge>,
     admission_stretch: Arc<Gauge>,
@@ -212,6 +220,7 @@ impl DaemonMetrics {
             run: registry.latency("run"),
             render: registry.latency("render"),
             job: registry.latency("job"),
+            sim_throughput: registry.histogram("sim_throughput", &SIM_THROUGHPUT_BUCKETS),
             admission_waiting: registry.gauge("admission_waiting"),
             admission_running: registry.gauge("admission_running"),
             admission_stretch: registry.gauge("admission_stretch"),
@@ -695,7 +704,8 @@ impl Daemon {
             catch_unwind(AssertUnwindSafe(|| runner(&run_model, &run_params)))
                 .unwrap_or_else(|_| Err("runner panicked".into()))
         });
-        self.metrics.run.observe(t_run.elapsed().as_secs_f64());
+        let run_wall = t_run.elapsed().as_secs_f64();
+        self.metrics.run.observe(run_wall);
 
         plock(&self.admission).release(&job.name);
         self.admit_cv.notify_all();
@@ -720,6 +730,9 @@ impl Daemon {
             }
             Ok(artifacts) => {
                 let sim_seconds = demand.solo_seconds * stretch;
+                if run_wall > 0.0 {
+                    self.metrics.sim_throughput.observe(sim_seconds / run_wall);
+                }
                 let t_render = Instant::now();
                 let payload =
                     render_payload(suite, params, sim_seconds, stretch, &artifacts, &model.name);
@@ -1354,7 +1367,14 @@ mod tests {
         let toy = m.get("suites").unwrap().get("toy").unwrap();
         assert_eq!(toy.get("runs").unwrap().as_u64(), Some(2));
         assert!(toy.get("avg_stretch").unwrap().as_f64().unwrap() >= 1.0);
-        // Gauges exist and are quiescent.
+        // Gauges exist and are quiescent. `WorkerPool::run` returns when
+        // the job's result is delivered, a hair before the worker's busy
+        // guard drops, so give the gauge a moment to settle.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while d.pool.busy_workers() > 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let m = metrics_doc(d);
         let g = m.get("gauges").unwrap();
         assert_eq!(g.get("pool_busy_workers").unwrap().as_f64(), Some(0.0));
         assert_eq!(g.get("admission_running").unwrap().as_f64(), Some(0.0));

@@ -104,6 +104,8 @@ impl Ftrace {
             intrinsic_calls: s1.intrinsic_calls - s0.intrinsic_calls,
             indexed_elements: s1.indexed_elements - s0.indexed_elements,
             other_cycles: s1.other_cycles - s0.other_cycles,
+            memo_hits: s1.memo_hits - s0.memo_hits,
+            memo_misses: s1.memo_misses - s0.memo_misses,
         });
         Ok(())
     }

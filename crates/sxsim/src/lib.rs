@@ -76,6 +76,7 @@ pub mod commreg;
 pub mod cost;
 pub mod error;
 pub mod ftrace;
+pub mod inline_vec;
 pub mod ixs;
 pub mod model;
 pub mod node;
@@ -90,11 +91,12 @@ pub use commreg::{CommRegisters, RegisterSet, SpinLock};
 pub use cost::Cost;
 pub use error::SimError;
 pub use ftrace::{render_analysis_list, Ftrace, FtraceRow};
+pub use inline_vec::InlineVec;
 pub use ixs::Ixs;
 pub use model::{Intrinsic, MachineModel, VopClass};
 pub use node::{JobDemand, Node, NodeTiming, Region};
 pub use proginf::{OpStats, Proginf};
-pub use timing::{Access, LocalityPattern, VecOp};
+pub use timing::{Access, LocalityPattern, VecOp, MAX_STREAMS};
 pub use trace::{OpTrace, Recorder, TraceEvent};
 pub use vm::Vm;
 pub use xmu::Xmu;

@@ -25,6 +25,10 @@ pub struct OpStats {
     pub indexed_elements: u64,
     /// Cycles charged directly (I/O waits, barriers, OS overhead).
     pub other_cycles: f64,
+    /// Vector-op timings answered from the [`crate::Vm`] memo cache.
+    pub memo_hits: u64,
+    /// Vector-op timings computed analytically (memo misses + fills).
+    pub memo_misses: u64,
 }
 
 impl OpStats {
@@ -37,6 +41,8 @@ impl OpStats {
         self.intrinsic_calls += other.intrinsic_calls;
         self.indexed_elements += other.indexed_elements;
         self.other_cycles += other.other_cycles;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
     }
 }
 
@@ -53,6 +59,9 @@ pub struct Proginf {
     pub mops: f64,
     pub mflops: f64,
     pub cray_equiv_mflops: f64,
+    /// Simulator internals: fraction of vector-op timings answered from
+    /// the per-`Vm` memo cache, in percent.
+    pub timing_memo_hit_pct: f64,
 }
 
 impl Proginf {
@@ -80,6 +89,14 @@ impl Proginf {
             mops: if real > 0.0 { total_ops / real / 1e6 } else { 0.0 },
             mflops: if real > 0.0 { cost.flops as f64 / real / 1e6 } else { 0.0 },
             cray_equiv_mflops: if real > 0.0 { cost.cray_flops / real / 1e6 } else { 0.0 },
+            timing_memo_hit_pct: {
+                let lookups = stats.memo_hits + stats.memo_misses;
+                if lookups > 0 {
+                    100.0 * stats.memo_hits as f64 / lookups as f64
+                } else {
+                    0.0
+                }
+            },
         }
     }
 }
@@ -94,7 +111,8 @@ impl std::fmt::Display for Proginf {
         writeln!(f, "  Average Vector Length      : {:>14.1}", self.average_vector_length)?;
         writeln!(f, "  MOPS                       : {:>14.1}", self.mops)?;
         writeln!(f, "  MFLOPS                     : {:>14.1}", self.mflops)?;
-        writeln!(f, "  Cray-equivalent MFLOPS     : {:>14.1}", self.cray_equiv_mflops)
+        writeln!(f, "  Cray-equivalent MFLOPS     : {:>14.1}", self.cray_equiv_mflops)?;
+        writeln!(f, "  Timing Memo Hit Ratio (%)  : {:>14.2}", self.timing_memo_hit_pct)
     }
 }
 

@@ -11,36 +11,50 @@
 //! [`scalar_loop`] with an analytic miss model instead.
 
 use crate::cost::Cost;
-use crate::model::{Intrinsic, MachineModel, VopClass};
+use crate::inline_vec::InlineVec;
+use crate::model::{Intrinsic, MachineModel, VectorUnit, VopClass};
 
 /// Memory access pattern of one stream of a vector operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Access {
     /// Constant stride in words; `Stride(1)` is unit stride.
     Stride(usize),
     /// Indexed gather (load) or scatter (store) through an index vector.
     Indexed,
     /// Operand held in a register/scalar — no memory traffic.
+    #[default]
     None,
 }
 
+/// Most memory streams one instruction can name (3-operand FMA loads).
+pub const MAX_STREAMS: usize = 4;
+
 /// Descriptor of an elementwise vector operation over `n` elements.
-#[derive(Debug, Clone)]
+///
+/// Plain old data: access lists live inline (no allocation), the whole
+/// descriptor is `Copy`, and equality is structural — which is what lets
+/// [`crate::Vm`] memoize timing results keyed by the descriptor itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VecOp {
     /// Elements processed.
     pub n: usize,
     /// Arithmetic class (selects the pipe set and flop count).
     pub class: VopClass,
     /// Access pattern of each input stream read from memory.
-    pub loads: Vec<Access>,
+    pub loads: InlineVec<Access, MAX_STREAMS>,
     /// Access pattern of each output stream written to memory.
-    pub stores: Vec<Access>,
+    pub stores: InlineVec<Access, MAX_STREAMS>,
 }
 
 impl VecOp {
     /// Convenience constructor.
     pub fn new(n: usize, class: VopClass, loads: &[Access], stores: &[Access]) -> VecOp {
-        VecOp { n, class, loads: loads.to_vec(), stores: stores.to_vec() }
+        VecOp {
+            n,
+            class,
+            loads: InlineVec::from_slice(loads),
+            stores: InlineVec::from_slice(stores),
+        }
     }
 
     /// Actual flops performed per element for the ledger.
@@ -67,8 +81,9 @@ impl VecOp {
 }
 
 /// Arithmetic results per cycle for a pipe class on a vector machine.
-fn pipe_rate(model: &MachineModel, class: VopClass) -> f64 {
-    let v = model.vector.as_ref().expect("pipe_rate requires a vector unit");
+/// The vector unit is resolved once by [`vector_op`] and passed down, so
+/// this cannot be reached for a machine without one.
+fn pipe_rate(v: &VectorUnit, class: VopClass) -> f64 {
     match class {
         VopClass::Add => v.pipes_add as f64,
         VopClass::Mul => v.pipes_mul as f64,
@@ -87,9 +102,10 @@ fn pipe_rate(model: &MachineModel, class: VopClass) -> f64 {
     }
 }
 
-/// Sustained elements/cycle the memory system delivers for this op.
-fn memory_rate(model: &MachineModel, op: &VecOp) -> f64 {
-    let v = model.vector.as_ref().expect("memory_rate requires a vector unit");
+/// Sustained elements/cycle the memory system delivers for this op. Like
+/// [`pipe_rate`], the vector unit arrives as a parameter resolved once in
+/// [`vector_op`] — no panicking re-lookup on the hot path.
+fn memory_rate(model: &MachineModel, v: &VectorUnit, op: &VecOp) -> f64 {
     let words_per_elem = op.words_per_elem();
     if words_per_elem == 0.0 {
         return f64::INFINITY;
@@ -153,7 +169,7 @@ pub fn vector_op(model: &MachineModel, op: &VecOp) -> Cost {
     // iterations overlap their startup with the preceding chime's drain,
     // leaving only a small per-strip issue overhead.
     let startup = v.startup_cycles + (chimes - 1) as f64 * (0.1 * v.startup_cycles);
-    let rate = pipe_rate(model, op.class).min(memory_rate(model, op));
+    let rate = pipe_rate(v, op.class).min(memory_rate(model, v, op));
     let stream = n as f64 / rate.max(1e-9);
     Cost { cycles: startup + stream, flops, cray_flops: flops as f64, bytes }
 }

@@ -13,6 +13,51 @@ use crate::proginf::{OpStats, Proginf};
 use crate::timing::{self, Access, LocalityPattern, VecOp};
 use crate::trace::{OpTrace, TraceEvent};
 
+/// Slots in the per-`Vm` direct-mapped timing memo. The live descriptor
+/// set of any one kernel is a handful of shapes, so a small table hits
+/// nearly always; collisions just recompute.
+const MEMO_SLOTS: usize = 64;
+
+/// Direct-mapped memoization of [`timing::vector_op`] results. The machine
+/// model is immutable for the lifetime of a `Vm`, so entries are never
+/// invalidated; a slot holds the full descriptor and is only trusted on
+/// exact equality (collisions overwrite).
+#[derive(Debug, Clone)]
+struct CostMemo {
+    slots: Vec<Option<(VecOp, Cost)>>,
+}
+
+impl CostMemo {
+    fn new() -> CostMemo {
+        CostMemo { slots: vec![None; MEMO_SLOTS] }
+    }
+
+    /// FNV-1a over the access signature `(class, n, loads, stores)`.
+    fn slot_of(op: &VecOp) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        eat(op.n as u64);
+        eat(op.class as u64);
+        for streams in [&op.loads, &op.stores] {
+            eat(0x5f5f);
+            for a in streams.iter() {
+                match a {
+                    Access::Stride(s) => {
+                        eat(1);
+                        eat(*s as u64);
+                    }
+                    Access::Indexed => eat(2),
+                    Access::None => eat(3),
+                }
+            }
+        }
+        (h % MEMO_SLOTS as u64) as usize
+    }
+}
+
 /// A simulated processor executing real array operations while accounting
 /// machine cycles.
 #[derive(Debug, Clone)]
@@ -26,12 +71,38 @@ pub struct Vm {
     stats: OpStats,
     /// Optional op recording for `sxcheck`; `None` (free) unless enabled.
     trace: Option<Box<OpTrace>>,
+    /// Timing memo for [`Vm::charge_vector_op`] (never invalidated — the
+    /// model is immutable per `Vm`).
+    memo: CostMemo,
 }
 
 impl Vm {
     /// Create a processor of the given machine.
     pub fn new(model: MachineModel) -> Vm {
-        Vm { model, cost: Cost::ZERO, lifetime: Cost::ZERO, stats: OpStats::default(), trace: None }
+        Vm {
+            model,
+            cost: Cost::ZERO,
+            lifetime: Cost::ZERO,
+            stats: OpStats::default(),
+            trace: None,
+            memo: CostMemo::new(),
+        }
+    }
+
+    /// The analytic cost of `op`, through the memo. Hit/miss counts land
+    /// in [`OpStats`] and the PROGINF report.
+    fn vector_op_cost(&mut self, op: &VecOp) -> Cost {
+        let slot = CostMemo::slot_of(op);
+        if let Some((key, cost)) = &self.memo.slots[slot] {
+            if key == op {
+                self.stats.memo_hits += 1;
+                return *cost;
+            }
+        }
+        let cost = timing::vector_op(&self.model, op);
+        self.memo.slots[slot] = Some((*op, cost));
+        self.stats.memo_misses += 1;
+        cost
     }
 
     /// Begin recording every subsequent charge into an [`OpTrace`]
@@ -110,16 +181,44 @@ impl Vm {
     /// Charge an elementwise vector operation without executing data
     /// movement (for kernels that run their own inner loops natively).
     pub fn charge_vector_op(&mut self, op: &VecOp) {
-        let c = timing::vector_op(&self.model, op);
-        self.cost.add(c);
-        self.lifetime.add(c);
+        self.charge_vector_op_repeated(op, 1);
+    }
+
+    /// Charge `reps` identical vector operations: the analytic cost is
+    /// resolved once (through the memo) and the ledger advanced `reps`
+    /// times. The result — every float accumulator, every counter, the
+    /// trace — is bit-identical to calling [`Vm::charge_vector_op`] in a
+    /// loop; floats are accumulated iteratively because repeated addition
+    /// is not multiplication, while the exact integer fields scale.
+    pub fn charge_vector_op_repeated(&mut self, op: &VecOp, reps: usize) {
+        if reps == 0 {
+            return;
+        }
+        let c = self.vector_op_cost(op);
+        // The loop of single charges would hit the freshly filled slot on
+        // every iteration after the first; mirror that accounting.
+        self.stats.memo_hits += (reps - 1) as u64;
+        for _ in 0..reps {
+            self.cost.cycles += c.cycles;
+            self.cost.cray_flops += c.cray_flops;
+            self.lifetime.cycles += c.cycles;
+            self.lifetime.cray_flops += c.cray_flops;
+        }
+        self.cost.flops += c.flops * reps as u64;
+        self.cost.bytes += c.bytes * reps as u64;
+        self.lifetime.flops += c.flops * reps as u64;
+        self.lifetime.bytes += c.bytes * reps as u64;
         if self.model.is_vector() {
-            self.stats.vector_ops += 1;
-            self.stats.vector_elements += op.n as u64;
-            self.stats.vector_cycles += c.cycles;
+            self.stats.vector_ops += reps as u64;
+            self.stats.vector_elements += (op.n * reps) as u64;
+            for _ in 0..reps {
+                self.stats.vector_cycles += c.cycles;
+            }
         } else {
-            self.stats.scalar_iters += op.n as u64;
-            self.stats.scalar_cycles += c.cycles;
+            self.stats.scalar_iters += (op.n * reps) as u64;
+            for _ in 0..reps {
+                self.stats.scalar_cycles += c.cycles;
+            }
         }
         let indexed = op
             .loads
@@ -127,14 +226,18 @@ impl Vm {
             .chain(op.stores.iter())
             .filter(|a| matches!(a, Access::Indexed))
             .count();
-        self.stats.indexed_elements += (indexed * op.n) as u64;
-        self.trace_event(|| TraceEvent::VecOp {
-            class: op.class,
-            n: op.n,
-            loads: op.loads.clone(),
-            stores: op.stores.clone(),
-            cost: c,
-        });
+        self.stats.indexed_elements += (indexed * op.n * reps) as u64;
+        if self.trace.is_some() {
+            for _ in 0..reps {
+                self.trace_event(|| TraceEvent::VecOp {
+                    class: op.class,
+                    n: op.n,
+                    loads: op.loads.to_vec(),
+                    stores: op.stores.to_vec(),
+                    cost: c,
+                });
+            }
+        }
     }
 
     /// Charge a scalar loop (cache-machine path or scalar residue).
@@ -184,19 +287,45 @@ impl Vm {
 
     /// Charge `n` vectorizable intrinsic calls without executing them.
     pub fn charge_intrinsic(&mut self, f: Intrinsic, n: usize) {
-        let c = timing::intrinsic_op(&self.model, f, n);
-        self.cost.add(c);
-        self.lifetime.add(c);
-        self.stats.intrinsic_calls += n as u64;
-        if self.model.is_vector() {
-            self.stats.vector_ops += 1;
-            self.stats.vector_elements += n as u64;
-            self.stats.vector_cycles += c.cycles;
-        } else {
-            self.stats.scalar_iters += n as u64;
-            self.stats.scalar_cycles += c.cycles;
+        self.charge_intrinsic_repeated(f, n, 1);
+    }
+
+    /// Charge `reps` identical intrinsic sweeps of `n` calls each: cost
+    /// computed once, ledger advanced `reps` times, bit-identical to the
+    /// equivalent loop of [`Vm::charge_intrinsic`] calls.
+    pub fn charge_intrinsic_repeated(&mut self, f: Intrinsic, n: usize, reps: usize) {
+        if reps == 0 {
+            return;
         }
-        self.trace_event(|| TraceEvent::Intrinsic { f, n, cost: c });
+        let c = timing::intrinsic_op(&self.model, f, n);
+        for _ in 0..reps {
+            self.cost.cycles += c.cycles;
+            self.cost.cray_flops += c.cray_flops;
+            self.lifetime.cycles += c.cycles;
+            self.lifetime.cray_flops += c.cray_flops;
+        }
+        self.cost.flops += c.flops * reps as u64;
+        self.cost.bytes += c.bytes * reps as u64;
+        self.lifetime.flops += c.flops * reps as u64;
+        self.lifetime.bytes += c.bytes * reps as u64;
+        self.stats.intrinsic_calls += (n * reps) as u64;
+        if self.model.is_vector() {
+            self.stats.vector_ops += reps as u64;
+            self.stats.vector_elements += (n * reps) as u64;
+            for _ in 0..reps {
+                self.stats.vector_cycles += c.cycles;
+            }
+        } else {
+            self.stats.scalar_iters += (n * reps) as u64;
+            for _ in 0..reps {
+                self.stats.scalar_cycles += c.cycles;
+            }
+        }
+        if self.trace.is_some() {
+            for _ in 0..reps {
+                self.trace_event(|| TraceEvent::Intrinsic { f, n, cost: c });
+            }
+        }
     }
 
     // ---- data movement -----------------------------------------------
@@ -214,7 +343,24 @@ impl Vm {
     }
 
     /// Strided copy of `n` elements: `dst[i*ds] = src[i*ss]`.
+    ///
+    /// Contract: when `n > 0`, the last touched elements — `src[(n-1)*ss]`
+    /// and `dst[(n-1)*ds]` — must be in range; out-of-range stride/len
+    /// combinations are a caller bug and panic up front rather than midway
+    /// through the copy. `n == 0` charges a zero-length op and is free.
     pub fn copy_strided(&mut self, dst: &mut [f64], ds: usize, src: &[f64], ss: usize, n: usize) {
+        if n > 0 {
+            assert!(
+                (n - 1) * ss < src.len(),
+                "copy_strided reads past src: n={n} ss={ss} len={}",
+                src.len()
+            );
+            assert!(
+                (n - 1) * ds < dst.len(),
+                "copy_strided writes past dst: n={n} ds={ds} len={}",
+                dst.len()
+            );
+        }
         for i in 0..n {
             dst[i * ds] = src[i * ss];
         }
@@ -264,15 +410,11 @@ impl Vm {
             }
         }
         // Vectorized along columns of `a`: unit-stride load, stride-n store,
-        // n vector operations of length n.
-        for _ in 0..n {
-            self.charge_vector_op(&VecOp::new(
-                n,
-                VopClass::Logical,
-                &[Access::Stride(1)],
-                &[Access::Stride(n)],
-            ));
-        }
+        // n vector operations of length n — charged as one batch.
+        self.charge_vector_op_repeated(
+            &VecOp::new(n, VopClass::Logical, &[Access::Stride(1)], &[Access::Stride(n)]),
+            n,
+        );
     }
 
     // ---- elementwise arithmetic ----------------------------------------
@@ -483,6 +625,10 @@ impl Vm {
     }
 
     /// Maximum element and its index (vector max + scan).
+    ///
+    /// Contract: an empty slice is a valid (zero-cost) query and returns
+    /// `(0, 0.0)` — the neutral element, matching a scan that never found
+    /// anything larger than zero in magnitude.
     pub fn max_abs(&mut self, a: &[f64]) -> (usize, f64) {
         self.charge_vector_op(&VecOp::new(a.len(), VopClass::Logical, &[Access::Stride(1)], &[]));
         let mut best = (0usize, 0.0f64);

@@ -1,0 +1,71 @@
+//! Contract tests for `Vm` edge cases the call sites rely on: the empty
+//! `max_abs` query and `copy_strided`'s up-front bounds checking.
+
+use sxsim::{presets, Vm};
+
+fn vm() -> Vm {
+    Vm::new(presets::sx4_benchmarked())
+}
+
+#[test]
+fn max_abs_on_empty_slice_is_a_free_query() {
+    let mut m = vm();
+    let (idx, val) = m.max_abs(&[]);
+    assert_eq!((idx, val), (0, 0.0), "neutral element for the empty scan");
+    let c = m.cost();
+    assert_eq!(c.cycles, 0.0, "a zero-length op must not charge cycles");
+    assert_eq!(c.bytes, 0);
+    assert_eq!(c.flops, 0);
+}
+
+#[test]
+fn max_abs_finds_largest_magnitude_with_index() {
+    let mut m = vm();
+    let (idx, val) = m.max_abs(&[1.0, -9.5, 3.0, 9.5]);
+    // Strictly-greater scan: the first occurrence of the max magnitude wins.
+    assert_eq!(idx, 1);
+    assert_eq!(val, 9.5);
+    assert!(m.cost().cycles > 0.0);
+}
+
+#[test]
+fn copy_strided_within_bounds_copies_and_charges() {
+    let mut m = vm();
+    let src: Vec<f64> = (0..12).map(|i| i as f64).collect();
+    let mut dst = vec![0.0f64; 9];
+    // 4 elements: reads 0, 3, 6, 9; writes 0, 2, 4, 6 — both exactly the
+    // last in-range index.
+    m.copy_strided(&mut dst, 2, &src, 3, 4);
+    assert_eq!(dst, vec![0.0, 0.0, 3.0, 0.0, 6.0, 0.0, 9.0, 0.0, 0.0]);
+    assert!(m.cost().cycles > 0.0);
+}
+
+#[test]
+fn copy_strided_zero_elements_is_free_even_with_wild_strides() {
+    let mut m = vm();
+    let src = [1.0f64];
+    let mut dst = [0.0f64];
+    m.copy_strided(&mut dst, usize::MAX, &src, usize::MAX, 0);
+    assert_eq!(dst, [0.0]);
+    assert_eq!(m.cost().cycles, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "copy_strided reads past src")]
+fn copy_strided_panics_up_front_when_stride_overruns_src() {
+    let mut m = vm();
+    let src = [1.0f64; 8];
+    let mut dst = [0.0f64; 64];
+    // (n-1)*ss = 3*3 = 9 >= src.len() = 8: must panic before touching dst.
+    m.copy_strided(&mut dst, 1, &src, 3, 4);
+}
+
+#[test]
+#[should_panic(expected = "copy_strided writes past dst")]
+fn copy_strided_panics_up_front_when_stride_overruns_dst() {
+    let mut m = vm();
+    let src = [1.0f64; 64];
+    let mut dst = [0.0f64; 8];
+    // (n-1)*ds = 3*4 = 12 >= dst.len() = 8.
+    m.copy_strided(&mut dst, 4, &src, 1, 4);
+}
