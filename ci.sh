@@ -11,10 +11,14 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo clippy --offline --workspace --all-targets --features sxcheck/audit,ncar-bench/audit -- -D warnings
 cargo clippy --offline --workspace --all-targets --features sxd/faults,ncar-bench/faults -- -D warnings
+cargo clippy --offline --workspace --all-targets --features ncar-suite/lockcheck,sxd/lockcheck -- -D warnings
 
 echo "==> cargo test"
 cargo test --offline --workspace -q
 cargo test --offline -q -p sxcheck -p ncar-bench --features sxcheck/audit,ncar-bench/audit
+
+echo "==> lock-order audit (lockcheck feature: registry round-trip + flooded-daemon graph)"
+cargo test --offline -q -p ncar-suite -p sxd --features ncar-suite/lockcheck,sxd/lockcheck
 
 echo "==> crash-recovery fault matrix (SXD_FAULTPOINT, kill-and-restart at every point)"
 cargo test --offline -q -p ncar-bench --features faults --test crash_recovery
@@ -32,6 +36,13 @@ if [ "$out1" != "$out2" ]; then
     echo "check report is not byte-identical across runs" >&2
     exit 1
 fi
+
+echo "==> ncar-bench check --matrix --deny-warnings (baseline gates only new findings)"
+# Every preset x stock kernel, gated against the committed sxcheck.baseline:
+# known findings are suppressed, any NEW finding fails this stage.
+cargo run --offline -q -p ncar-bench -- check --matrix --deny-warnings
+# The machine-readable surface must parse as JSON (core::json is strict).
+cargo run --offline -q -p ncar-bench -- check --matrix --json >/dev/null
 
 echo "==> sxd smoke test (serve, cache hit, typed error, clean shutdown)"
 cargo build --offline -q -p ncar-bench

@@ -98,13 +98,27 @@ fn main() {
     let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if names.iter().any(|n| n.as_str() == "check") {
-        let deny = args.iter().any(|a| a == "--deny-warnings");
-        std::process::exit(exp_check::run(deny));
+        let baseline_path = args.iter().position(|a| a == "--baseline").map(|pos| {
+            if pos + 1 >= args.len() {
+                eprintln!("--baseline needs a file path");
+                std::process::exit(2);
+            }
+            args[pos + 1].clone()
+        });
+        let opts = exp_check::CheckOpts {
+            deny_warnings: args.iter().any(|a| a == "--deny-warnings"),
+            json,
+            matrix: args.iter().any(|a| a == "--matrix"),
+            baseline_path,
+        };
+        std::process::exit(exp_check::run(&opts));
     }
 
     if names.is_empty() || names.iter().any(|n| n.as_str() == "list") {
         eprintln!("usage: ncar-bench [--json] [--jobs N] <experiment>... | all | list\n");
-        eprintln!("       ncar-bench check [--deny-warnings]   # run the sxcheck analyzer");
+        eprintln!(
+            "       ncar-bench check [--deny-warnings] [--json] [--matrix] [--baseline FILE]"
+        );
         eprintln!(
             "       ncar-bench serve [--addr A] [--workers N] [--cache-cap N] \
              [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]"

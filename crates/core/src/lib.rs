@@ -17,8 +17,10 @@
 //! - [`json`] — fallible JSON parsing for the `sxd` wire protocol;
 //! - [`hash`] — FNV-1a content hashing for the result cache;
 //! - [`registry`] — ordered name → value lookup for runnable benchmarks;
-//! - [`par`] — host-thread fan-out, the `--jobs` cap, and the bounded
-//!   [`WorkerPool`] the serving daemon executes on.
+//! - [`par`] — host-thread fan-out, the `--jobs` cap, the bounded
+//!   [`WorkerPool`] the serving daemon executes on, and (behind the
+//!   `lockcheck` feature) the [`par::lockreg`] named-lock-site registry
+//!   that feeds sxcheck's lock-order deadlock analysis.
 //!
 //! The kernels themselves live in `ncar-kernels`; applications in
 //! `ccm-proxy` and `ocean-models`; the machine under test in `sxsim`.
@@ -43,7 +45,10 @@ pub use ktries::{best_of, KTRIES_DEFAULT, KTRIES_VFFT};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS,
 };
-pub use par::{host_parallelism, par_map, par_map_with, plock, set_host_parallelism, WorkerPool};
+pub use par::{
+    host_parallelism, par_map, par_map_with, plock, plock_named, set_host_parallelism, SiteGuard,
+    WorkerPool,
+};
 pub use registry::Registry;
 pub use report::{Artifact, Figure, Series, Table};
 pub use rng::SmallRng;

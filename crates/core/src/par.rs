@@ -6,8 +6,11 @@
 //! harness. Results always come back in input order.
 
 use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+pub mod lockreg;
 
 /// Lock `m`, recovering the data if a previous holder panicked.
 ///
@@ -20,6 +23,60 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 /// caused it.
 pub fn plock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A [`plock`] guard carrying the name of the lock *site* it holds.
+///
+/// With the `lockcheck` feature enabled, constructing one (via
+/// [`plock_named`]) records the acquisition in [`lockreg`] — the held-site
+/// stack of the current thread grows an entry, and an ordering edge is
+/// recorded from every site already held — and dropping it pops the stack.
+/// Without the feature it is exactly a [`MutexGuard`]: no registry, no
+/// bookkeeping, nothing to pay.
+pub struct SiteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    site: &'static str,
+    guard: MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for SiteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for SiteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<T: ?Sized> Drop for SiteGuard<'_, T> {
+    fn drop(&mut self) {
+        lockreg::release(self.site);
+    }
+}
+
+/// [`plock`] with a named lock site, feeding the [`lockreg`] registry.
+///
+/// `site` names the *role* of the mutex (e.g. `"sxd.cache"`), not a code
+/// location: every acquisition of the same mutex should pass the same
+/// name, so the recorded ordering graph speaks about the daemon's lock
+/// hierarchy rather than about call sites. Poison recovery is identical to
+/// [`plock`].
+pub fn plock_named<'a, T: ?Sized>(m: &'a Mutex<T>, site: &'static str) -> SiteGuard<'a, T> {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    #[cfg(feature = "lockcheck")]
+    lockreg::acquire(site);
+    #[cfg(not(feature = "lockcheck"))]
+    let _ = site;
+    SiteGuard {
+        #[cfg(feature = "lockcheck")]
+        site,
+        guard,
+    }
 }
 
 /// Process-wide host-parallelism cap. 0 = no cap (use every core); set by

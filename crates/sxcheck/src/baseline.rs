@@ -1,0 +1,155 @@
+//! Finding suppression baseline for the gating CI surface.
+//!
+//! `ncar-bench check --matrix` runs every machine preset against the stock
+//! kernels and wants to *deny new findings* — but some presets legitimately
+//! trip lints today (a Y-MP has fewer banks than an SX-4, so strides that
+//! are fine on one collide on the other). Freezing those as "known" is what
+//! this file format is for: each line of `sxcheck.baseline` names one
+//! accepted finding as
+//!
+//! ```text
+//! <machine-key> <code> <region>
+//! ```
+//!
+//! e.g. `ymp SXC004 gather-probe`. `#` starts a comment; blank lines are
+//! ignored; the region field may contain spaces (it is the rest of the
+//! line). A finding that matches a baseline line is reported but does not
+//! gate; a finding with no line is *new* and fails `--deny-warnings`.
+
+use crate::report::Diagnostic;
+use std::collections::BTreeSet;
+
+/// A parsed suppression baseline: a set of (machine, code, region) keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, String)>,
+}
+
+/// A malformed baseline line: its 1-based line number and content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    pub line: usize,
+    pub content: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "baseline line {}: expected `<machine> <code> <region>`, got {:?}",
+            self.line, self.content
+        )
+    }
+}
+
+/// Split off the first whitespace-delimited token; the remainder is
+/// trimmed. Robust to runs of spaces or tabs between fields.
+fn split_token(s: &str) -> (&str, &str) {
+    let s = s.trim();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+impl Baseline {
+    /// An empty baseline: nothing is suppressed.
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Parse the `sxcheck.baseline` format. Fails on the first line that
+    /// is neither blank, a comment, nor three whitespace-separated fields.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries = BTreeSet::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (machine, rest) = split_token(line);
+            let (code, region) = split_token(rest);
+            if machine.is_empty() || code.is_empty() || region.is_empty() {
+                return Err(BaselineError { line: i + 1, content: raw.to_string() });
+            }
+            entries.insert((machine.to_string(), code.to_string(), region.to_string()));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Number of suppression entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Is this (machine, diagnostic) pair an accepted, known finding?
+    pub fn is_suppressed(&self, machine: &str, d: &Diagnostic) -> bool {
+        self.entries.contains(&(machine.to_string(), d.code.to_string(), d.region.clone()))
+    }
+
+    /// Render a diagnostic as the baseline line that would suppress it —
+    /// what the CI failure message tells the operator to add.
+    pub fn line_for(machine: &str, d: &Diagnostic) -> String {
+        format!("{} {} {}", machine, d.code, d.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Severity;
+
+    fn diag(code: &'static str, region: &str) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            region: region.to_string(),
+            message: String::new(),
+            hint: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_entries() {
+        let text = "# known findings\n\nymp SXC004 gather-probe\n  sx4-9.2 SXC003 gather-probe  \n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.is_suppressed("ymp", &diag("SXC004", "gather-probe")));
+        assert!(b.is_suppressed("sx4-9.2", &diag("SXC003", "gather-probe")));
+        assert!(!b.is_suppressed("j90", &diag("SXC004", "gather-probe")));
+        assert!(!b.is_suppressed("ymp", &diag("SXC004", "xpose")));
+    }
+
+    #[test]
+    fn region_may_contain_spaces() {
+        let b = Baseline::parse("ymp SXC005 region with spaces\n").unwrap();
+        assert!(b.is_suppressed("ymp", &diag("SXC005", "region with spaces")));
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_with_position() {
+        let err = Baseline::parse("ymp SXC004 ok\nonly-two fields-here\n").unwrap_err();
+        // splitn(3) yields two fields for the second line -> error at line 2.
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn line_for_round_trips_through_parse() {
+        let d = diag("SXC006", "pressure");
+        let line = Baseline::line_for("j90", &d);
+        let b = Baseline::parse(&line).unwrap();
+        assert!(b.is_suppressed("j90", &d));
+    }
+
+    #[test]
+    fn empty_baseline_suppresses_nothing() {
+        let b = Baseline::empty();
+        assert!(b.is_empty());
+        assert!(!b.is_suppressed("sx4-9.2", &diag("SXC001", "x")));
+    }
+}

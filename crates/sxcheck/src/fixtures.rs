@@ -9,6 +9,7 @@
 use crate::race::RaceChecker;
 use crate::report::Report;
 use crate::vlint::VectorLinter;
+use ncar_suite::par::lockreg::LockObservations;
 use sxsim::commreg::{access_cost, CommRegisters};
 use sxsim::{presets, Ftrace, SpinLock, Vm};
 
@@ -35,7 +36,18 @@ impl Fixture {
 
 /// Run every fixture against the benchmarked SX-4.
 pub fn run_all() -> Vec<Fixture> {
-    vec![stride128_copy(), unlocked_accumulator(), locked_accumulator(), clean_copy()]
+    vec![
+        stride128_copy(),
+        unlocked_accumulator(),
+        locked_accumulator(),
+        clean_copy(),
+        bank_pressure(),
+        reload_reduction(),
+        short_strip_remainder(),
+        inverted_locks(),
+        guard_across_io(),
+        lock_hierarchy_clean(),
+    ]
 }
 
 fn lint_vm(vm: &mut Vm) -> Report {
@@ -61,7 +73,9 @@ pub fn stride128_copy() -> Fixture {
     ft.region("stride128-copy", &mut vm, |vm| {
         vm.copy_strided(&mut dst, 128, &src, 128, n);
     });
-    Fixture { name: "stride128-copy", expect: &["SXC004"], report: lint_vm(&mut vm) }
+    // The single bad stride also drags the region's aggregate strided
+    // efficiency below the SXC006 pressure bar.
+    Fixture { name: "stride128-copy", expect: &["SXC004", "SXC006"], report: lint_vm(&mut vm) }
 }
 
 /// Four processors bump a shared accumulator with no lock and no barrier:
@@ -122,6 +136,93 @@ pub fn clean_copy() -> Fixture {
     Fixture { name: "clean-copy", expect: &[], report: lint_vm(&mut vm) }
 }
 
+/// Many individually modest power-of-two strides: none moves enough to
+/// trip SXC004 on its own, but together the region's strided traffic runs
+/// at a quarter of the achievable rate.
+pub fn bank_pressure() -> Fixture {
+    let mut vm = Vm::new(presets::sx4_benchmarked());
+    vm.start_trace();
+    let mut ft = Ftrace::new();
+    let n = 1_500usize;
+    ft.region("bank-pressure", &mut vm, |vm| {
+        for &stride in &[64usize, 128, 256, 512] {
+            let src = vec![1.0f64; n * stride];
+            let mut dst = vec![0.0f64; n * stride];
+            vm.copy_strided(&mut dst, stride, &src, stride, n);
+        }
+    });
+    Fixture { name: "bank-pressure", expect: &["SXC006"], report: lint_vm(&mut vm) }
+}
+
+/// The same reduction re-reads its operand stream every iteration with
+/// nothing written in between — memory traffic a common-subexpression
+/// pass (or a hoisted scalar) would eliminate.
+pub fn reload_reduction() -> Fixture {
+    let mut vm = Vm::new(presets::sx4_benchmarked());
+    vm.start_trace();
+    let mut ft = Ftrace::new();
+    let a: Vec<f64> = (0..6_000).map(|i| i as f64 * 0.5).collect();
+    ft.region("reload-reduction", &mut vm, |vm| {
+        for _ in 0..4 {
+            vm.sum(&a);
+        }
+    });
+    Fixture { name: "reload-reduction", expect: &["SXC007"], report: lint_vm(&mut vm) }
+}
+
+/// A loop count sitting just above four full vector strips: every pass
+/// pays a fifth startup charge for a 16-element remainder.
+pub fn short_strip_remainder() -> Fixture {
+    let mut vm = Vm::new(presets::sx4_benchmarked());
+    vm.start_trace();
+    let mut ft = Ftrace::new();
+    let n = 256 * 4 + 16;
+    let a = vec![1.0f64; n];
+    let b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+    ft.region("short-strip", &mut vm, |vm| {
+        for _ in 0..20 {
+            vm.add(&mut c, &a, &b);
+        }
+    });
+    Fixture { name: "short-strip", expect: &["SXC008"], report: lint_vm(&mut vm) }
+}
+
+fn lock_report(obs: &LockObservations) -> Report {
+    let mut report = Report::new();
+    report.extend(crate::lockgraph::analyze(obs));
+    report
+}
+
+/// Two threads take the same pair of locks in opposite orders — the
+/// canonical ABBA deadlock. Observations are synthesized directly (the
+/// global registry is process-wide and would cross-pollute parallel
+/// tests).
+pub fn inverted_locks() -> Fixture {
+    let mut obs = LockObservations::new();
+    obs.record_stack(&["sxd.cache", "sxd.journal"]);
+    obs.record_stack(&["sxd.journal", "sxd.cache"]);
+    Fixture { name: "inverted-locks", expect: &["SXC301"], report: lock_report(&obs) }
+}
+
+/// A guard held across a journal fsync: every thread wanting the cache
+/// lock waits out the disk.
+pub fn guard_across_io() -> Fixture {
+    let mut obs = LockObservations::new();
+    obs.record_crossing("sxd.journal.append", "sxd.cache");
+    Fixture { name: "guard-across-io", expect: &["SXC302"], report: lock_report(&obs) }
+}
+
+/// A consistent lock hierarchy (every path takes `inflight`, then
+/// `cache`, then `journal` in that order): nothing to report.
+pub fn lock_hierarchy_clean() -> Fixture {
+    let mut obs = LockObservations::new();
+    obs.record_stack(&["sxd.inflight", "sxd.cache"]);
+    obs.record_stack(&["sxd.inflight", "sxd.cache", "sxd.journal"]);
+    obs.record_stack(&["sxd.cache", "sxd.journal"]);
+    Fixture { name: "lock-hierarchy-clean", expect: &[], report: lock_report(&obs) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +244,15 @@ mod tests {
         let mut f = stride128_copy();
         let d = f.report.diagnostics().iter().find(|d| d.code == "SXC004").unwrap();
         assert_eq!(d.region, "stride128-copy");
+    }
+
+    #[test]
+    fn lock_fixtures_name_their_sites() {
+        let mut f = inverted_locks();
+        let r = f.report.render();
+        assert!(r.contains("sxd.cache"), "{r}");
+        let mut g = guard_across_io();
+        assert!(g.report.render().contains("sxd.journal.append"));
     }
 
     #[test]

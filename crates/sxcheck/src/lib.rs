@@ -12,6 +12,12 @@
 //! - **[`race`]** — a simulated-race detector over per-processor access
 //!   sets: overlapping writes in the same barrier epoch with no common
 //!   communications-register lock are reported as SXC101 errors;
+//! - **[`lockgraph`]** — lock-order analysis over [`ncar_suite::par::lockreg`]
+//!   observations: acquisition-order cycles are potential deadlocks
+//!   (SXC301) and guards held across blocking IO are convoy hazards
+//!   (SXC302);
+//! - **[`baseline`]** — a suppression file (`sxcheck.baseline`) so CI can
+//!   deny *new* findings without first driving known ones to zero;
 //! - **`audit`** (feature `audit`) — a cost-ledger auditor that
 //!   cross-checks the trace sum, the PROGINF cycle partition and FTRACE
 //!   region totals against the lifetime ledger (SXC201–SXC204);
@@ -40,7 +46,9 @@
 //! println!("{}", report.render());
 //! ```
 
+pub mod baseline;
 pub mod fixtures;
+pub mod lockgraph;
 pub mod race;
 pub mod report;
 pub mod vlint;
@@ -48,6 +56,7 @@ pub mod vlint;
 #[cfg(feature = "audit")]
 pub mod audit;
 
+pub use baseline::Baseline;
 pub use race::RaceChecker;
 pub use report::{Diagnostic, Report, Severity};
 pub use vlint::VectorLinter;

@@ -7,6 +7,15 @@
 //! 16:1 vector:scalar machine), gather/scatter dominance, and power-of-two
 //! strides colliding on the banked memory (§2.2).
 //!
+//! PR 6 adds three dataflow lints: aggregate bank-occupancy pressure when
+//! a region's *combined* strided traffic runs well below the achievable
+//! non-unit-stride rate even though no single stride crosses the SXC004
+//! bar (SXC006); reloads of an identical operand stream with no
+//! intervening write — a common-subexpression-elimination opportunity on
+//! a machine where the memory port is the scarce resource (SXC007); and
+//! strip-mining advice when loop counts leave a short final strip just
+//! above a multiple of the vector register length (SXC008).
+//!
 //! [`OpTrace`]: sxsim::OpTrace
 
 use crate::report::{Diagnostic, Severity};
@@ -36,6 +45,15 @@ pub const CONFLICT_RATIO: f64 = 0.90;
 pub const SCALAR_FRACTION: f64 = 0.25;
 /// Cycles a region must cost before its scalar fraction is judged.
 pub const MIN_REGION_CYCLES: f64 = 10_000.0;
+/// Aggregate strided efficiency (relative to the non-unit-stride rate)
+/// below which SXC006 fires for a region's combined strided traffic.
+pub const PRESSURE_RATIO: f64 = 0.75;
+/// Redundant load-only operations a region must repeat before SXC007
+/// fires (each repeat of an already-pending stream counts once).
+pub const MIN_REDUNDANT_LOADS: u64 = 2;
+/// A strip-mine remainder is "short" when it is at most `reg_len` divided
+/// by this (SX-4: 256/8 = 32 elements riding a full startup charge).
+pub const STRIP_REMAINDER_DIV: usize = 8;
 
 /// Per-region aggregates accumulated during replay.
 #[derive(Debug, Clone, Default)]
@@ -53,6 +71,15 @@ struct RegionAgg {
     scalar_cycles: f64,
     other_cycles: f64,
     scalar_iters: u64,
+    /// Vector-op length histogram (for strip-mining advice).
+    n_counts: BTreeMap<usize, u64>,
+    /// Load-only operand-stream signatures seen since the last write
+    /// barrier, with the elements each moved (for reload detection).
+    pending_loads: BTreeMap<String, u64>,
+    /// Load-only ops that repeated a pending signature, and the elements
+    /// they re-read.
+    redundant_loads: u64,
+    redundant_elems: u64,
 }
 
 /// Aggregates an op stream into per-region statistics and emits
@@ -168,6 +195,98 @@ impl VectorLinter {
                         ));
                     }
                 }
+
+                // SXC006: aggregate bank-occupancy pressure. Individually
+                // small strided streams (each under the SXC004 volume bar)
+                // can still add up to a region that runs far below the
+                // achievable strided rate.
+                let strided_total: u64 = a.stride_elements.values().sum();
+                if strided_total >= MIN_ELEMENTS {
+                    let base = model.memory.nonunit_stride_factor;
+                    let weighted: f64 = a
+                        .stride_elements
+                        .iter()
+                        .map(|(&stride, &elems)| {
+                            let eff = model.memory.stride_efficiency(stride, wpc);
+                            let conflict = if base > 0.0 { eff / base } else { 1.0 };
+                            conflict * elems as f64
+                        })
+                        .sum();
+                    let pressure = weighted / strided_total as f64;
+                    if pressure < PRESSURE_RATIO {
+                        out.push(diag(
+                            "SXC006",
+                            format!(
+                                "strided traffic sustains {:.0}% of the achievable \
+                                 non-unit-stride rate across {} stride(s), {} elements \
+                                 (threshold {:.0}%)",
+                                100.0 * pressure,
+                                a.stride_elements.len(),
+                                strided_total,
+                                100.0 * PRESSURE_RATIO
+                            ),
+                            "the region's strides collectively occupy too few banks; \
+                             pad leading dimensions to odd strides or transpose so the \
+                             inner axis is contiguous"
+                                .to_string(),
+                        ));
+                    }
+                }
+
+                // SXC008: strip-mining advice — loop counts that leave a
+                // short final strip pay a full startup charge for a few
+                // elements on every pass.
+                if let Some(vu) = &model.vector {
+                    let reg = vu.reg_len;
+                    let max_rem = reg / STRIP_REMAINDER_DIV;
+                    let mut strip_ops = 0u64;
+                    let mut worst: Option<(usize, u64)> = None;
+                    for (&n, &count) in &a.n_counts {
+                        let rem = if n > reg { n % reg } else { 0 };
+                        if rem > 0 && rem <= max_rem {
+                            strip_ops += count;
+                            if worst.is_none_or(|(_, c)| count > c) {
+                                worst = Some((n, count));
+                            }
+                        }
+                    }
+                    if strip_ops >= MIN_OPS_FOR_AVL {
+                        let (n, count) = worst.expect("strip_ops > 0 implies a worst n");
+                        out.push(diag(
+                            "SXC008",
+                            format!(
+                                "{strip_ops} vector ops leave a short strip-mine remainder \
+                                 (e.g. {count} ops of length {n}: {n} mod {reg} = {} \
+                                 <= {max_rem})",
+                                n % reg
+                            ),
+                            format!(
+                                "the final strip pays the full {:.0}-cycle startup for a \
+                                 handful of elements; pad the loop count to a multiple of \
+                                 {reg} or fold the remainder into the preceding strip",
+                                vu.startup_cycles
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // SXC007: reloading an identical operand stream with no
+            // intervening write — redundant memory traffic a common-
+            // subexpression pass would eliminate. Applies to cache
+            // machines too: the reload misses all the way to memory there.
+            if a.redundant_loads >= MIN_REDUNDANT_LOADS && a.redundant_elems >= MIN_ELEMENTS {
+                out.push(diag(
+                    "SXC007",
+                    format!(
+                        "{} load-only operation(s) re-read identical operand streams \
+                         ({} redundant elements) with no intervening write",
+                        a.redundant_loads, a.redundant_elems
+                    ),
+                    "hoist the repeated reduction or load out of the loop (common-\
+                     subexpression elimination); the memory port is the scarce resource"
+                        .to_string(),
+                ));
             }
 
             // SXC005: Amdahl — too much of the region is not vector work.
@@ -198,10 +317,22 @@ impl VectorLinter {
 impl Recorder for VectorLinter {
     fn record(&mut self, ev: &TraceEvent) {
         match ev {
-            TraceEvent::EnterRegion { name } => self.open = Some(name.clone()),
-            TraceEvent::ExitRegion { .. } => self.open = None,
-            TraceEvent::VecOp { n, loads, stores, cost, .. } => {
+            TraceEvent::EnterRegion { name } => {
+                self.open = Some(name.clone());
+                // Region transitions are conservative write barriers: ops
+                // inside may write what the enclosing stream read.
+                self.clear_pending();
+            }
+            TraceEvent::ExitRegion { .. } => {
+                self.open = None;
+                self.clear_pending();
+            }
+            TraceEvent::VecOp { class, n, loads, stores, cost } => {
                 let n = *n;
+                let writes_memory =
+                    stores.iter().any(|s| matches!(s, Access::Stride(_) | Access::Indexed));
+                let reads_memory =
+                    loads.iter().any(|s| matches!(s, Access::Stride(_) | Access::Indexed));
                 let a = self.agg();
                 a.vector_ops += 1;
                 a.vector_elements += n as u64;
@@ -209,6 +340,7 @@ impl Recorder for VectorLinter {
                     a.short_vector_ops += 1;
                 }
                 a.vector_cycles += cost.cycles;
+                *a.n_counts.entry(n).or_insert(0) += 1;
                 for acc in loads.iter().chain(stores.iter()) {
                     a.stream_elements += n as u64;
                     match acc {
@@ -219,21 +351,52 @@ impl Recorder for VectorLinter {
                         _ => {}
                     }
                 }
+                if writes_memory {
+                    a.pending_loads.clear();
+                } else if reads_memory {
+                    // Load-only op: identical (class, length, access list)
+                    // with no write in between means the same streams are
+                    // fetched again.
+                    let sig = format!("{class:?}/{n}/{loads:?}");
+                    use std::collections::btree_map::Entry;
+                    match a.pending_loads.entry(sig) {
+                        Entry::Occupied(_) => {
+                            a.redundant_loads += 1;
+                            a.redundant_elems += n as u64;
+                        }
+                        Entry::Vacant(v) => {
+                            v.insert(n as u64);
+                        }
+                    }
+                }
             }
             TraceEvent::ScalarLoop { iters, cost } => {
                 let a = self.agg();
                 a.scalar_iters += *iters as u64;
                 a.scalar_cycles += cost.cycles;
+                a.pending_loads.clear(); // scalar code may write anything
             }
             TraceEvent::Intrinsic { n, cost, .. } => {
                 let a = self.agg();
                 a.vector_ops += 1;
                 a.vector_elements += *n as u64;
                 a.vector_cycles += cost.cycles;
+                a.pending_loads.clear(); // intrinsics write their results
             }
             TraceEvent::Charge { cost } => {
-                self.agg().other_cycles += cost.cycles;
+                let a = self.agg();
+                a.other_cycles += cost.cycles;
+                a.pending_loads.clear(); // barriers/IO publish other work
             }
+        }
+    }
+}
+
+impl VectorLinter {
+    /// Drop every region's pending load signatures (conservative barrier).
+    fn clear_pending(&mut self) {
+        for a in self.regions.values_mut() {
+            a.pending_loads.clear();
         }
     }
 }
@@ -359,6 +522,95 @@ mod tests {
         let bad: Vec<_> = ds.iter().filter(|d| d.code == "SXC004").collect();
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].region, "bad-stride");
+    }
+
+    #[test]
+    fn aggregate_stride_pressure_flagged_below_sxc004_volume() {
+        let mut vm = traced_vm();
+        let n = 1_500usize; // 3_000 elements per stride: under MIN_STRIDE_ELEMS
+        for &stride in &[64usize, 128, 256, 512] {
+            let src = vec![1.0f64; n * stride];
+            let mut dst = vec![0.0f64; n * stride];
+            vm.copy_strided(&mut dst, stride, &src, stride, n);
+        }
+        let ds = lints(&mut vm);
+        assert!(!ds.iter().any(|d| d.code == "SXC004"), "no single stride crosses: {ds:?}");
+        let d = ds.iter().find(|d| d.code == "SXC006").expect("aggregate pressure lint");
+        assert!(d.message.contains("4 stride(s)"), "{}", d.message);
+    }
+
+    #[test]
+    fn odd_strides_produce_no_pressure_finding() {
+        let mut vm = traced_vm();
+        let n = 3_000usize;
+        for &stride in &[63usize, 129, 255, 513] {
+            let src = vec![1.0f64; n * stride];
+            let mut dst = vec![0.0f64; n * stride];
+            vm.copy_strided(&mut dst, stride, &src, stride, n);
+        }
+        let ds = lints(&mut vm);
+        assert!(!ds.iter().any(|d| d.code == "SXC006"), "{ds:?}");
+    }
+
+    #[test]
+    fn repeated_reduction_without_write_is_a_reload() {
+        let mut vm = traced_vm();
+        let a: Vec<f64> = (0..6_000).map(|i| i as f64).collect();
+        for _ in 0..4 {
+            vm.sum(&a); // identical load-only stream, nothing written
+        }
+        let ds = lints(&mut vm);
+        let d = ds.iter().find(|d| d.code == "SXC007").expect("reload lint");
+        assert!(d.message.contains("3 load-only"), "{}", d.message);
+        assert!(d.message.contains("18000 redundant elements"), "{}", d.message);
+    }
+
+    #[test]
+    fn intervening_write_clears_reload_tracking() {
+        let mut vm = traced_vm();
+        let a: Vec<f64> = (0..6_000).map(|i| i as f64).collect();
+        let mut out = vec![0.0f64; 6_000];
+        for _ in 0..4 {
+            vm.sum(&a);
+            vm.copy(&mut out, &a); // a write barrier between the reloads
+        }
+        let ds = lints(&mut vm);
+        assert!(!ds.iter().any(|d| d.code == "SXC007"), "{ds:?}");
+    }
+
+    #[test]
+    fn short_strip_mine_remainder_flagged() {
+        let mut vm = traced_vm();
+        let n = 256 * 4 + 16; // remainder 16 <= 256/8
+        let a = vec![1.0f64; n];
+        let b = vec![2.0f64; n];
+        let mut c = vec![0.0f64; n];
+        for _ in 0..20 {
+            vm.add(&mut c, &a, &b);
+        }
+        let ds = lints(&mut vm);
+        let d = ds.iter().find(|d| d.code == "SXC008").expect("strip-mining lint");
+        assert!(d.message.contains("1040"), "{}", d.message);
+        assert!(d.hint.contains("multiple of"), "{}", d.hint);
+    }
+
+    #[test]
+    fn full_strips_and_long_remainders_are_clean() {
+        let mut vm = traced_vm();
+        let a = vec![1.0f64; 1024]; // 4 full strips exactly
+        let b = vec![2.0f64; 1024];
+        let mut c = vec![0.0f64; 1024];
+        for _ in 0..20 {
+            vm.add(&mut c, &a, &b);
+        }
+        let la = vec![1.0f64; 256 * 4 + 200]; // remainder 200 > 32
+        let lb = vec![2.0f64; 256 * 4 + 200];
+        let mut lc = vec![0.0f64; 256 * 4 + 200];
+        for _ in 0..20 {
+            vm.add(&mut lc, &la, &lb);
+        }
+        let ds = lints(&mut vm);
+        assert!(!ds.iter().any(|d| d.code == "SXC008"), "{ds:?}");
     }
 
     #[test]

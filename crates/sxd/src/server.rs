@@ -49,8 +49,9 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use ncar_suite::metrics::{Gauge, Histogram, MetricsRegistry};
+use ncar_suite::par::lockreg;
 use ncar_suite::report::{json_escape, json_f64};
-use ncar_suite::{plock, Artifact, Json, Registry, WorkerPool};
+use ncar_suite::{plock, plock_named, Artifact, Json, Registry, WorkerPool};
 use superux::{Admission, JobSpec};
 use sxsim::{presets, MachineModel};
 
@@ -233,6 +234,11 @@ impl DaemonMetrics {
 }
 
 /// Where followers of an in-flight run park until the leader publishes.
+///
+/// `state` stays on plain [`plock`] rather than the lockcheck-instrumented
+/// [`plock_named`]: `Condvar::wait` needs the raw `MutexGuard`, and a wait
+/// *releases* the mutex while parked, so site tracking would misreport the
+/// hold. The same applies to the admission lock below.
 #[derive(Default)]
 struct InflightSlot {
     state: Mutex<Option<Result<String, SxdError>>>,
@@ -277,6 +283,7 @@ struct Daemon {
     registry: Registry<JobEntry>,
     addr: SocketAddr,
     workers: usize,
+    /// Guarded by `admit_cv` waits, so uninstrumented (see [`InflightSlot`]).
     admission: Mutex<Admission>,
     admit_cv: Condvar,
     admit_timeout: Duration,
@@ -407,7 +414,7 @@ impl Server {
             };
             let id = self.daemon.seq.fetch_add(1, Ordering::SeqCst);
             if let Ok(track) = stream.try_clone() {
-                plock(&self.daemon.conns).push((id, track));
+                plock_named(&self.daemon.conns, "sxd.conns").push((id, track));
             }
             let d = Arc::clone(&self.daemon);
             handles.push(std::thread::spawn(move || handle_conn(&d, stream, id)));
@@ -467,7 +474,7 @@ impl Daemon {
         self.metrics.frame_parse.observe(t_parse.elapsed().as_secs_f64());
         match parsed {
             Err(e) => {
-                plock(&self.counters).bad_requests += 1;
+                plock_named(&self.counters, "sxd.counters").bad_requests += 1;
                 e.to_reply()
             }
             Ok(Request::Stats) => self.stats_reply(),
@@ -520,21 +527,21 @@ impl Daemon {
         let entry = match self.registry.get(suite) {
             Some(e) => e,
             None => {
-                plock(&self.counters).bad_requests += 1;
+                plock_named(&self.counters, "sxd.counters").bad_requests += 1;
                 return Err(SxdError::UnknownSuite { suite: suite.into() });
             }
         };
         let model = match presets::by_name(machine) {
             Some(m) => m,
             None => {
-                plock(&self.counters).bad_requests += 1;
+                plock_named(&self.counters, "sxd.counters").bad_requests += 1;
                 return Err(SxdError::UnknownMachine { machine: machine.into() });
             }
         };
         let key = cache_key(suite, &model, params);
 
         {
-            let mut c = plock(&self.counters);
+            let mut c = plock_named(&self.counters, "sxd.counters");
             c.accepted += 1;
             c.queued += 1;
         }
@@ -546,8 +553,8 @@ impl Daemon {
         // no identical submit can slip between the two tables and re-run.
         let t_lookup = Instant::now();
         let path = {
-            let mut inflight = plock(&self.inflight);
-            if let Some(payload) = plock(&self.cache).get(key) {
+            let mut inflight = plock_named(&self.inflight, "sxd.inflight");
+            if let Some(payload) = plock_named(&self.cache, "sxd.cache").get(key) {
                 SubmitPath::Hit(payload)
             } else if let Some(slot) = inflight.get(&key) {
                 SubmitPath::Follower(Arc::clone(slot))
@@ -561,7 +568,7 @@ impl Daemon {
 
         match path {
             SubmitPath::Hit(payload) => {
-                let mut c = plock(&self.counters);
+                let mut c = plock_named(&self.counters, "sxd.counters");
                 c.queued -= 1;
                 c.done += 1;
                 self.metrics.job.observe(t_job.elapsed().as_secs_f64());
@@ -570,7 +577,7 @@ impl Daemon {
             }
             SubmitPath::Follower(slot) => {
                 let outcome = slot.wait();
-                let mut c = plock(&self.counters);
+                let mut c = plock_named(&self.counters, "sxd.counters");
                 c.queued -= 1;
                 c.coalesced += 1;
                 match &outcome {
@@ -591,7 +598,7 @@ impl Daemon {
                     self.run_as_leader(suite, entry, &model, params, key, t_job, solo_override);
                 // Retire the slot (the cache was populated first on
                 // success) and publish so followers wake with the result.
-                plock(&self.inflight).remove(&key);
+                plock_named(&self.inflight, "sxd.inflight").remove(&key);
                 slot.publish(outcome.clone());
                 outcome.map(|payload| submit_reply(false, key, &payload))
             }
@@ -620,7 +627,7 @@ impl Daemon {
             solo_seconds: solo_override.unwrap_or(entry.demand.solo_seconds),
             ..entry.demand
         };
-        plock(&self.pending).insert(
+        plock_named(&self.pending, "sxd.pending").insert(
             key,
             PendingJob {
                 suite: suite.to_string(),
@@ -639,12 +646,12 @@ impl Daemon {
             after: Vec::new(),
         };
         let reject = |detail: String| {
-            let mut c = plock(&self.counters);
+            let mut c = plock_named(&self.counters, "sxd.counters");
             c.queued -= 1;
             c.rejected += 1;
             self.metrics.job.observe(t_job.elapsed().as_secs_f64());
             drop(c);
-            plock(&self.pending).remove(&key);
+            plock_named(&self.pending, "sxd.pending").remove(&key);
             Err(SxdError::Rejected { detail })
         };
 
@@ -656,7 +663,7 @@ impl Daemon {
                 // A drain may have checkpointed this job while it sat in
                 // the queue: its remaining work is durably persisted, so it
                 // retires here without ever running.
-                if plock(&self.ckpt).remove(&key) {
+                if plock_named(&self.ckpt, "sxd.ckpt").remove(&key) {
                     drop(adm);
                     self.metrics.admission_wait.observe(t_adm.elapsed().as_secs_f64());
                     return self.retire_checkpointed(key, t_job, false);
@@ -691,7 +698,7 @@ impl Daemon {
         };
         self.metrics.admission_wait.observe(t_adm.elapsed().as_secs_f64());
         {
-            let mut c = plock(&self.counters);
+            let mut c = plock_named(&self.counters, "sxd.counters");
             c.queued -= 1;
             c.running += 1;
         }
@@ -714,18 +721,18 @@ impl Daemon {
         // restart spec is already durable, so the next boot re-runs the
         // work; serving this result too would double-count it. Discard it
         // and retire as checkpointed, whatever the runner returned.
-        if plock(&self.ckpt).remove(&key) {
+        if plock_named(&self.ckpt, "sxd.ckpt").remove(&key) {
             return self.retire_checkpointed(key, t_job, true);
         }
 
         match outcome {
             Err(detail) => {
-                let mut c = plock(&self.counters);
+                let mut c = plock_named(&self.counters, "sxd.counters");
                 c.running -= 1;
                 c.rejected += 1;
                 self.metrics.job.observe(t_job.elapsed().as_secs_f64());
                 drop(c);
-                plock(&self.pending).remove(&key);
+                plock_named(&self.pending, "sxd.pending").remove(&key);
                 Err(SxdError::RunFailed { detail })
             }
             Ok(artifacts) => {
@@ -738,7 +745,7 @@ impl Daemon {
                     render_payload(suite, params, sim_seconds, stretch, &artifacts, &model.name);
                 self.metrics.render.observe(t_render.elapsed().as_secs_f64());
                 {
-                    let mut c = plock(&self.counters);
+                    let mut c = plock_named(&self.counters, "sxd.counters");
                     c.running -= 1;
                     c.done += 1;
                     let s = c.suites.entry(suite.to_ascii_lowercase()).or_default();
@@ -752,9 +759,9 @@ impl Daemon {
                 // truth for the *next* boot. The compaction snapshot is
                 // taken after the insert so it can never lose the entry
                 // whose append it supersedes.
-                plock(&self.cache).insert(key, payload.clone());
+                plock_named(&self.cache, "sxd.cache").insert(key, payload.clone());
                 self.persist_result(key, &payload);
-                plock(&self.pending).remove(&key);
+                plock_named(&self.pending, "sxd.pending").remove(&key);
                 Ok(payload)
             }
         }
@@ -765,15 +772,20 @@ impl Daemon {
     /// are counted, not fatal: the client still gets its in-memory result,
     /// only durability for this record is lost.
     fn persist_result(&self, key: u64, payload: &str) {
-        let mut slot = plock(&self.journal);
+        let mut slot = plock_named(&self.journal, "sxd.journal");
         let Some(j) = slot.as_mut() else { return };
+        // The journal lock *is* the designated guard of the journal file:
+        // appends and compactions must serialize, so holding it across
+        // this IO is by design and exempt from SXC302.
+        lockreg::blocking_io("sxd.journal.append", &["sxd.journal"]);
         if j.append(key, payload).is_err() {
             self.journal_io_errors.fetch_add(1, Ordering::SeqCst);
         }
-        if j.should_compact(plock(&self.cache).cap()) {
+        if j.should_compact(plock_named(&self.cache, "sxd.cache").cap()) {
             // Lock order: journal (held) -> cache. The snapshot is the
             // cache's live LRU view, so replay rebuilds identical state.
-            let entries = plock(&self.cache).entries_lru();
+            let entries = plock_named(&self.cache, "sxd.cache").entries_lru();
+            lockreg::blocking_io("sxd.journal.compact", &["sxd.journal"]);
             if j.compact(&entries).is_err() {
                 self.journal_io_errors.fetch_add(1, Ordering::SeqCst);
             }
@@ -791,7 +803,7 @@ impl Daemon {
         was_running: bool,
     ) -> Result<String, SxdError> {
         {
-            let mut c = plock(&self.counters);
+            let mut c = plock_named(&self.counters, "sxd.counters");
             if was_running {
                 c.running -= 1;
             } else {
@@ -801,7 +813,7 @@ impl Daemon {
             c.checkpointed += 1;
             self.metrics.job.observe(t_job.elapsed().as_secs_f64());
         }
-        plock(&self.pending).remove(&key);
+        plock_named(&self.pending, "sxd.pending").remove(&key);
         Err(SxdError::Checkpointed {
             detail: "drain deadline checkpointed this job; it restarts on the next boot".into(),
         })
@@ -813,7 +825,7 @@ impl Daemon {
         let suite_seconds = Json::Obj(
             snap.suites.iter().map(|(k, s)| (k.clone(), Json::Num(s.sim_seconds))).collect(),
         );
-        let journal = match plock(&self.journal).as_ref() {
+        let journal = match plock_named(&self.journal, "sxd.journal").as_ref() {
             Some(j) => format!(
                 "{{\"appended\":{},\"replayed\":{},\"compactions\":{},\
                  \"truncated_bytes\":{},\"io_errors\":{}}}",
@@ -851,13 +863,13 @@ impl Daemon {
     }
 
     fn cache_stats(&self) -> (u64, u64, u64, usize, usize) {
-        let c = plock(&self.cache);
+        let c = plock_named(&self.cache, "sxd.cache");
         (c.hits(), c.misses(), c.evictions(), c.len(), c.cap())
     }
 
     fn stats_reply(&self) -> String {
         let cache = self.cache_stats();
-        let snap = plock(&self.counters).clone();
+        let snap = plock_named(&self.counters, "sxd.counters").clone();
         format!("{{\"ok\":true,\"stats\":{}}}", self.stats_json(&snap, cache))
     }
 
@@ -880,7 +892,7 @@ impl Daemon {
         self.metrics.cache_entries.set(cache.3 as f64);
 
         let (snap, reg) = {
-            let c = plock(&self.counters);
+            let c = plock_named(&self.counters, "sxd.counters");
             // Histograms snapshotted while the counters are frozen: every
             // `job` observation happens under this same lock.
             (c.clone(), self.metrics.registry.snapshot())
@@ -947,11 +959,13 @@ impl Daemon {
     /// runner returns), then shut the daemon down.
     fn drain_worker(&self, deadline: Duration) {
         let t0 = Instant::now();
-        while t0.elapsed() < deadline && !plock(&self.pending).is_empty() {
+        while t0.elapsed() < deadline && !plock_named(&self.pending, "sxd.pending").is_empty() {
             std::thread::sleep(Duration::from_millis(5));
         }
-        let stragglers: Vec<(u64, PendingJob)> =
-            plock(&self.pending).iter().map(|(k, p)| (*k, p.clone())).collect();
+        let stragglers: Vec<(u64, PendingJob)> = plock_named(&self.pending, "sxd.pending")
+            .iter()
+            .map(|(k, p)| (*k, p.clone()))
+            .collect();
         if !stragglers.is_empty() {
             if let Some(dir) = &self.state_dir {
                 let mut specs = Vec::with_capacity(stragglers.len());
@@ -984,7 +998,7 @@ impl Daemon {
                     });
                 }
                 if journal::write_restart_specs(dir, &specs).is_ok() {
-                    let mut ck = plock(&self.ckpt);
+                    let mut ck = plock_named(&self.ckpt, "sxd.ckpt");
                     for (key, _) in &stragglers {
                         ck.insert(*key);
                     }
@@ -995,7 +1009,7 @@ impl Daemon {
                 // On persist failure the stragglers stay un-checkpointed
                 // and run to completion below — slower, but nothing lost.
             }
-            while !plock(&self.pending).is_empty() {
+            while !plock_named(&self.pending, "sxd.pending").is_empty() {
                 std::thread::sleep(Duration::from_millis(5));
             }
         }
@@ -1010,7 +1024,7 @@ impl Daemon {
         }
         // Half-close tracked connections: blocked reads return EOF while
         // replies still in flight can be written out.
-        for (_, s) in plock(&self.conns).iter() {
+        for (_, s) in plock_named(&self.conns, "sxd.conns").iter() {
             let _ = s.shutdown(Shutdown::Read);
         }
         // Unblock the accept loop so it can observe the flag.
@@ -1018,7 +1032,7 @@ impl Daemon {
     }
 
     fn untrack(&self, id: u64) {
-        let mut conns = plock(&self.conns);
+        let mut conns = plock_named(&self.conns, "sxd.conns");
         if let Some(pos) = conns.iter().position(|(i, _)| *i == id) {
             conns.remove(pos);
         }

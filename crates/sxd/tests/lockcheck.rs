@@ -1,0 +1,107 @@
+//! Lock-order audit of a live daemon (the no-false-positives half of the
+//! SXC301/SXC302 acceptance criteria).
+//!
+//! With the `lockcheck` feature on, every `plock_named` site in the server
+//! records ordering edges and blocking-IO crossings into the process-wide
+//! registry. This test floods a durable daemon — exercising the submit
+//! path, the cache, the journal append/compact path and shutdown — then
+//! runs `sxcheck::lockgraph` over the snapshot: the daemon's documented
+//! hierarchy (`inflight` before `cache`, `journal` before `cache`) must
+//! come back with no findings.
+#![cfg(feature = "lockcheck")]
+
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+use ncar_suite::par::lockreg;
+use ncar_suite::{Artifact, Registry};
+use sxd::{flood, Client, Demand, FloodConfig, JobEntry, Server, ServerConfig};
+
+fn toy_registry() -> Registry<JobEntry> {
+    let mut r = Registry::new();
+    r.register(
+        "shallow",
+        JobEntry::new(Demand::light(3.0), "shallow-water proxy", |m, p| {
+            let n = p.get("n").map(String::as_str).unwrap_or("64").to_string();
+            Ok(vec![Artifact::Scalar {
+                title: format!("{} shallow n={n}", m.name),
+                value: 1000.0,
+                unit: "mflops".into(),
+            }])
+        }),
+    );
+    r.register(
+        "radabs",
+        JobEntry::new(Demand::light(1.5), "radiation-absorption proxy", |m, _p| {
+            Ok(vec![Artifact::Scalar {
+                title: format!("{} radabs", m.name),
+                value: 500.0,
+                unit: "mflops".into(),
+            }])
+        }),
+    );
+    r
+}
+
+fn spawn_durable_daemon(dir: &std::path::Path) -> (String, JoinHandle<()>) {
+    let config = ServerConfig { state_dir: Some(dir.to_path_buf()), ..ServerConfig::default() };
+    let server = Server::bind(toy_registry(), config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+    (addr, handle)
+}
+
+#[test]
+fn flooded_daemon_lock_graph_has_no_findings() {
+    let dir = std::env::temp_dir().join(format!("sxd-lockcheck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (addr, handle) = spawn_durable_daemon(&dir);
+    let outcome = flood(&FloodConfig {
+        addr: addr.clone(),
+        clients: 8,
+        jobs: 48,
+        suites: vec!["shallow".into(), "radabs".into()],
+        machine: "sx4-9.2".into(),
+    })
+    .unwrap();
+    assert!(outcome.ok(), "flood problems: {:?}", outcome.problems);
+
+    // Distinct submits too, so the journal appends (and may compact)
+    // while the flood's cache entries are still warm.
+    let mut client = Client::connect(&addr).unwrap();
+    for i in 0..16 {
+        let mut params = BTreeMap::new();
+        params.insert("n".to_string(), format!("{}", 64 + i));
+        client.submit("shallow", "sx4-9.2", &params).unwrap();
+    }
+    let _ = client.metrics().unwrap();
+    client.shutdown().unwrap();
+    handle.join().expect("daemon exits cleanly");
+
+    let obs = lockreg::snapshot();
+    assert!(
+        !obs.edges.is_empty(),
+        "the instrumented daemon must have recorded at least one nested acquisition"
+    );
+    assert!(
+        obs.edges.iter().any(|e| e.from == "sxd.inflight" && e.to == "sxd.cache"),
+        "the single-flight lookup nests cache under inflight: {:?}",
+        obs.edges
+    );
+    assert!(
+        obs.edges.iter().any(|e| e.from == "sxd.journal" && e.to == "sxd.cache"),
+        "compaction-gate nests cache under journal: {:?}",
+        obs.edges
+    );
+
+    let findings = sxcheck::lockgraph::analyze(&obs);
+    assert!(
+        findings.is_empty(),
+        "no false positives on the daemon's documented lock hierarchy:\n{}",
+        findings.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
