@@ -17,7 +17,7 @@ echo "==> cargo test"
 cargo test --offline --workspace -q
 cargo test --offline -q -p sxcheck -p ncar-bench --features sxcheck/audit,ncar-bench/audit
 
-echo "==> lock-order audit (lockcheck feature: registry round-trip + flooded-daemon graph)"
+echo "==> lock-order audit (lockcheck feature: registry round-trip + flooded daemon AND cluster graphs)"
 cargo test --offline -q -p ncar-suite -p sxd --features ncar-suite/lockcheck,sxd/lockcheck
 
 echo "==> crash-recovery fault matrix (SXD_FAULTPOINT, kill-and-restart at every point)"
@@ -170,6 +170,82 @@ if ! wait "$crash_pid"; then
     exit 1
 fi
 rm -rf "$state_dir" "$crash_log"
+
+echo "==> sxd cluster smoke (3 shards, routed flood, member drain + keyspace hand-off)"
+cluster_dir="$(mktemp -d)"
+cluster_log="$(mktemp)"
+"$bench" serve --addr 127.0.0.1:0 --cluster 3 --state-dir "$cluster_dir" >"$cluster_log" 2>&1 &
+cluster_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^sxd listening on //p' "$cluster_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "cluster router never reported a listening address" >&2
+    kill "$cluster_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -q '^sxd cluster: 3 shards on ' "$cluster_log" || {
+    echo "cluster serve must announce its members" >&2
+    exit 1
+}
+# Routed flood across the default suites: the merged counters must
+# reconcile across members exactly as a single daemon's do.
+if ! "$bench" flood --addr "$addr" --clients 8 --jobs 48; then
+    echo "routed flood failed its acceptance checks" >&2
+    exit 1
+fi
+# Spread distinct configs over the ring so every shard journals a slice
+# of the keyspace before the membership change.
+for n in 0 1 2 3 4 5 6 7; do
+    "$bench" submit fig5 --addr "$addr" --param "n=$n" --json true >/dev/null
+done
+routed="$("$bench" submit radabs --addr "$addr" --show-route true --json true)"
+case "$routed" in
+    'route: member='*) ;;
+    *) echo "submit --show-route must print the shard placement first: $routed" >&2; exit 1;;
+esac
+metrics="$("$bench" metrics --addr "$addr" --json true)"
+case "$metrics" in
+    *'"reconciled":true'*) ;;
+    *) echo "cluster METRICS must reconcile across members: $metrics" >&2; exit 1;;
+esac
+# Drain shard 0: the router hands its journal to the ring successors
+# before acknowledging, so every config — including shard 0's — must
+# still answer from a surviving member's cache.
+"$bench" drain --addr "$addr" --member 0 --deadline 5 >/dev/null
+for s in fig5 radabs table3; do
+    reply="$("$bench" submit "$s" --addr "$addr" --json true)"
+    case "$reply" in
+        *'"cached":true'*) ;;
+        *) echo "post-drain submit of $s must hit a surviving cache: $reply" >&2; exit 1;;
+    esac
+done
+for n in 0 1 2 3 4 5 6 7; do
+    reply="$("$bench" submit fig5 --addr "$addr" --param "n=$n" --json true)"
+    case "$reply" in
+        *'"cached":true'*) ;;
+        *) echo "post-drain submit of fig5 n=$n must hit a surviving cache: $reply" >&2; exit 1;;
+    esac
+done
+stats="$("$bench" stats --addr "$addr")"
+case "$stats" in
+    *'"members_alive":2'*) ;;
+    *) echo "router stats must show 2 surviving members: $stats" >&2; exit 1;;
+esac
+metrics="$("$bench" metrics --addr "$addr" --json true)"
+case "$metrics" in
+    *'"reconciled":true'*) ;;
+    *) echo "cluster METRICS must still reconcile after the hand-off: $metrics" >&2; exit 1;;
+esac
+"$bench" shutdown --addr "$addr" >/dev/null
+if ! wait "$cluster_pid"; then
+    echo "cluster did not exit 0 after shutdown" >&2
+    exit 1
+fi
+rm -rf "$cluster_dir" "$cluster_log"
 
 echo "==> perf smoke (release harness, schema validation, batched-vs-loop equivalence)"
 # The equivalence property tests must also hold under release-mode float

@@ -67,7 +67,7 @@ fn main() {
             "metrics" => Some(serve::cmd_metrics(rest)),
             "shutdown" => Some(serve::cmd_shutdown(rest)),
             "drain" => Some(serve::cmd_drain(rest)),
-            "flood" => Some(serve::cmd_flood(rest)),
+            "flood" => Some(serve::cmd_flood(rest, &exps)),
             "raw" => Some(serve::cmd_raw(rest)),
             "perf" => Some(perf::cmd_perf(rest, &exps)),
             _ => None,
@@ -121,13 +121,19 @@ fn main() {
         );
         eprintln!(
             "       ncar-bench serve [--addr A] [--workers N] [--cache-cap N] \
-             [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]"
+             [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS] [--cluster N]"
         );
-        eprintln!("       ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]...");
+        eprintln!(
+            "       ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]... \
+             [--show-route true]"
+        );
         eprintln!("       ncar-bench stats|shutdown|raw <line> [--addr A]");
-        eprintln!("       ncar-bench drain [--addr A] [--deadline SECS]");
+        eprintln!("       ncar-bench drain [--addr A] [--deadline SECS] [--member K]");
         eprintln!("       ncar-bench metrics [--addr A] [--json true] [--watch SECS]");
-        eprintln!("       ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...");
+        eprintln!(
+            "       ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]... \
+             [--cluster N]"
+        );
         eprintln!("       ncar-bench perf [--smoke] [--out FILE] [--runs K] [--validate FILE]");
         eprintln!("experiments:");
         for (name, desc, _) in &exps {

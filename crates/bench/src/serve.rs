@@ -14,6 +14,7 @@ use ncar_suite::{Json, Registry};
 use sxsim::{render_analysis_list, FtraceRow};
 
 use crate::Experiment;
+use sxd::cluster::{spawn as spawn_cluster, ClusterConfig};
 use sxd::{flood, Client, Demand, FloodConfig, JobEntry, Server, ServerConfig};
 
 /// Default daemon endpoint when `--addr` is not given.
@@ -133,7 +134,13 @@ fn fail(detail: &str) -> i32 {
 }
 
 /// `ncar-bench serve [--addr A] [--workers N] [--cache-cap N]
-/// [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]`
+/// [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]
+/// [--cluster N]`
+///
+/// With `--cluster N` (N ≥ 2) the public address is a rendezvous-hash
+/// router in front of N shard daemons on ephemeral loopback ports; every
+/// other flag configures each member. `--state-dir DIR` becomes the
+/// cluster state root (member `i` journals under `DIR/shard-i`).
 pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
     let args = match Args::parse(args) {
         Ok(a) => a,
@@ -165,6 +172,32 @@ pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
         Ok(None) => {}
         Err(e) => return fail(&e),
     }
+    let shards = match args.get_usize("cluster", 1) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    if shards > 1 {
+        let cluster_config = ClusterConfig {
+            shards,
+            addr: config.addr.clone(),
+            state_dir: config.state_dir.take(),
+            server: config,
+        };
+        let cluster = match spawn_cluster(registry(experiments), cluster_config) {
+            Ok(c) => c,
+            Err(e) => return fail(&e.to_string()),
+        };
+        println!("sxd listening on {}", cluster.addr());
+        let members: Vec<String> = cluster.member_addrs().iter().map(|a| a.to_string()).collect();
+        println!("sxd cluster: {shards} shards on {}", members.join(" "));
+        return match cluster.join() {
+            Ok(()) => {
+                println!("sxd cluster drained; exiting");
+                0
+            }
+            Err(e) => fail(&e.to_string()),
+        };
+    }
     let server = match Server::bind(registry(experiments), config) {
         Ok(s) => s,
         Err(e) => return fail(&e.to_string()),
@@ -179,7 +212,13 @@ pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
     }
 }
 
-/// `ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]... [--json j]`
+/// `ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]...
+/// [--json j] [--show-route true]`
+///
+/// `--show-route true` first asks the endpoint which shard owns the
+/// configuration (the cluster `route` verb) and prints the placement
+/// before submitting. Against a single daemon the route probe reports
+/// that the endpoint is not a router and the submit proceeds anyway.
 pub fn cmd_submit(args: &[String]) -> i32 {
     let args = match Args::parse(args) {
         Ok(a) => a,
@@ -193,6 +232,17 @@ pub fn cmd_submit(args: &[String]) -> i32 {
         Ok(c) => c,
         Err(e) => return fail(&e.to_string()),
     };
+    if args.get("show-route") == Some("true") {
+        match client.route(suite, machine, &args.params()) {
+            Ok(route) => {
+                let member = route.get("member").and_then(Json::as_u64).unwrap_or(0);
+                let shard = route.get("shard").and_then(Json::as_str).unwrap_or("?");
+                let key = route.get("key").and_then(Json::as_str).unwrap_or("?");
+                println!("route: member={member} shard={shard} key={key}");
+            }
+            Err(e) => println!("route: unavailable ({e})"),
+        }
+    }
     match client.submit(suite, machine, &args.params()) {
         Ok(sub) => {
             if args.get("json") == Some("true") {
@@ -358,10 +408,13 @@ pub fn cmd_shutdown(args: &[String]) -> i32 {
     }
 }
 
-/// `ncar-bench drain [--addr A] [--deadline SECS]` — graceful drain: the
-/// daemon stops admission, gives in-flight jobs the deadline to finish,
-/// checkpoints the stragglers to restart specs (when it has a state dir)
-/// and exits. Without `--deadline` the server's configured default applies.
+/// `ncar-bench drain [--addr A] [--deadline SECS] [--member K]` —
+/// graceful drain: the daemon stops admission, gives in-flight jobs the
+/// deadline to finish, checkpoints the stragglers to restart specs (when
+/// it has a state dir) and exits. Without `--deadline` the server's
+/// configured default applies. `--member K` targets a cluster router:
+/// only shard K drains, and the router hands its durable keyspace to the
+/// ring successors before acknowledging.
 pub fn cmd_drain(args: &[String]) -> i32 {
     let args = match Args::parse(args) {
         Ok(a) => a,
@@ -373,13 +426,27 @@ pub fn cmd_drain(args: &[String]) -> i32 {
         Ok(None) => None,
         Err(e) => return fail(&e),
     };
+    let member = match args.get("member") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(m) => Some(m),
+            Err(_) => return fail(&format!("--member wants a shard index, got {v:?}")),
+        },
+    };
     let mut client = match Client::connect(&args.addr()) {
         Ok(c) => c,
         Err(e) => return fail(&e.to_string()),
     };
-    match client.drain(deadline_ms) {
+    let drained = match member {
+        Some(m) => client.drain_member(m, deadline_ms),
+        None => client.drain(deadline_ms),
+    };
+    match drained {
         Ok(()) => {
-            println!("sxd acknowledged drain");
+            match member {
+                Some(m) => println!("sxd drained member {m}; keyspace handed off"),
+                None => println!("sxd acknowledged drain"),
+            }
             0
         }
         Err(e) => fail(&e.to_string()),
@@ -409,8 +476,15 @@ pub fn cmd_raw(args: &[String]) -> i32 {
     }
 }
 
-/// `ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...`
-pub fn cmd_flood(args: &[String]) -> i32 {
+/// `ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...
+/// [--cluster N]`
+///
+/// With `--cluster N` the flood stands up an ephemeral in-process
+/// N-shard cluster (memory-only members, ephemeral ports), aims the load
+/// at its router, and tears it down afterwards — a one-command shard-
+/// scaling measurement; `--addr` is ignored. Without it the flood targets
+/// an already-running endpoint, daemon or router alike.
+pub fn cmd_flood(args: &[String], experiments: &[Experiment]) -> i32 {
     let args = match Args::parse(args) {
         Ok(a) => a,
         Err(e) => return fail(&e),
@@ -423,20 +497,50 @@ pub fn cmd_flood(args: &[String]) -> i32 {
         Ok(n) => n,
         Err(e) => return fail(&e),
     };
+    let shards = match args.get_usize("cluster", 0) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
     let mut suites: Vec<String> =
         args.flags.iter().filter(|(k, _)| k == "suite").map(|(_, v)| v.clone()).collect();
     if suites.is_empty() {
         // Fast kernel suites by default so the flood measures the daemon.
         suites = vec!["fig5".into(), "radabs".into(), "table3".into()];
     }
+    let cluster = if shards > 0 {
+        let cluster_config = ClusterConfig {
+            shards,
+            addr: "127.0.0.1:0".into(),
+            state_dir: None,
+            server: ServerConfig::default(),
+        };
+        match spawn_cluster(registry(experiments), cluster_config) {
+            Ok(c) => {
+                println!("flood: ephemeral {shards}-shard cluster on {}", c.addr());
+                Some(c)
+            }
+            Err(e) => return fail(&e.to_string()),
+        }
+    } else {
+        None
+    };
     let config = FloodConfig {
-        addr: args.addr(),
+        addr: cluster.as_ref().map_or_else(|| args.addr(), |c| c.addr().to_string()),
         clients,
         jobs,
         suites,
         machine: args.get("machine").unwrap_or("sx4-9.2").to_string(),
     };
-    match flood(&config) {
+    let flooded = flood(&config);
+    if let Some(cluster) = cluster {
+        let down = Client::connect(&config.addr)
+            .and_then(|mut c| c.shutdown())
+            .and_then(|()| cluster.join());
+        if let Err(e) = down {
+            return fail(&format!("cluster teardown: {e}"));
+        }
+    }
+    match flooded {
         Ok(outcome) => {
             println!(
                 "flood: {}/{} jobs completed, {} cached replies; \

@@ -133,6 +133,37 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram's observations into this one, bucket by
+    /// bucket. The histograms must share identical bounds — merging two
+    /// differently-shaped histograms has no meaningful result, so a
+    /// mismatch returns `false` and leaves `self` untouched. Used by the
+    /// cluster router to aggregate per-member latency histograms into one
+    /// cluster-wide view whose quantiles are exactly the quantiles of the
+    /// concatenated observation streams' bucket counts.
+    pub fn merge(&self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let add = other.sum();
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
@@ -165,6 +196,39 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Fold another snapshot's buckets into this one (the plain-data twin
+    /// of [`Histogram::merge`], for snapshots that arrived over the wire).
+    /// Bounds must match exactly; a mismatch returns `false` and leaves
+    /// `self` untouched. `count` is recomputed from the merged buckets so
+    /// quantiles and totals stay mutually consistent.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.bounds != other.bounds || self.buckets.len() != other.buckets.len() {
+            return false;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count = self.buckets.iter().sum();
+        self.sum += other.sum;
+        true
+    }
+
+    /// Rebuild a snapshot from the JSON form [`HistogramSnapshot::to_json`]
+    /// emits (`le` bounds, `n` bucket counts, `sum`). The quantile members
+    /// are derived, so they are recomputed rather than read back. Returns
+    /// `None` when the document does not have the histogram shape.
+    pub fn from_json(doc: &Json) -> Option<HistogramSnapshot> {
+        let bounds: Vec<f64> =
+            doc.get("le")?.as_arr()?.iter().map(Json::as_f64).collect::<Option<_>>()?;
+        let buckets: Vec<u64> =
+            doc.get("n")?.as_arr()?.iter().map(Json::as_u64).collect::<Option<_>>()?;
+        if buckets.len() != bounds.len() + 1 {
+            return None;
+        }
+        let sum = doc.get("sum")?.as_f64()?;
+        Some(HistogramSnapshot { count: buckets.iter().sum(), bounds, buckets, sum })
+    }
+
     /// Quantile estimate by linear interpolation inside the bucket where
     /// the rank falls. `q` in [0, 1]. Returns 0 for an empty histogram;
     /// ranks landing in the overflow bucket report the last bound (the

@@ -1,0 +1,116 @@
+//! Property tests for histogram merging: the cluster METRICS aggregation
+//! is only sound if merging two members' histograms is *exactly* the
+//! histogram of the concatenated observation stream — same bucket counts,
+//! therefore the same interpolated percentiles.
+
+use ncar_suite::metrics::{Histogram, HistogramSnapshot, LATENCY_BUCKETS};
+use ncar_suite::SmallRng;
+
+/// Random strictly-increasing bucket ladder of 3..=12 edges.
+fn random_bounds(rng: &mut SmallRng) -> Vec<f64> {
+    let n = 3 + rng.next_below(10);
+    let mut edge = 0.0;
+    (0..n)
+        .map(|_| {
+            edge += 1e-6 + rng.next_f64() * 10.0;
+            edge
+        })
+        .collect()
+}
+
+/// Random observation stream, deliberately spanning under-, in- and
+/// overflow-range values relative to `bounds`.
+fn random_stream(rng: &mut SmallRng, bounds: &[f64], len: usize) -> Vec<f64> {
+    let top = bounds.last().copied().unwrap_or(1.0) * 1.5;
+    (0..len).map(|_| rng.next_f64() * top).collect()
+}
+
+#[test]
+fn merged_percentiles_equal_percentiles_of_the_concatenated_stream() {
+    let mut rng = SmallRng::seed_from_u64(0x5358_4d52_4745);
+    for round in 0..64 {
+        let bounds = random_bounds(&mut rng);
+        let len_a = rng.next_below(300);
+        let len_b = 1 + rng.next_below(300);
+        let a = random_stream(&mut rng, &bounds, len_a);
+        let b = random_stream(&mut rng, &bounds, len_b);
+
+        let ha = Histogram::new(&bounds);
+        let hb = Histogram::new(&bounds);
+        let concat = Histogram::new(&bounds);
+        for &v in &a {
+            ha.observe(v);
+            concat.observe(v);
+        }
+        for &v in &b {
+            hb.observe(v);
+            concat.observe(v);
+        }
+
+        assert!(ha.merge(&hb), "identical bounds must merge (round {round})");
+        let merged = ha.snapshot();
+        let reference = concat.snapshot();
+
+        assert_eq!(merged.buckets, reference.buckets, "round {round}: bucket counts");
+        assert_eq!(merged.count, reference.count, "round {round}: totals");
+        // Quantiles are a pure function of (bounds, buckets), so equality
+        // is exact — bit-for-bit, not approximate.
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            assert_eq!(
+                merged.quantile(q).to_bits(),
+                reference.quantile(q).to_bits(),
+                "round {round}: q={q}"
+            );
+        }
+        // Sums differ only by float association order across the streams.
+        let scale = reference.sum.abs().max(1.0);
+        assert!(
+            (merged.sum - reference.sum).abs() <= 1e-9 * scale,
+            "round {round}: sum {} vs {}",
+            merged.sum,
+            reference.sum
+        );
+    }
+}
+
+#[test]
+fn snapshot_merge_agrees_with_live_merge_and_roundtrips_json() {
+    let mut rng = SmallRng::seed_from_u64(0x534e_4150_4d52);
+    for _ in 0..32 {
+        let ha = Histogram::new(&LATENCY_BUCKETS);
+        let hb = Histogram::new(&LATENCY_BUCKETS);
+        for _ in 0..rng.next_below(200) {
+            ha.observe(rng.next_f64() * 200.0);
+        }
+        for _ in 0..rng.next_below(200) {
+            hb.observe(rng.next_f64() * 200.0);
+        }
+        let mut sa = ha.snapshot();
+        let sb = hb.snapshot();
+        assert!(sa.merge(&sb));
+        assert!(ha.merge(&hb));
+        assert_eq!(sa, ha.snapshot(), "snapshot merge mirrors live merge");
+
+        // The wire round trip the router actually performs: to_json on the
+        // member, from_json + merge on the router.
+        let back = HistogramSnapshot::from_json(&sa.to_json()).expect("histogram JSON round-trips");
+        assert_eq!(back.buckets, sa.buckets);
+        assert_eq!(back.count, sa.count);
+        assert_eq!(back.bounds, sa.bounds);
+    }
+}
+
+#[test]
+fn merge_refuses_mismatched_bounds_and_leaves_self_untouched() {
+    let a = Histogram::new(&[1.0, 2.0, 3.0]);
+    let b = Histogram::new(&[1.0, 2.5, 3.0]);
+    a.observe(0.5);
+    b.observe(0.5);
+    let before = a.snapshot();
+    assert!(!a.merge(&b), "different ladders must not merge");
+    assert_eq!(a.snapshot(), before);
+
+    let mut sa = a.snapshot();
+    assert!(!sa.merge(&b.snapshot()));
+    assert_eq!(sa, before);
+}

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use ncar_suite::Json;
 
@@ -35,6 +36,34 @@ impl Client {
         let writer = TcpStream::connect(addr).map_err(SxdError::io)?;
         let reader = BufReader::new(writer.try_clone().map_err(SxdError::io)?);
         Ok(Client { reader, writer })
+    }
+
+    /// [`Client::connect`] with bounded exponential backoff: up to
+    /// `attempts` tries, sleeping `base`, `2·base`, `4·base`, … (capped at
+    /// one second) between failures. Exists for startup races — a router
+    /// dialing members that are still binding, `flood` aimed at a daemon
+    /// whose listener is not up yet. Exhaustion is the *terminal* typed
+    /// error [`SxdError::Retries`]: the caller has already waited through
+    /// the whole schedule, so there is no point retrying the error itself.
+    pub fn connect_with_retry(
+        addr: &str,
+        attempts: usize,
+        base: Duration,
+    ) -> Result<Client, SxdError> {
+        let attempts = attempts.max(1);
+        let mut delay = base;
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e.detail(),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(1));
+            }
+        }
+        Err(SxdError::Retries { attempts, detail: format!("{addr}: {last}") })
     }
 
     /// Send one raw line and return the raw reply line. The building block
@@ -129,7 +158,42 @@ impl Client {
     /// jobs `deadline_ms` to finish (the server's configured default when
     /// `None`), checkpoint the stragglers to restart specs, then exit.
     pub fn drain(&mut self, deadline_ms: Option<u64>) -> Result<(), SxdError> {
-        self.roundtrip(&Request::Drain { deadline_ms }.to_line()).map(|_| ())
+        self.roundtrip(&Request::Drain { deadline_ms, member: None }.to_line()).map(|_| ())
+    }
+
+    /// Ask a cluster router to drain one shard member and hand its
+    /// keyspace to the ring successor. A single-node daemon rejects this
+    /// with `bad_request`.
+    pub fn drain_member(
+        &mut self,
+        member: usize,
+        deadline_ms: Option<u64>,
+    ) -> Result<(), SxdError> {
+        self.roundtrip(&Request::Drain { deadline_ms, member: Some(member) }.to_line()).map(|_| ())
+    }
+
+    /// Ask a cluster router which member owns a configuration. Returns the
+    /// routing reply (`member`, `shard`, `key` fields) without running
+    /// anything.
+    pub fn route(
+        &mut self,
+        suite: &str,
+        machine: &str,
+        params: &BTreeMap<String, String>,
+    ) -> Result<Json, SxdError> {
+        let req = Request::Route {
+            suite: suite.to_string(),
+            machine: machine.to_string(),
+            params: params.clone(),
+        };
+        self.roundtrip(&req.to_line()).map(|(doc, _)| doc)
+    }
+
+    /// Insert an already-rendered result under its content address (the
+    /// hand-off path). `payload` must be the result object's exact bytes.
+    pub fn put(&mut self, key: u64, payload: &str) -> Result<(), SxdError> {
+        let req = Request::Put { key, payload: payload.to_string() };
+        self.roundtrip(&req.to_line()).map(|_| ())
     }
 }
 
@@ -201,7 +265,9 @@ pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
         let machine = config.machine.clone();
         let start = std::sync::Arc::clone(&start);
         handles.push(std::thread::spawn(move || -> Result<(usize, usize), SxdError> {
-            let mut client = Client::connect(&addr)?;
+            // Retry the connect: the daemon may still be binding when the
+            // flood starts (CI boots both in one script).
+            let mut client = Client::connect_with_retry(&addr, 6, Duration::from_millis(25))?;
             start.wait();
             let params = BTreeMap::new();
             let mut completed = 0;

@@ -1,0 +1,571 @@
+//! The shard router: one front end speaking the daemon's own NDJSON/TCP
+//! protocol, fanning work out over N member daemons.
+//!
+//! This is the harness-side analogue of the SX-4's IXS crossbar (paper
+//! §1): clients talk to one address; each `submit` is routed by the
+//! rendezvous [`Ring`] over its content-addressed cache key to the member
+//! that owns the keyspace, so identical configurations always land on the
+//! same shard and its cache/single-flight machinery dedupes cluster-wide.
+//! `stats` and `metrics` fan out to every live member and merge (see
+//! [`super::aggregate`]); `drain` with a `member` retires one shard and
+//! hands its durable results to the keyspace successors, so repeat
+//! submits of the drained member's keys still hit — byte-identically.
+//!
+//! Forwarding reuses connections *per client connection*, not per member
+//! globally: each router connection handler keeps its own [`ShardConns`]
+//! so two clients' requests to one member ride separate sockets and the
+//! member's own single-flight layer — not a router lock — serializes
+//! identical work. The router's long-lived locks (`sxd.router.members`,
+//! `sxd.router.handles`, `sxd.router.counters`, `sxd.router.conns`) are
+//! all leaves: none is ever held across another, none is held across
+//! forwarding I/O (declared via `lockreg::blocking_io`), so the lockcheck
+//! graph of the cluster layer is edge-free by construction.
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ncar_suite::par::lockreg;
+use ncar_suite::{plock_named, Json};
+use sxsim::presets;
+
+use super::aggregate;
+use super::ring::Ring;
+use crate::client::Client;
+use crate::error::SxdError;
+use crate::journal::{self, Journal};
+use crate::proto::{cache_key, read_frame, Request, MAX_REQUEST_FRAME};
+
+/// How the router dials a member: a few quick retries so member startup
+/// races (the member thread is still binding) resolve without failing the
+/// client's request.
+const CONNECT_ATTEMPTS: usize = 5;
+const CONNECT_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Join handle for an in-process member daemon, `None` for shards this
+/// process does not own. A hand-off joins the handle so the drained
+/// member's journal is final before replication starts.
+pub type MemberHandle = Option<JoinHandle<Result<(), SxdError>>>;
+
+/// One shard as the router addresses it.
+#[derive(Debug, Clone)]
+pub struct RouterMember {
+    /// Ring name (`shard-i` by default); feeds the rendezvous scores.
+    pub name: String,
+    /// Wire address of the member daemon.
+    pub addr: String,
+    /// The member's durable state directory, read at hand-off time.
+    pub state_dir: Option<PathBuf>,
+}
+
+/// Live membership state, guarded by `sxd.router.members`.
+struct MemberSlot {
+    addr: String,
+    state_dir: Option<PathBuf>,
+    alive: bool,
+}
+
+/// Router-side tallies, guarded by `sxd.router.counters`.
+#[derive(Debug, Default, Clone)]
+struct RouterCounters {
+    forwarded: u64,
+    bad_requests: u64,
+    /// Journal entries replicated to successors by hand-offs.
+    handoff_entries: u64,
+    /// Hand-off entries skipped (oversized for a request frame); their
+    /// keys recompute on the successor instead of replaying.
+    handoff_skipped: u64,
+    /// Checkpointed restart specs re-submitted across the ring.
+    handoff_resubmits: u64,
+    unavailable: u64,
+}
+
+struct RouterInner {
+    ring: Ring,
+    members: Mutex<Vec<MemberSlot>>,
+    /// Join handles for in-process members, one slot per member.
+    handles: Mutex<Vec<MemberHandle>>,
+    counters: Mutex<RouterCounters>,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    addr: SocketAddr,
+    seq: AtomicU64,
+    shutting_down: AtomicBool,
+    drain_deadline: Duration,
+}
+
+/// A bound, not-yet-running router. [`Router::run`] blocks until a
+/// `shutdown` (or a full-cluster `drain`) retires every member and the
+/// router itself.
+pub struct Router {
+    listener: TcpListener,
+    inner: Arc<RouterInner>,
+}
+
+impl Router {
+    /// Bind the router over `members`. `handles` pairs with `members` by
+    /// index; pass `None` for shards this process does not own.
+    pub fn bind(
+        members: Vec<RouterMember>,
+        handles: Vec<MemberHandle>,
+        addr: &str,
+        drain_deadline: Duration,
+    ) -> Result<Router, SxdError> {
+        assert_eq!(members.len(), handles.len(), "one handle slot per member");
+        let listener = TcpListener::bind(addr).map_err(SxdError::io)?;
+        let local = listener.local_addr().map_err(SxdError::io)?;
+        let ring = Ring::new(members.iter().map(|m| m.name.clone()).collect::<Vec<_>>());
+        let slots = members
+            .into_iter()
+            .map(|m| MemberSlot { addr: m.addr, state_dir: m.state_dir, alive: true })
+            .collect();
+        Ok(Router {
+            listener,
+            inner: Arc::new(RouterInner {
+                ring,
+                members: Mutex::new(slots),
+                handles: Mutex::new(handles),
+                counters: Mutex::new(RouterCounters::default()),
+                conns: Mutex::new(Vec::new()),
+                addr: local,
+                seq: AtomicU64::new(0),
+                shutting_down: AtomicBool::new(false),
+                drain_deadline,
+            }),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Accept loop, mirroring the daemon's: one handler thread per client
+    /// connection, each with its own member connections.
+    pub fn run(self) -> Result<(), SxdError> {
+        let mut handlers = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let id = self.inner.seq.fetch_add(1, Ordering::SeqCst);
+            if let Ok(track) = stream.try_clone() {
+                plock_named(&self.inner.conns, "sxd.router.conns").push((id, track));
+            }
+            let inner = Arc::clone(&self.inner);
+            handlers.push(std::thread::spawn(move || handle_conn(&inner, stream, id)));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        // Join whatever member threads a shutdown fan-out left running.
+        for h in drain_handles(&self.inner) {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Take every remaining member join handle out of the registry.
+fn drain_handles(inner: &RouterInner) -> Vec<JoinHandle<Result<(), SxdError>>> {
+    plock_named(&inner.handles, "sxd.router.handles").iter_mut().filter_map(Option::take).collect()
+}
+
+/// Per-connection member sockets: lazily dialed, reused across requests,
+/// redialed once after an I/O failure.
+struct ShardConns {
+    slots: Vec<Option<Client>>,
+}
+
+impl ShardConns {
+    fn new(n: usize) -> ShardConns {
+        ShardConns { slots: (0..n).map(|_| None).collect() }
+    }
+
+    /// Forward one raw frame to member `idx` and return the raw reply.
+    /// The line goes through verbatim, so a member's reply — including a
+    /// cache hit's exact payload bytes — passes back unmodified.
+    fn forward(&mut self, inner: &RouterInner, idx: usize, line: &str) -> Result<String, SxdError> {
+        let (addr, alive) = {
+            let members = plock_named(&inner.members, "sxd.router.members");
+            (members[idx].addr.clone(), members[idx].alive)
+        };
+        let name = inner.ring.name(idx).to_string();
+        if !alive {
+            return Err(SxdError::ShardUnavailable {
+                member: name,
+                detail: "member has left the ring".into(),
+            });
+        }
+        // Shard forwarding is blocking socket I/O; declared so the lock
+        // analysis can prove no router lock is ever held across it.
+        lockreg::blocking_io("sxd.router.forward", &[]);
+        let mut last = String::new();
+        for _attempt in 0..2 {
+            if self.slots[idx].is_none() {
+                match Client::connect_with_retry(&addr, CONNECT_ATTEMPTS, CONNECT_BACKOFF) {
+                    Ok(c) => self.slots[idx] = Some(c),
+                    Err(e) => {
+                        last = e.detail();
+                        continue;
+                    }
+                }
+            }
+            match self.slots[idx].as_mut().unwrap().raw(line) {
+                Ok(reply) => {
+                    plock_named(&inner.counters, "sxd.router.counters").forwarded += 1;
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    // The socket is dead or desynced; drop it and redial.
+                    self.slots[idx] = None;
+                    last = e.detail();
+                }
+            }
+        }
+        plock_named(&inner.counters, "sxd.router.counters").unavailable += 1;
+        Err(SxdError::ShardUnavailable { member: name, detail: last })
+    }
+}
+
+fn handle_conn(inner: &Arc<RouterInner>, stream: TcpStream, id: u64) {
+    let mut writer = stream;
+    let mut conns = ShardConns::new(inner.ring.len());
+    let mut reader = match writer.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => {
+            untrack(inner, id);
+            return;
+        }
+    };
+    loop {
+        match read_frame(&mut reader, MAX_REQUEST_FRAME) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                let reply = handle_frame(inner, &mut conns, &frame);
+                if writeln!(writer, "{reply}").is_err() {
+                    break;
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(writer, "{}", e.to_reply());
+                break;
+            }
+        }
+    }
+    untrack(inner, id);
+}
+
+fn untrack(inner: &RouterInner, id: u64) {
+    let mut conns = plock_named(&inner.conns, "sxd.router.conns");
+    if let Some(pos) = conns.iter().position(|(i, _)| *i == id) {
+        conns.remove(pos);
+    }
+}
+
+/// Resolve the key's owner among live members, or the typed reason there
+/// is none.
+fn owner_of(inner: &RouterInner, key: u64) -> Result<usize, SxdError> {
+    let members = plock_named(&inner.members, "sxd.router.members");
+    inner.ring.owner_among(key, |m| members[m].alive).ok_or_else(|| SxdError::ShardUnavailable {
+        member: "(none)".into(),
+        detail: "no live shard members remain".into(),
+    })
+}
+
+fn handle_frame(inner: &Arc<RouterInner>, conns: &mut ShardConns, frame: &str) -> String {
+    let parsed = match Request::parse(frame) {
+        Ok(r) => r,
+        Err(e) => {
+            plock_named(&inner.counters, "sxd.router.counters").bad_requests += 1;
+            return e.to_reply();
+        }
+    };
+    match parsed {
+        Request::Submit { ref suite, ref machine, ref params } => {
+            let Some(model) = presets::by_name(machine) else {
+                plock_named(&inner.counters, "sxd.router.counters").bad_requests += 1;
+                return SxdError::UnknownMachine { machine: machine.clone() }.to_reply();
+            };
+            let key = cache_key(suite, &model, params);
+            match owner_of(inner, key).and_then(|owner| conns.forward(inner, owner, frame)) {
+                Ok(reply) => reply,
+                Err(e) => e.to_reply(),
+            }
+        }
+        Request::Put { key, .. } => {
+            match owner_of(inner, key).and_then(|owner| conns.forward(inner, owner, frame)) {
+                Ok(reply) => reply,
+                Err(e) => e.to_reply(),
+            }
+        }
+        Request::Route { ref suite, ref machine, ref params } => {
+            let Some(model) = presets::by_name(machine) else {
+                plock_named(&inner.counters, "sxd.router.counters").bad_requests += 1;
+                return SxdError::UnknownMachine { machine: machine.clone() }.to_reply();
+            };
+            let key = cache_key(suite, &model, params);
+            match owner_of(inner, key) {
+                Ok(owner) => format!(
+                    "{{\"ok\":true,\"member\":{owner},\"shard\":\"{}\",\"key\":\"{key:016x}\"}}",
+                    inner.ring.name(owner)
+                ),
+                Err(e) => e.to_reply(),
+            }
+        }
+        Request::Stats => match fanout_docs(inner, conns, &Request::Stats.to_line(), "stats") {
+            Ok(docs) => {
+                // Splice the router's own tallies into the merged stats
+                // object as an extra `router` member.
+                let mut merged = aggregate::merge_stats(&docs);
+                merged.pop(); // drop the closing brace
+                let router = router_json(inner);
+                format!("{{\"ok\":true,\"stats\":{merged},\"router\":{router}}}}}")
+            }
+            Err(e) => e.to_reply(),
+        },
+        Request::Metrics => match fanout_docs(inner, conns, &Request::Metrics.to_line(), "metrics")
+        {
+            Ok(docs) => {
+                let merged = aggregate::merge_metrics(&docs);
+                format!("{{\"ok\":true,\"metrics\":{merged}}}")
+            }
+            Err(e) => e.to_reply(),
+        },
+        Request::Shutdown => {
+            shutdown_cluster(inner, conns);
+            "{\"ok\":true,\"shutting_down\":true}".into()
+        }
+        Request::Drain { deadline_ms, member: Some(idx) } => {
+            let deadline = deadline_ms.map(Duration::from_millis).unwrap_or(inner.drain_deadline);
+            match drain_member(inner, conns, idx, deadline) {
+                Ok(reply) => reply,
+                Err(e) => e.to_reply(),
+            }
+        }
+        Request::Drain { deadline_ms, member: None } => {
+            // Cluster-wide graceful drain: every member drains (each
+            // checkpointing its own stragglers), then the router follows.
+            let deadline = deadline_ms.map(Duration::from_millis).unwrap_or(inner.drain_deadline);
+            let alive: Vec<usize> = {
+                let members = plock_named(&inner.members, "sxd.router.members");
+                (0..members.len()).filter(|&m| members[m].alive).collect()
+            };
+            for idx in alive {
+                let req =
+                    Request::Drain { deadline_ms: Some(deadline.as_millis() as u64), member: None };
+                let _ = conns.forward(inner, idx, &req.to_line());
+            }
+            let inner2 = Arc::clone(inner);
+            std::thread::spawn(move || {
+                for h in drain_handles(&inner2) {
+                    let _ = h.join();
+                }
+                initiate_shutdown(&inner2);
+            });
+            format!("{{\"ok\":true,\"draining\":true,\"deadline_ms\":{}}}", deadline.as_millis())
+        }
+    }
+}
+
+/// The router's own counters, for the `router` member of a stats reply.
+fn router_json(inner: &RouterInner) -> String {
+    let c = plock_named(&inner.counters, "sxd.router.counters").clone();
+    let alive =
+        plock_named(&inner.members, "sxd.router.members").iter().filter(|m| m.alive).count();
+    format!(
+        "{{\"forwarded\":{},\"bad_requests\":{},\"handoff_entries\":{},\
+         \"handoff_skipped\":{},\"handoff_resubmits\":{},\"unavailable\":{},\
+         \"members_alive\":{alive},\"members_total\":{}}}",
+        c.forwarded,
+        c.bad_requests,
+        c.handoff_entries,
+        c.handoff_skipped,
+        c.handoff_resubmits,
+        c.unavailable,
+        inner.ring.len(),
+    )
+}
+
+/// Send `line` to every live member and collect the named reply member
+/// from each. A member that cannot be reached fails the whole fan-out —
+/// a partial stats view would silently break the reconciliation sums.
+fn fanout_docs(
+    inner: &RouterInner,
+    conns: &mut ShardConns,
+    line: &str,
+    member_key: &str,
+) -> Result<Vec<Json>, SxdError> {
+    let alive: Vec<usize> = {
+        let members = plock_named(&inner.members, "sxd.router.members");
+        (0..members.len()).filter(|&m| members[m].alive).collect()
+    };
+    let mut docs = Vec::with_capacity(alive.len());
+    for idx in alive {
+        let reply = conns.forward(inner, idx, line)?;
+        let doc = Json::parse(&reply)
+            .map_err(|e| SxdError::BadJson { detail: format!("{} reply: {e}", member_key) })?;
+        let member = doc.get(member_key).cloned().ok_or_else(|| SxdError::BadJson {
+            detail: format!("member reply lacks \"{member_key}\""),
+        })?;
+        docs.push(member);
+    }
+    Ok(docs)
+}
+
+/// Fan `shutdown` out to every live member, then retire the router once
+/// the member threads exit (asynchronously — the client gets its ack
+/// immediately, like a single daemon's shutdown).
+fn shutdown_cluster(inner: &Arc<RouterInner>, conns: &mut ShardConns) {
+    let alive: Vec<usize> = {
+        let members = plock_named(&inner.members, "sxd.router.members");
+        (0..members.len()).filter(|&m| members[m].alive).collect()
+    };
+    for idx in alive {
+        let _ = conns.forward(inner, idx, &Request::Shutdown.to_line());
+    }
+    let inner2 = Arc::clone(inner);
+    std::thread::spawn(move || {
+        for h in drain_handles(&inner2) {
+            let _ = h.join();
+        }
+        initiate_shutdown(&inner2);
+    });
+}
+
+/// Flip the shutdown flag, half-close client connections, poke the
+/// accept loop. Idempotent (mirrors the daemon's shutdown).
+fn initiate_shutdown(inner: &RouterInner) {
+    if inner.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    for (_, s) in plock_named(&inner.conns, "sxd.router.conns").iter() {
+        let _ = s.shutdown(Shutdown::Read);
+    }
+    let _ = TcpStream::connect(inner.addr);
+}
+
+/// Drain one member and hand its keyspace off: mark it out of the ring,
+/// let it drain (checkpointing its own stragglers), wait for it to exit,
+/// then replicate its journal to the keys' new owners and re-submit its
+/// checkpointed restart specs across the ring. Synchronous by design —
+/// when the reply arrives, repeat submits of the drained member's keys
+/// already hit their successors' caches byte-identically.
+fn drain_member(
+    inner: &RouterInner,
+    conns: &mut ShardConns,
+    idx: usize,
+    deadline: Duration,
+) -> Result<String, SxdError> {
+    let (addr, state_dir) = {
+        let mut members = plock_named(&inner.members, "sxd.router.members");
+        let Some(slot) = members.get_mut(idx) else {
+            return Err(SxdError::BadRequest {
+                detail: format!("no member {idx}; the cluster has {}", inner.ring.len()),
+            });
+        };
+        if !slot.alive {
+            return Err(SxdError::ShardUnavailable {
+                member: inner.ring.name(idx).to_string(),
+                detail: "member already left the ring".into(),
+            });
+        }
+        // Out of the ring first: new submits route to successors from
+        // this instant, so nothing new lands on the draining member.
+        slot.alive = false;
+        (slot.addr.clone(), slot.state_dir.clone())
+    };
+
+    // Ask the member to drain. Dial directly (not through `conns`) so a
+    // dead member is tolerated: it may have crashed, and hand-off of its
+    // durable journal is exactly what recovers its keyspace.
+    lockreg::blocking_io("sxd.router.drain", &[]);
+    if let Ok(mut c) = Client::connect_with_retry(&addr, 2, CONNECT_BACKOFF) {
+        let _ = c.drain(Some(deadline.as_millis() as u64));
+    }
+
+    // Wait for the member to finish draining so its journal is final.
+    let handle =
+        plock_named(&inner.handles, "sxd.router.handles").get_mut(idx).and_then(Option::take);
+    lockreg::blocking_io("sxd.router.join", &[]);
+    match handle {
+        Some(h) => {
+            let _ = h.join();
+        }
+        None => {
+            // Externally-managed member: poll until its listener is gone.
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < deadline + Duration::from_secs(30) {
+                if TcpStream::connect(&addr).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+
+    // Replicate the drained member's durable results to each key's new
+    // owner, newest append winning, and re-submit its checkpointed
+    // stragglers. Without a state dir there is nothing durable to move —
+    // the keyspace reassigns and recomputes on demand.
+    let mut handed_off = 0u64;
+    let mut skipped = 0u64;
+    let mut resubmitted = 0u64;
+    if let Some(dir) = state_dir {
+        lockreg::blocking_io("sxd.router.handoff", &[]);
+        if let Ok((_journal, entries)) = Journal::open(&dir) {
+            let mut newest: Vec<(u64, String)> = Vec::new();
+            for (key, payload) in entries {
+                if let Some(slot) = newest.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = payload;
+                } else {
+                    newest.push((key, payload));
+                }
+            }
+            for (key, payload) in newest {
+                let line = Request::Put { key, payload }.to_line();
+                if line.len() > MAX_REQUEST_FRAME {
+                    skipped += 1; // the successor recomputes this key on demand
+                    continue;
+                }
+                let owner = owner_of(inner, key)?;
+                conns.forward(inner, owner, &line)?;
+                handed_off += 1;
+            }
+        }
+        for spec in journal::load_restart_specs(&dir) {
+            let Some(model) = presets::by_name(&spec.machine) else { continue };
+            let params: std::collections::BTreeMap<String, String> =
+                spec.params.iter().cloned().collect();
+            let key = cache_key(&spec.suite, &model, &params);
+            let owner = owner_of(inner, key)?;
+            // A restart spec is full recompute anyway (fraction 0), so it
+            // re-enters the cluster as a fresh submit at its new owner.
+            let req = Request::Submit {
+                suite: spec.suite.clone(),
+                machine: spec.machine.clone(),
+                params,
+            };
+            conns.forward(inner, owner, &req.to_line())?;
+            resubmitted += 1;
+        }
+        let _ = journal::clear_restart_specs(&dir);
+    }
+    {
+        let mut c = plock_named(&inner.counters, "sxd.router.counters");
+        c.handoff_entries += handed_off;
+        c.handoff_skipped += skipped;
+        c.handoff_resubmits += resubmitted;
+    }
+    Ok(format!(
+        "{{\"ok\":true,\"drained\":{idx},\"shard\":\"{}\",\"handed_off\":{handed_off},\
+         \"skipped\":{skipped},\"resubmitted\":{resubmitted}}}",
+        inner.ring.name(idx)
+    ))
+}

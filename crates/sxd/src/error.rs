@@ -35,6 +35,13 @@ pub enum SxdError {
     /// re-admitted on the next boot (the SUPER-UX checkpoint/restart
     /// model, paper §2.6.2).
     Checkpointed { detail: String },
+    /// A cluster router could not reach the shard member that owns the
+    /// request's keyspace (connect refused, member mid-crash, or the
+    /// member has left the ring).
+    ShardUnavailable { member: String, detail: String },
+    /// A bounded connect/retry loop exhausted its attempts. Terminal: the
+    /// caller has already waited through the full backoff schedule.
+    Retries { attempts: usize, detail: String },
     /// Client-side view of an error reply whose kind the client does not
     /// interpret further.
     Remote { kind: String, detail: String },
@@ -58,6 +65,8 @@ impl SxdError {
             SxdError::RunFailed { .. } => "run_failed",
             SxdError::ShuttingDown => "shutting_down",
             SxdError::Checkpointed { .. } => "checkpointed",
+            SxdError::ShardUnavailable { .. } => "shard_unavailable",
+            SxdError::Retries { .. } => "retries",
             SxdError::Remote { kind, .. } => kind,
         }
     }
@@ -74,6 +83,12 @@ impl SxdError {
             | SxdError::Remote { detail, .. } => detail.clone(),
             SxdError::FrameTooLong { len, max } => {
                 format!("frame of {len}+ bytes exceeds the {max}-byte cap")
+            }
+            SxdError::ShardUnavailable { member, detail } => {
+                format!("shard member {member} is unreachable: {detail}")
+            }
+            SxdError::Retries { attempts, detail } => {
+                format!("gave up after {attempts} connect attempts: {detail}")
             }
             SxdError::UnknownSuite { suite } => format!("no suite named {suite:?} is registered"),
             SxdError::UnknownMachine { machine } => {

@@ -27,11 +27,15 @@
 //!   FTRACE analogue, backed by `ncar_suite::metrics`);
 //! - [`client`] — typed client, plus the `flood` load generator that
 //!   reproduces the ensemble regime of Table 6 over live connections;
+//! - [`cluster`] — the multi-node fabric (the paper's IXS crossbar, §1):
+//!   N shard daemons behind a rendezvous-hash router with cluster-wide
+//!   merged observability and keyspace hand-off on member drain;
 //! - [`error`] — [`SxdError`]: every failure as a value; the serving path
 //!   never panics on client input.
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod faultpoint;
 pub mod journal;
@@ -40,6 +44,7 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::{flood, Client, FloodConfig, FloodOutcome, Submission};
+pub use cluster::{Cluster, ClusterConfig, Ring, Router, RouterMember};
 pub use error::SxdError;
 pub use journal::{Journal, RestartSpec};
 pub use proto::{cache_key, read_frame, Request, CODE_VERSION, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};

@@ -9,12 +9,14 @@
 //! closes — there is no way to resync inside an oversized frame).
 //!
 //! ```text
-//! request  = submit | stats | metrics | drain | shutdown
+//! request  = submit | stats | metrics | drain | shutdown | put | route
 //! submit   = {"op":"submit","suite":S,"machine":M?,"params":{K:V,...}?}
 //! stats    = {"op":"stats"}
 //! metrics  = {"op":"metrics"}
-//! drain    = {"op":"drain","deadline_ms":N?}
+//! drain    = {"op":"drain","deadline_ms":N?,"member":I?}
 //! shutdown = {"op":"shutdown"}
+//! put      = {"op":"put","key":"0011223344556677","result":{...}}
+//! route    = {"op":"route","suite":S,"machine":M?,"params":{K:V,...}?}
 //! reply    = {"ok":true,...} | {"ok":false,"error":{"kind":K,"detail":D}}
 //! ```
 //!
@@ -26,7 +28,15 @@
 //! `drain` stops admission, waits `deadline_ms` (forever when omitted)
 //! for in-flight jobs, checkpoints whatever is still pending to restart
 //! specs, and then shuts down — see the README section "Durability and
-//! restart".
+//! restart". The optional `member` field targets one shard of a cluster
+//! router (drain it, hand its keyspace to its ring successor); a
+//! single-node daemon rejects it.
+//!
+//! `put` and `route` belong to the cluster layer (see `crate::cluster`):
+//! `put` inserts an already-rendered result under its content address —
+//! the hand-off path replicating a drained member's journal into its
+//! keyspace successor — and `route` asks a router which member owns a
+//! configuration without running it.
 //!
 //! `machine` defaults to `"sx4-9.2"` (the February-1996 benchmarked
 //! system); `params` values may be strings, numbers or booleans and are
@@ -106,11 +116,27 @@ pub enum Request {
     Metrics,
     /// Stop admission, wait up to `deadline_ms` for in-flight jobs (no
     /// deadline = wait indefinitely), checkpoint the stragglers, shut
-    /// down.
+    /// down. `member` targets one shard of a cluster router; a single-node
+    /// daemon rejects it.
     Drain {
         deadline_ms: Option<u64>,
+        member: Option<usize>,
     },
     Shutdown,
+    /// Insert an already-rendered result under its content address (the
+    /// cluster hand-off path). `payload` is the result object's exact
+    /// bytes, so replicated entries stay byte-identical.
+    Put {
+        key: u64,
+        payload: String,
+    },
+    /// Ask a cluster router which member owns a configuration's keyspace
+    /// without running anything.
+    Route {
+        suite: String,
+        machine: String,
+        params: BTreeMap<String, String>,
+    },
 }
 
 impl Request {
@@ -134,42 +160,41 @@ impl Request {
                         return Err(bad_request("\"deadline_ms\" must be a non-negative number"))
                     }
                 };
-                Ok(Request::Drain { deadline_ms })
+                let member = match doc.get("member") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Num(x)) if *x >= 0.0 && x.is_finite() && x.fract() == 0.0 => {
+                        Some(*x as usize)
+                    }
+                    Some(_) => {
+                        return Err(bad_request("\"member\" must be a non-negative integer"))
+                    }
+                };
+                Ok(Request::Drain { deadline_ms, member })
+            }
+            "put" => {
+                let key = doc
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .filter(|k| !k.is_empty() && k.len() <= 16)
+                    .and_then(|k| u64::from_str_radix(k, 16).ok())
+                    .ok_or_else(|| bad_request("put needs a hex string \"key\""))?;
+                let payload = doc
+                    .get("result")
+                    .ok_or_else(|| bad_request("put needs a \"result\" object"))?
+                    .to_string();
+                Ok(Request::Put { key, payload })
             }
             "submit" => {
-                let suite = doc
-                    .get("suite")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| bad_request("submit needs a string \"suite\""))?
-                    .to_string();
-                let machine = match doc.get("machine") {
-                    None | Some(Json::Null) => DEFAULT_MACHINE.to_string(),
-                    Some(Json::Str(m)) => m.clone(),
-                    Some(_) => return Err(bad_request("\"machine\" must be a string")),
-                };
-                let mut params = BTreeMap::new();
-                match doc.get("params") {
-                    None | Some(Json::Null) => {}
-                    Some(Json::Obj(members)) => {
-                        for (k, v) in members {
-                            let v = match v {
-                                Json::Str(s) => s.clone(),
-                                Json::Num(x) => json_f64(*x),
-                                Json::Bool(b) => b.to_string(),
-                                _ => {
-                                    return Err(bad_request(
-                                        "param values must be strings, numbers or booleans",
-                                    ))
-                                }
-                            };
-                            params.insert(k.clone(), v);
-                        }
-                    }
-                    Some(_) => return Err(bad_request("\"params\" must be an object")),
-                }
+                let (suite, machine, params) = parse_config(&doc)?;
                 Ok(Request::Submit { suite, machine, params })
             }
-            _ => Err(bad_request("op must be one of submit/stats/metrics/drain/shutdown")),
+            "route" => {
+                let (suite, machine, params) = parse_config(&doc)?;
+                Ok(Request::Route { suite, machine, params })
+            }
+            _ => {
+                Err(bad_request("op must be one of submit/stats/metrics/drain/shutdown/put/route"))
+            }
         }
     }
 
@@ -179,26 +204,77 @@ impl Request {
             Request::Stats => "{\"op\":\"stats\"}".into(),
             Request::Metrics => "{\"op\":\"metrics\"}".into(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
-            Request::Drain { deadline_ms: None } => "{\"op\":\"drain\"}".into(),
-            Request::Drain { deadline_ms: Some(ms) } => {
-                format!("{{\"op\":\"drain\",\"deadline_ms\":{ms}}}")
+            Request::Drain { deadline_ms: None, member: None } => "{\"op\":\"drain\"}".into(),
+            Request::Drain { deadline_ms, member } => {
+                let mut line = String::from("{\"op\":\"drain\"");
+                if let Some(ms) = deadline_ms {
+                    line.push_str(&format!(",\"deadline_ms\":{ms}"));
+                }
+                if let Some(m) = member {
+                    line.push_str(&format!(",\"member\":{m}"));
+                }
+                line.push('}');
+                line
+            }
+            Request::Put { key, payload } => {
+                format!("{{\"op\":\"put\",\"key\":\"{key:016x}\",\"result\":{payload}}}")
             }
             Request::Submit { suite, machine, params } => {
-                let members = vec![
-                    ("op".to_string(), Json::Str("submit".into())),
-                    ("suite".to_string(), Json::Str(suite.clone())),
-                    ("machine".to_string(), Json::Str(machine.clone())),
-                    (
-                        "params".to_string(),
-                        Json::Obj(
-                            params.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
-                        ),
-                    ),
-                ];
-                Json::Obj(members).to_string()
+                config_line("submit", suite, machine, params)
+            }
+            Request::Route { suite, machine, params } => {
+                config_line("route", suite, machine, params)
             }
         }
     }
+}
+
+/// The shared `suite`/`machine`/`params` body of `submit` and `route`.
+fn parse_config(doc: &Json) -> Result<(String, String, BTreeMap<String, String>), SxdError> {
+    let suite = doc
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad_request("submit needs a string \"suite\""))?
+        .to_string();
+    let machine = match doc.get("machine") {
+        None | Some(Json::Null) => DEFAULT_MACHINE.to_string(),
+        Some(Json::Str(m)) => m.clone(),
+        Some(_) => return Err(bad_request("\"machine\" must be a string")),
+    };
+    let mut params = BTreeMap::new();
+    match doc.get("params") {
+        None | Some(Json::Null) => {}
+        Some(Json::Obj(members)) => {
+            for (k, v) in members {
+                let v = match v {
+                    Json::Str(s) => s.clone(),
+                    Json::Num(x) => json_f64(*x),
+                    Json::Bool(b) => b.to_string(),
+                    _ => {
+                        return Err(bad_request(
+                            "param values must be strings, numbers or booleans",
+                        ))
+                    }
+                };
+                params.insert(k.clone(), v);
+            }
+        }
+        Some(_) => return Err(bad_request("\"params\" must be an object")),
+    }
+    Ok((suite, machine, params))
+}
+
+fn config_line(op: &str, suite: &str, machine: &str, params: &BTreeMap<String, String>) -> String {
+    let members = vec![
+        ("op".to_string(), Json::Str(op.into())),
+        ("suite".to_string(), Json::Str(suite.into())),
+        ("machine".to_string(), Json::Str(machine.into())),
+        (
+            "params".to_string(),
+            Json::Obj(params.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect()),
+        ),
+    ];
+    Json::Obj(members).to_string()
 }
 
 fn bad_request(detail: &str) -> SxdError {
@@ -243,9 +319,20 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
-            Request::Drain { deadline_ms: None },
-            Request::Drain { deadline_ms: Some(2500) },
-            Request::Submit { suite: "fig5".into(), machine: "sx4-9.2".into(), params },
+            Request::Drain { deadline_ms: None, member: None },
+            Request::Drain { deadline_ms: Some(2500), member: None },
+            Request::Drain { deadline_ms: None, member: Some(2) },
+            Request::Drain { deadline_ms: Some(100), member: Some(0) },
+            // Put payloads round-trip only in the deterministic printer's
+            // own form (the hand-off path always replicates printer output).
+            Request::Put { key: 0x0011_2233_4455_6677, payload: "{\"x\":1.0}".into() },
+            Request::Put { key: u64::MAX, payload: "{\"s\":\"ok\",\"t\":true}".into() },
+            Request::Submit {
+                suite: "fig5".into(),
+                machine: "sx4-9.2".into(),
+                params: params.clone(),
+            },
+            Request::Route { suite: "fig5".into(), machine: "sx4-9.2".into(), params },
         ] {
             assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
         }
@@ -276,6 +363,15 @@ mod tests {
             ("{\"op\":\"submit\",\"suite\":\"x\",\"machine\":5}", "bad_request"),
             ("{\"op\":\"drain\",\"deadline_ms\":-1}", "bad_request"),
             ("{\"op\":\"drain\",\"deadline_ms\":\"soon\"}", "bad_request"),
+            ("{\"op\":\"drain\",\"member\":-1}", "bad_request"),
+            ("{\"op\":\"drain\",\"member\":1.5}", "bad_request"),
+            ("{\"op\":\"drain\",\"member\":\"zero\"}", "bad_request"),
+            ("{\"op\":\"put\"}", "bad_request"), // no key
+            ("{\"op\":\"put\",\"key\":7}", "bad_request"), // key must be a string
+            ("{\"op\":\"put\",\"key\":\"zz\"}", "bad_request"), // not hex
+            ("{\"op\":\"put\",\"key\":\"00112233445566778\"}", "bad_request"), // >16 digits
+            ("{\"op\":\"put\",\"key\":\"ab\"}", "bad_request"), // no result
+            ("{\"op\":\"route\"}", "bad_request"), // no suite
             ("{\"op\":", "bad_json"),
         ] {
             let err = Request::parse(frame).unwrap_err();

@@ -180,6 +180,10 @@ pub struct Counters {
     /// `accepted == done + rejected + queued + running` invariant is
     /// untouched.
     pub checkpointed: u64,
+    /// Results absorbed via the cluster hand-off `put` verb. Informational:
+    /// puts never enter the job pipeline, so the counters invariant is
+    /// untouched.
+    pub absorbed: u64,
     /// Per-suite serving totals, keyed by lowercased suite name.
     pub suites: BTreeMap<String, SuiteStat>,
 }
@@ -483,7 +487,14 @@ impl Daemon {
                 self.initiate_shutdown();
                 "{\"ok\":true,\"shutting_down\":true}".into()
             }
-            Ok(Request::Drain { deadline_ms }) => {
+            Ok(Request::Drain { deadline_ms: _, member: Some(_) }) => {
+                plock_named(&self.counters, "sxd.counters").bad_requests += 1;
+                SxdError::BadRequest {
+                    detail: "\"member\" targets a cluster router; this is a single daemon".into(),
+                }
+                .to_reply()
+            }
+            Ok(Request::Drain { deadline_ms, member: None }) => {
                 let deadline =
                     deadline_ms.map(Duration::from_millis).unwrap_or(self.drain_deadline);
                 self.start_drain(deadline);
@@ -492,6 +503,17 @@ impl Daemon {
                     deadline.as_millis()
                 )
             }
+            Ok(Request::Put { key, payload }) => match self.handle_put(key, &payload) {
+                Ok(reply) => reply,
+                Err(e) => e.to_reply(),
+            },
+            Ok(Request::Route { .. }) => {
+                plock_named(&self.counters, "sxd.counters").bad_requests += 1;
+                SxdError::BadRequest {
+                    detail: "\"route\" is a cluster verb; this daemon is not a router".into(),
+                }
+                .to_reply()
+            }
             Ok(Request::Submit { suite, machine, params }) => {
                 match self.handle_submit(&suite, &machine, &params) {
                     Ok(reply) => reply,
@@ -499,6 +521,22 @@ impl Daemon {
                 }
             }
         }
+    }
+
+    /// Absorb an already-rendered result under its content address — the
+    /// cluster hand-off path replicating a drained member's journal into
+    /// its keyspace successor. The payload is inserted verbatim (and
+    /// journaled when durable), so repeat submits of the key replay the
+    /// original member's exact bytes. Refused while draining: a handed-off
+    /// entry would be lost when this member's own journal moves on.
+    fn handle_put(&self, key: u64, payload: &str) -> Result<String, SxdError> {
+        if self.shutting_down.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst) {
+            return Err(SxdError::ShuttingDown);
+        }
+        plock_named(&self.cache, "sxd.cache").insert(key, payload.to_string());
+        self.persist_result(key, payload);
+        plock_named(&self.counters, "sxd.counters").absorbed += 1;
+        Ok(format!("{{\"ok\":true,\"absorbed\":true,\"key\":\"{key:016x}\"}}"))
     }
 
     fn handle_submit(
@@ -840,7 +878,7 @@ impl Daemon {
         format!(
             "{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
              \"running\":{},\"done\":{},\"bad_requests\":{},\"coalesced\":{},\
-             \"checkpointed\":{},\"queue_depth\":{},\
+             \"checkpointed\":{},\"absorbed\":{},\"queue_depth\":{},\
              \"cache\":{{\"hits\":{hits},\"misses\":{misses},\
              \"evictions\":{evictions},\"entries\":{entries},\"cap\":{cap}}},\
              \"suite_seconds\":{},\"workers\":{},\"journal\":{},\
@@ -853,6 +891,7 @@ impl Daemon {
             snap.bad_requests,
             snap.coalesced,
             snap.checkpointed,
+            snap.absorbed,
             snap.queued,
             suite_seconds,
             self.workers,

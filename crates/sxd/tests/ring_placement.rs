@@ -1,0 +1,94 @@
+//! Property tests for the rendezvous ring: the three guarantees the
+//! cluster router leans on. Placement must be a pure function of the key
+//! and the member list (any front end computes the same owner), spread
+//! keys evenly (no hot shard), and remap *only* the leaving member's keys
+//! on a membership change (the hand-off moves one keyspace, not the
+//! cluster's).
+
+use std::collections::BTreeMap;
+
+use ncar_suite::SmallRng;
+use sxd::cache_key;
+use sxd::cluster::Ring;
+use sxsim::presets;
+
+/// 10k synthetic keys: half raw rng words, half real cache keys from
+/// synthetic configurations, so the test covers the actual key
+/// distribution (FNV-1a digests) and not just ideal random input.
+fn synthetic_keys() -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(0x5249_4e47_4b45_5953);
+    let mut keys: Vec<u64> = (0..5_000).map(|_| rng.next_u64()).collect();
+    let machine = presets::sx4_benchmarked();
+    let suites = ["fig5", "radabs", "table3", "pop", "prodload"];
+    for i in 0..5_000u64 {
+        let mut params = BTreeMap::new();
+        params.insert("n".to_string(), i.to_string());
+        keys.push(cache_key(suites[(i % 5) as usize], &machine, &params));
+    }
+    keys
+}
+
+#[test]
+fn placement_is_deterministic_across_independent_rings() {
+    let a = Ring::new(Ring::default_names(4));
+    let b = Ring::new(Ring::default_names(4));
+    for key in synthetic_keys() {
+        assert_eq!(a.owner(key), b.owner(key), "key {key:#x}");
+        assert_eq!(a.owner(key), a.owner(key), "owner must be stable");
+    }
+}
+
+#[test]
+fn placement_is_uniform_within_15_percent_across_4_shards() {
+    let ring = Ring::new(Ring::default_names(4));
+    let keys = synthetic_keys();
+    let mut counts = [0usize; 4];
+    for &key in &keys {
+        counts[ring.owner(key).unwrap()] += 1;
+    }
+    let expected = keys.len() as f64 / 4.0;
+    for (shard, &n) in counts.iter().enumerate() {
+        let skew = (n as f64 - expected).abs() / expected;
+        assert!(
+            skew <= 0.15,
+            "shard {shard} holds {n} of {} keys ({:+.1}% from uniform)",
+            keys.len(),
+            skew * 100.0
+        );
+    }
+}
+
+#[test]
+fn removing_one_member_remaps_only_that_members_keys() {
+    let ring = Ring::new(Ring::default_names(4));
+    let leaving = 2usize;
+    let mut remapped = 0usize;
+    let keys = synthetic_keys();
+    for &key in &keys {
+        let before = ring.owner(key).unwrap();
+        let after = ring.owner_among(key, |m| m != leaving).unwrap();
+        if before == leaving {
+            // The leaving member's keys must land elsewhere.
+            assert_ne!(after, leaving, "key {key:#x} still routed to the dead member");
+            remapped += 1;
+        } else {
+            // Every other key's argmax is untouched: minimal disruption.
+            assert_eq!(before, after, "key {key:#x} moved although its owner stayed");
+        }
+    }
+    // Sanity: the dead member owned roughly a quarter of the keyspace.
+    let frac = remapped as f64 / keys.len() as f64;
+    assert!((0.15..=0.35).contains(&frac), "remapped fraction {frac:.3} is not ~1/4");
+}
+
+#[test]
+fn every_alive_subset_still_covers_the_keyspace() {
+    let ring = Ring::new(Ring::default_names(4));
+    for key in synthetic_keys().into_iter().take(500) {
+        for dead in 0..4usize {
+            let owner = ring.owner_among(key, |m| m != dead).unwrap();
+            assert_ne!(owner, dead);
+        }
+        assert_eq!(ring.owner_among(key, |_| false), None, "no member, no owner");
+    }
+}
