@@ -248,13 +248,18 @@ fi
 rm -rf "$cluster_dir" "$cluster_log"
 
 echo "==> perf smoke (release harness, schema validation, batched-vs-loop equivalence)"
-# The equivalence property tests must also hold under release-mode float
-# optimization — bit-identical ledgers are the whole point.
+# The equivalence property tests — including charge-program record/replay —
+# must also hold under release-mode float optimization: bit-identical
+# ledgers are the whole point.
 cargo test --offline -q -p sxsim --release --test batch_props
+cargo test --offline -q -p ccm-proxy --release program_tests
+cargo test --offline -q -p ocean-models --release program_tests
 cargo build --offline -q --release -p ncar-bench
 perf_json="$(mktemp)"
 target/release/ncar-bench perf --smoke --out "$perf_json" >/dev/null
 target/release/ncar-bench perf --validate "$perf_json"
 rm -f "$perf_json"
+# The committed baseline must stay schema-valid too.
+target/release/ncar-bench perf --validate BENCH_6.json
 
 echo "==> CI OK"

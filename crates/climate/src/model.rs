@@ -28,7 +28,10 @@ use crate::slt::advect_row;
 use crate::spectral::SphericalTransform;
 use ncar_kernels::fft::C64;
 use sxsim::node::partition;
-use sxsim::{Access, Cost, MachineModel, Node, NodeTiming, OpStats, Region, VecOp, Vm, VopClass};
+use sxsim::{
+    Access, ChargeProgram, Cost, MachineModel, Node, NodeTiming, OpStats, Region, VecOp, Vm,
+    VopClass,
+};
 
 /// Earth radius (m).
 const EARTH_RADIUS: f64 = 6.371e6;
@@ -135,6 +138,39 @@ pub struct Ccm2State<'a> {
     pub zeta: &'a LevSpec,
     pub zeta_prev: &'a LevSpec,
     pub q: &'a Vec<Vec<f64>>,
+}
+
+/// The recorded charge structure of one timestep: every parallel phase's
+/// per-processor charge sequence in [`ChargeProgram`] form.
+///
+/// A step's charges depend only on the configuration and grid shapes,
+/// never on the field values, so one recorded step stands for every step:
+/// [`Ccm2Proxy::replay_step`] re-charges the whole program in a batched
+/// pass whose [`StepTiming`] is **bit-identical** to the recording step's,
+/// without re-executing any of the functional math.
+#[derive(Debug, Clone)]
+pub struct StepProgram {
+    procs: usize,
+    nodes: usize,
+    /// One program per processor chunk of the latitude partition (empty
+    /// program for an empty chunk).
+    phase1: Vec<ChargeProgram>,
+    /// One program per processor chunk of the spectral partition.
+    phase3: Vec<ChargeProgram>,
+}
+
+impl StepProgram {
+    /// Total charge calls across all phases (what the op-by-op loop would
+    /// have issued); `total_charges() / instructions()` is the compression
+    /// the run-length coalescing bought.
+    pub fn total_charges(&self) -> usize {
+        self.phase1.iter().chain(&self.phase3).map(ChargeProgram::total_charges).sum()
+    }
+
+    /// Instructions in the compact IR across all phases.
+    pub fn instructions(&self) -> usize {
+        self.phase1.iter().chain(&self.phase3).map(ChargeProgram::len).sum()
+    }
 }
 
 /// Timing of one step on a node.
@@ -274,7 +310,88 @@ impl Ccm2Proxy {
     /// node timing of the step.
     pub fn step(&mut self, procs: usize) -> StepTiming {
         assert!(procs >= 1 && procs <= self.machine.procs);
-        self.step_inner(procs, 1, None)
+        self.step_inner(procs, 1, None, None)
+    }
+
+    /// Advance one timestep on `procs` processors while recording every
+    /// `Vm`'s charge sequence into a [`StepProgram`]. The recorded step's
+    /// timing is bit-identical to [`Ccm2Proxy::step`]'s; the program can
+    /// then be handed to [`Ccm2Proxy::replay_step`] any number of times.
+    pub fn record_step_program(&mut self, procs: usize) -> (StepTiming, StepProgram) {
+        assert!(procs >= 1 && procs <= self.machine.procs);
+        let mut program = StepProgram { procs, nodes: 1, phase1: Vec::new(), phase3: Vec::new() };
+        let timing = self.step_inner(procs, 1, None, Some(&mut program));
+        (timing, program)
+    }
+
+    /// Re-charge a recorded step in one batched pass: bit-identical
+    /// [`StepTiming`] (ledgers, wall cycles, seconds) to the step that
+    /// recorded `program`, at a fraction of the cost — no synthesis, no
+    /// physics, no transport is re-executed, only the charge stream.
+    ///
+    /// Op statistics accumulate into [`Ccm2Proxy::op_stats`] exactly as a
+    /// real step's would (plus the program-replay counters); the
+    /// prognostic state and the step counter are untouched.
+    pub fn replay_step(&mut self, program: &StepProgram) -> StepTiming {
+        let res = self.config.resolution;
+        let (nlev, nspec) = (res.nlev(), self.transform.nspec());
+        let (procs, nodes) = (program.procs, program.nodes);
+        let mut regions: Vec<Region> = Vec::new();
+
+        // Phase 1 and phase 3 replay their recorded programs against fresh
+        // `Vm`s, mirroring the one-`Vm`-per-chunk lifetimes of `step_inner`
+        // (the memo accounting is part of the bit-identity contract).
+        let mut phase1 = Vec::with_capacity(procs);
+        for prog in &program.phase1 {
+            if prog.is_empty() {
+                phase1.push(Cost::ZERO);
+                continue;
+            }
+            let mut vm = Vm::new(self.machine.clone());
+            vm.replay_program(prog);
+            self.op_stats.add(vm.stats());
+            phase1.push(vm.take_cost());
+        }
+        regions.push(Region::Parallel(phase1));
+
+        // Phase 2 is already pure charging (no functional math shadows it),
+        // so the reduction is re-issued verbatim.
+        if procs > 1 {
+            let words = 3 * nlev * nspec * 2;
+            let rounds = (procs as f64).log2().ceil() as usize;
+            let mut per_proc = vec![Cost::ZERO; procs];
+            for round in 0..rounds {
+                let live = (procs >> round).max(2);
+                let adders = live / 2;
+                for p in per_proc.iter_mut().take(adders) {
+                    let mut vm = Vm::new(self.machine.clone());
+                    vm.charge_vector_op(&VecOp::new(
+                        words,
+                        VopClass::Add,
+                        &[Access::Stride(1), Access::Stride(1)],
+                        &[Access::Stride(1)],
+                    ));
+                    self.op_stats.add(vm.stats());
+                    p.add(vm.take_cost());
+                }
+            }
+            regions.push(Region::Parallel(per_proc));
+        }
+
+        let mut phase3 = Vec::with_capacity(procs);
+        for prog in &program.phase3 {
+            if prog.is_empty() {
+                phase3.push(Cost::ZERO);
+                continue;
+            }
+            let mut vm = Vm::new(self.machine.clone());
+            vm.replay_program(prog);
+            self.op_stats.add(vm.stats());
+            phase3.push(vm.take_cost());
+        }
+        regions.push(Region::Parallel(phase3));
+
+        self.time_step_regions(&regions, procs, nodes)
     }
 
     /// Advance one timestep on `procs` processors while collecting an
@@ -282,7 +399,7 @@ impl Ccm2Proxy {
     /// chunk, which is representative).
     pub fn step_traced(&mut self, procs: usize) -> (StepTiming, sxsim::Ftrace) {
         let mut ft = sxsim::Ftrace::new();
-        let t = self.step_inner(procs, 1, Some(&mut ft));
+        let t = self.step_inner(procs, 1, Some(&mut ft), None);
         (t, ft)
     }
 
@@ -295,7 +412,7 @@ impl Ccm2Proxy {
     pub fn step_multinode(&mut self, nodes: usize, procs_per_node: usize) -> StepTiming {
         assert!((1..=16).contains(&nodes));
         assert!(procs_per_node >= 1 && procs_per_node <= self.machine.procs);
-        self.step_inner(nodes * procs_per_node, nodes, None)
+        self.step_inner(nodes * procs_per_node, nodes, None, None)
     }
 
     fn step_inner(
@@ -303,6 +420,7 @@ impl Ccm2Proxy {
         procs: usize,
         nodes: usize,
         mut ftrace: Option<&mut sxsim::Ftrace>,
+        mut record: Option<&mut StepProgram>,
     ) -> StepTiming {
         let t = self.transform.clone();
         let res = self.config.resolution;
@@ -324,8 +442,14 @@ impl Ccm2Proxy {
         for (chunk_idx, chunk) in chunks.iter().enumerate() {
             let mut vm = Vm::new(self.machine.clone());
             if chunk.is_empty() {
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.phase1.push(ChargeProgram::new());
+                }
                 phase1.push(Cost::ZERO);
                 continue;
+            }
+            if record.is_some() {
+                vm.start_program_record();
             }
             // FTRACE instruments processor 0's chunk only.
             let mut trace = if chunk_idx == 0 { ftrace.as_deref_mut() } else { None };
@@ -522,6 +646,9 @@ impl Ccm2Proxy {
                 }
             }
             self.op_stats.add(vm.stats());
+            if let Some(rec) = record.as_deref_mut() {
+                rec.phase1.push(vm.take_program().expect("recording was started above"));
+            }
             phase1.push(vm.take_cost());
         }
         regions.push(Region::Parallel(phase1));
@@ -575,8 +702,14 @@ impl Ccm2Proxy {
         for (sc_idx, sc) in spec_chunks.iter().enumerate() {
             let mut vm = Vm::new(self.machine.clone());
             if sc.is_empty() {
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.phase3.push(ChargeProgram::new());
+                }
                 phase3.push(Cost::ZERO);
                 continue;
+            }
+            if record.is_some() {
+                vm.start_program_record();
             }
             let mut trace = if sc_idx == 0 { ftrace.as_deref_mut() } else { None };
             if let Some(ft) = trace.as_deref_mut() {
@@ -625,6 +758,9 @@ impl Ccm2Proxy {
                 ft.exit(&mut vm).expect("region is open");
             }
             self.op_stats.add(vm.stats());
+            if let Some(rec) = record.as_deref_mut() {
+                rec.phase3.push(vm.take_program().expect("recording was started above"));
+            }
             phase3.push(vm.take_cost());
         }
         regions.push(Region::Parallel(phase3));
@@ -656,9 +792,17 @@ impl Ccm2Proxy {
 
         self.steps += 1;
 
-        // Time the regions. For a multi-node system each node brings its
-        // own memory banks and crossbar, so capacity scales with `nodes`;
-        // the IXS adds the tendency all-to-all and internode barriers.
+        self.time_step_regions(&regions, procs, nodes)
+    }
+
+    /// Time a step's regions on the node — the shared tail of
+    /// [`Ccm2Proxy::step_inner`] and [`Ccm2Proxy::replay_step`]. For a
+    /// multi-node system each node brings its own memory banks and
+    /// crossbar, so capacity scales with `nodes`; the IXS adds the
+    /// tendency all-to-all and internode barriers.
+    fn time_step_regions(&self, regions: &[Region], procs: usize, nodes: usize) -> StepTiming {
+        let res = self.config.resolution;
+        let (nlev, nspec) = (res.nlev(), self.transform.nspec());
         let mut timing_machine = self.machine.clone();
         if nodes > 1 {
             timing_machine.procs *= nodes;
@@ -668,7 +812,7 @@ impl Ccm2Proxy {
         let clock_ns = timing_machine.clock_ns;
         let node = Node::new(timing_machine);
         let mut timing =
-            node.time_regions(&regions).expect("partitioned within the node's processor count");
+            node.time_regions(regions).expect("partitioned within the node's processor count");
         if nodes > 1 {
             let ixs = sxsim::Ixs::new(nodes);
             // The 3 tendency fields' partial sums cross the crossbar, split
@@ -879,6 +1023,95 @@ mod tests {
         let per_year = m.history_bytes_per_day() * 365;
         let gb = per_year as f64 / 1e9;
         assert!((8.0..25.0).contains(&gb), "T63 yearly history {gb} GB vs paper's ~15 GB");
+    }
+}
+
+#[cfg(test)]
+mod program_tests {
+    use super::*;
+    use sxsim::presets;
+
+    fn mk() -> Ccm2Proxy {
+        Ccm2Proxy::new(Ccm2Config::benchmark(Resolution::T42), presets::sx4_benchmarked())
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_step() {
+        let mut a = mk();
+        let mut b = mk();
+        a.step(4);
+        b.step(4);
+        let ta = a.step(4);
+        let (tb, _) = b.record_step_program(4);
+        assert_eq!(ta.timing.wall_cycles.to_bits(), tb.timing.wall_cycles.to_bits());
+        assert_eq!(ta.seconds.to_bits(), tb.seconds.to_bits());
+        assert_eq!(ta.timing.work, tb.timing.work);
+        assert_eq!(a.mean_phi(0), b.mean_phi(0));
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_the_recorded_step() {
+        let mut m = mk();
+        m.step(4); // forward spin-up step
+        let (recorded, program) = m.record_step_program(4);
+        assert!(program.total_charges() > program.instructions(), "coalescing bought nothing");
+        let replayed = m.replay_step(&program);
+        assert_eq!(recorded.timing.wall_cycles.to_bits(), replayed.timing.wall_cycles.to_bits());
+        assert_eq!(recorded.seconds.to_bits(), replayed.seconds.to_bits());
+        assert_eq!(recorded.timing.work, replayed.timing.work);
+        assert_eq!(
+            recorded.bytes_per_cycle_per_proc.to_bits(),
+            replayed.bytes_per_cycle_per_proc.to_bits()
+        );
+    }
+
+    #[test]
+    fn replay_matches_a_later_real_step_of_the_same_parity() {
+        // Every leapfrog step after the forward first one charges the same
+        // program, so a replay also reproduces *future* steps bit-exactly.
+        let mut a = mk();
+        a.step(4);
+        let (_, program) = a.record_step_program(4);
+        let replayed = a.replay_step(&program);
+        let mut b = mk();
+        b.step(4);
+        b.step(4);
+        let t3 = b.step(4);
+        assert_eq!(t3.timing.wall_cycles.to_bits(), replayed.timing.wall_cycles.to_bits());
+        assert_eq!(t3.seconds.to_bits(), replayed.seconds.to_bits());
+    }
+
+    #[test]
+    fn replay_accumulates_op_stats_without_advancing_state() {
+        let mut m = mk();
+        m.step(4);
+        let (_, program) = m.record_step_program(4);
+        let steps_before = m.steps;
+        let phi_before = m.mean_phi(0);
+        let s0 = m.op_stats();
+        let s_step = {
+            // The per-step op-stat delta of the recorded step, for
+            // comparison against the replay's delta.
+            let mut before = mk();
+            before.step(4);
+            let a = before.op_stats();
+            before.step(4);
+            let mut d = before.op_stats();
+            d.vector_ops -= a.vector_ops;
+            d.vector_elements -= a.vector_elements;
+            d.intrinsic_calls -= a.intrinsic_calls;
+            d.scalar_iters -= a.scalar_iters;
+            d
+        };
+        m.replay_step(&program);
+        assert_eq!(m.steps, steps_before, "replay must not advance the model");
+        assert_eq!(m.mean_phi(0), phi_before);
+        let s1 = m.op_stats();
+        assert_eq!(s1.vector_ops - s0.vector_ops, s_step.vector_ops);
+        assert_eq!(s1.vector_elements - s0.vector_elements, s_step.vector_elements);
+        assert_eq!(s1.intrinsic_calls - s0.intrinsic_calls, s_step.intrinsic_calls);
+        assert_eq!(s1.scalar_iters - s0.scalar_iters, s_step.scalar_iters);
+        assert!(s1.program_replays > s0.program_replays);
     }
 }
 

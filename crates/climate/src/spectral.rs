@@ -32,6 +32,9 @@ pub struct SphericalTransform {
     pub fused_transforms: usize,
     /// plm[lat * nspec + pack_index(m, n)]
     plm: Vec<f64>,
+    /// phase[lon * (trunc + 1) + m] = e^{i m lambda_lon}: the Fourier
+    /// phase factors of the synthesis leg, fixed by the geometry.
+    phase: Vec<C64>,
 }
 
 impl SphericalTransform {
@@ -48,7 +51,14 @@ impl SphericalTransform {
         for (l, &m) in mu.iter().enumerate() {
             plm[l * nspec..(l + 1) * nspec].copy_from_slice(&plm_at(trunc, m));
         }
-        SphericalTransform { trunc, nlat, nlon, mu, weights, fused_transforms: 1, plm }
+        let mut phase = vec![C64::ZERO; nlon * (trunc + 1)];
+        for (j, prow) in phase.chunks_exact_mut(trunc + 1).enumerate() {
+            let lambda = 2.0 * std::f64::consts::PI * j as f64 / nlon as f64;
+            for (m, p) in prow.iter_mut().enumerate() {
+                *p = C64::cis(m as f64 * lambda);
+            }
+        }
+        SphericalTransform { trunc, nlat, nlon, mu, weights, fused_transforms: 1, plm, phase }
     }
 
     /// Packed spectral length.
@@ -162,13 +172,14 @@ impl SphericalTransform {
                 }
                 cm[m] = acc;
             }
-            // f(lambda_j) = c_0 + 2 Re sum_{m>=1} c_m e^{i m lambda_j}
+            // f(lambda_j) = c_0 + 2 Re sum_{m>=1} c_m e^{i m lambda_j},
+            // with the phase factors looked up from the precomputed table.
             let row = &mut grid[l * self.nlon..(l + 1) * self.nlon];
             for (j, g) in row.iter_mut().enumerate() {
-                let lambda = 2.0 * std::f64::consts::PI * j as f64 / self.nlon as f64;
+                let phases = &self.phase[j * (self.trunc + 1)..(j + 1) * (self.trunc + 1)];
                 let mut v = cm[0].re;
                 for (m, c) in cm.iter().enumerate().skip(1) {
-                    let ph = C64::cis(m as f64 * lambda);
+                    let ph = phases[m];
                     v += 2.0 * (c.re * ph.re - c.im * ph.im);
                 }
                 *g = v;

@@ -19,7 +19,8 @@ use crate::eos::density;
 use crate::poisson::{jacobi, Grid2};
 use sxsim::node::partition;
 use sxsim::{
-    Access, Cost, LocalityPattern, MachineModel, Node, NodeTiming, Region, VecOp, Vm, VopClass,
+    Access, ChargeProgram, Cost, LocalityPattern, MachineModel, Node, NodeTiming, Region, VecOp,
+    Vm, VopClass,
 };
 
 /// Model geometry and numerics.
@@ -74,6 +75,29 @@ pub struct Mom {
 pub struct MomStepTiming {
     pub timing: NodeTiming,
     pub seconds: f64,
+}
+
+/// The recorded charge structure of one MOM step. A step's charges depend
+/// only on the configuration and partitioning, so one recorded normal step
+/// and one recorded diagnostics step together price every step of a run
+/// ([`Mom::run_replayed`]); a replay's [`MomStepTiming`] is bit-identical
+/// to the recording step's.
+#[derive(Debug, Clone)]
+pub struct MomStepProgram {
+    procs: usize,
+    /// One program per latitude-slab processor (empty for an empty chunk).
+    baroclinic: Vec<ChargeProgram>,
+    /// The serial barotropic vorticity RHS + Poisson solve.
+    barotropic: ChargeProgram,
+    /// The serial diagnostics print, on every-`diag_every` steps only.
+    diagnostics: Option<ChargeProgram>,
+}
+
+impl MomStepProgram {
+    /// Whether this program recorded a diagnostics (every-10-steps) step.
+    pub fn is_diagnostic(&self) -> bool {
+        self.diagnostics.is_some()
+    }
 }
 
 /// Horizontal eddy diffusivity/viscosity (grid units per step, kept well
@@ -208,6 +232,28 @@ impl Mom {
     /// Advance one step on `procs` processors.
     pub fn step(&mut self, procs: usize) -> MomStepTiming {
         assert!(procs >= 1 && procs <= self.machine.procs);
+        self.step_inner(procs, None)
+    }
+
+    /// Advance one step while recording its charge structure; the recorded
+    /// step's timing is bit-identical to [`Mom::step`]'s.
+    pub fn record_step_program(&mut self, procs: usize) -> (MomStepTiming, MomStepProgram) {
+        assert!(procs >= 1 && procs <= self.machine.procs);
+        let mut program = MomStepProgram {
+            procs,
+            baroclinic: Vec::new(),
+            barotropic: ChargeProgram::new(),
+            diagnostics: None,
+        };
+        let timing = self.step_inner(procs, Some(&mut program));
+        (timing, program)
+    }
+
+    fn step_inner(
+        &mut self,
+        procs: usize,
+        mut record: Option<&mut MomStepProgram>,
+    ) -> MomStepTiming {
         let MomConfig { nlat, nlon, nlev, dt, .. } = self.config;
         let ncol = nlat * nlon;
         let chunks = partition(nlat, procs);
@@ -223,8 +269,14 @@ impl Mom {
         for chunk in &chunks {
             let mut vm = Vm::new(self.machine.clone());
             if chunk.is_empty() {
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.baroclinic.push(ChargeProgram::new());
+                }
                 phase.push(Cost::ZERO);
                 continue;
+            }
+            if record.is_some() {
+                vm.start_program_record();
             }
             let rows = chunk.len();
             let mut rho = vec![0.0f64; ncol];
@@ -369,6 +421,9 @@ impl Mom {
                     12,
                 );
             }
+            if let Some(rec) = record.as_deref_mut() {
+                rec.baroclinic.push(vm.take_program().expect("recording was started above"));
+            }
             phase.push(vm.take_cost());
         }
         regions.push(Region::Parallel(phase));
@@ -382,6 +437,9 @@ impl Mom {
         // rigid-lid Poisson solve. ------------------------------------------
         {
             let mut vm = Vm::new(self.machine.clone());
+            if record.is_some() {
+                vm.start_program_record();
+            }
             let mut rhs = Grid2::zeros(nlat, nlon);
             for i in 1..nlat - 1 {
                 for j in 0..nlon {
@@ -412,6 +470,9 @@ impl Mom {
                 nlev * 2,
             );
             let _res = jacobi(&mut vm, &mut self.psi, &rhs, self.config.jacobi_sweeps);
+            if let Some(rec) = record.as_deref_mut() {
+                rec.barotropic = vm.take_program().expect("recording was started above");
+            }
             regions.push(Region::Serial(vm.take_cost()));
         }
 
@@ -419,12 +480,18 @@ impl Mom {
         self.steps += 1;
         if self.steps.is_multiple_of(self.config.diag_every) {
             let mut vm = Vm::new(self.machine.clone());
+            if record.is_some() {
+                vm.start_program_record();
+            }
             // Global means/energies accumulated in unvectorized loops plus
             // formatted output — the benchmark's scaling sore spot.
             let diag = crate::diagnostics::compute(self);
             assert!(diag.mean_temp.is_finite() && diag.kinetic_energy.is_finite());
             self.last_diagnostics = Some(diag);
             vm.charge_scalar_loop(self.config.points(), 8.0, 8.0, 0.0, LocalityPattern::Streaming);
+            if let Some(rec) = record {
+                rec.diagnostics = Some(vm.take_program().expect("recording was started above"));
+            }
             regions.push(Region::Serial(vm.take_cost()));
         }
 
@@ -443,6 +510,69 @@ impl Mom {
     /// Run `steps` steps and report total simulated seconds.
     pub fn run(&mut self, steps: usize, procs: usize) -> f64 {
         (0..steps).map(|_| self.step(procs).seconds).sum()
+    }
+
+    /// Re-charge a recorded step in one batched pass: bit-identical
+    /// [`MomStepTiming`] to the step that recorded `program`, with none of
+    /// the functional model re-executed. The ocean state, the step counter
+    /// and [`Mom::last_diagnostics`] are untouched.
+    pub fn replay_step(&self, program: &MomStepProgram) -> MomStepTiming {
+        let mut regions = Vec::new();
+        let mut phase = Vec::with_capacity(program.procs);
+        for prog in &program.baroclinic {
+            if prog.is_empty() {
+                phase.push(Cost::ZERO);
+                continue;
+            }
+            let mut vm = Vm::new(self.machine.clone());
+            vm.replay_program(prog);
+            phase.push(vm.take_cost());
+        }
+        regions.push(Region::Parallel(phase));
+        {
+            let mut vm = Vm::new(self.machine.clone());
+            vm.replay_program(&program.barotropic);
+            regions.push(Region::Serial(vm.take_cost()));
+        }
+        if let Some(diag) = &program.diagnostics {
+            let mut vm = Vm::new(self.machine.clone());
+            vm.replay_program(diag);
+            regions.push(Region::Serial(vm.take_cost()));
+        }
+        let node = Node::new(self.machine.clone());
+        let timing =
+            node.time_regions(&regions).expect("partitioned within the node's processor count");
+        MomStepTiming { timing, seconds: timing.seconds(self.machine.clock_ns) }
+    }
+
+    /// Price a `steps`-step run through the program cache: the first
+    /// normal step and the first diagnostics step run (and record) for
+    /// real, every later step of the same kind replays its program.
+    /// Returns total simulated seconds, bit-identical to [`Mom::run`]'s
+    /// (charges depend on the configuration, not the evolving fields); the
+    /// step counter advances as usual, while the ocean state only evolves
+    /// through the two recorded steps.
+    pub fn run_replayed(&mut self, steps: usize, procs: usize) -> f64 {
+        let mut normal: Option<MomStepProgram> = None;
+        let mut diag: Option<MomStepProgram> = None;
+        let mut total = 0.0;
+        for _ in 0..steps {
+            let is_diag = (self.steps + 1).is_multiple_of(self.config.diag_every);
+            let cache = if is_diag { &mut diag } else { &mut normal };
+            total += match cache {
+                Some(p) => {
+                    let t = self.replay_step(p).seconds;
+                    self.steps += 1; // keep the diagnostics cadence honest
+                    t
+                }
+                None => {
+                    let (t, p) = self.record_step_program(procs);
+                    *cache = Some(p);
+                    t.seconds
+                }
+            };
+        }
+        total
     }
 }
 
@@ -534,6 +664,52 @@ mod tests {
         // Step 10 includes the serial diagnostics.
         let normal = times[..9].iter().sum::<f64>() / 9.0;
         assert!(times[9] > 1.1 * normal, "diag step {} vs normal {normal}", times[9]);
+    }
+}
+
+#[cfg(test)]
+mod program_tests {
+    use super::*;
+    use sxsim::presets;
+
+    fn tiny() -> MomConfig {
+        MomConfig { nlat: 16, nlon: 32, nlev: 5, dt: 3600.0, diag_every: 10, jacobi_sweeps: 10 }
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_the_recorded_step() {
+        let mut m = Mom::new(tiny(), presets::sx4_benchmarked());
+        m.step(4);
+        let (recorded, program) = m.record_step_program(4);
+        assert!(!program.is_diagnostic());
+        let replayed = m.replay_step(&program);
+        assert_eq!(recorded.timing.wall_cycles.to_bits(), replayed.timing.wall_cycles.to_bits());
+        assert_eq!(recorded.seconds.to_bits(), replayed.seconds.to_bits());
+        assert_eq!(recorded.timing.work, replayed.timing.work);
+    }
+
+    #[test]
+    fn diagnostic_step_records_its_extra_region() {
+        let mut m = Mom::new(tiny(), presets::sx4_benchmarked());
+        for _ in 0..9 {
+            m.step(4);
+        }
+        let (recorded, program) = m.record_step_program(4); // step 10
+        assert!(program.is_diagnostic());
+        let replayed = m.replay_step(&program);
+        assert_eq!(recorded.seconds.to_bits(), replayed.seconds.to_bits());
+        assert_eq!(recorded.timing.wall_cycles.to_bits(), replayed.timing.wall_cycles.to_bits());
+    }
+
+    #[test]
+    fn run_replayed_matches_run_bitwise_across_diag_steps() {
+        let mut real = Mom::new(tiny(), presets::sx4_benchmarked());
+        let mut cached = Mom::new(tiny(), presets::sx4_benchmarked());
+        // 25 steps span two diagnostics prints (steps 10 and 20).
+        let t_real = real.run(25, 4);
+        let t_cached = cached.run_replayed(25, 4);
+        assert_eq!(t_real.to_bits(), t_cached.to_bits(), "{t_real} vs {t_cached}");
+        assert_eq!(real.steps, cached.steps);
     }
 }
 

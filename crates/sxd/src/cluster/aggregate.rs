@@ -3,8 +3,9 @@
 //! RZBENCH's lesson (arXiv 0712.3389) applies verbatim: a cross-node
 //! benchmark matrix is only trustworthy when one harness aggregates all
 //! members. The merged document keeps the exact shape of a single
-//! member's reply — counters sum, gauges sum, latency histograms merge
-//! bucket-wise (see `ncar_suite::metrics::HistogramSnapshot::merge`),
+//! member's reply — counters sum, occupancy gauges sum while ratio gauges
+//! re-weight by served traffic, latency histograms merge bucket-wise (see
+//! `ncar_suite::metrics::HistogramSnapshot::merge`),
 //! per-suite rows combine with run-weighted average stretch — so every
 //! existing consumer (`flood`, `ncar-bench metrics`, the CI smoke greps)
 //! reads a router exactly as it reads a daemon.
@@ -173,23 +174,55 @@ fn merge_suites(members: &[Json]) -> Json {
     )
 }
 
+/// Gauges that are ratios (instantaneous rates), not occupancy counts.
+/// Summing them across members is meaningless — a cluster of N equally
+/// loaded members would report N× the stretch any one of them sees — so
+/// they merge as run-weighted means instead (see [`merge_metrics`]).
+const RATIO_GAUGES: &[&str] = &["admission_stretch"];
+
 /// Merge full member `metrics` documents into one cluster `metrics`
-/// document: merged stats, summed gauges, merged latency histograms,
-/// merged suite breakdown. The cluster is `reconciled` when every member
-/// reported itself reconciled *and* the merged `job` histogram count
-/// equals the merged `done + rejected` — the cross-member restatement of
-/// the single-node guarantee.
+/// document: merged stats, merged gauges, merged latency histograms,
+/// merged suite breakdown. Occupancy gauges (queue depths, busy workers,
+/// cache entries) sum; ratio gauges ([`RATIO_GAUGES`]) merge as the mean
+/// weighted by each member's completed-job count, falling back to a plain
+/// mean when no member has completed anything. The cluster is
+/// `reconciled` when every member reported itself reconciled *and* the
+/// merged `job` histogram count equals the merged `done + rejected` — the
+/// cross-member restatement of the single-node guarantee.
 pub fn merge_metrics(members: &[Json]) -> String {
     let stats_docs: Vec<Json> = members.iter().filter_map(|m| m.get("stats").cloned()).collect();
     let stats = merge_stats(&stats_docs);
 
     let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+    // Ratio-gauge accumulator: (run-weighted sum, weight, plain sum, count).
+    let mut ratios: BTreeMap<String, (f64, f64, f64, f64)> = BTreeMap::new();
     for m in members {
+        let runs =
+            m.get("stats").and_then(|s| s.get("done")).and_then(Json::as_u64).unwrap_or(0) as f64;
         if let Some(obj) = m.get("gauges").and_then(Json::as_obj) {
             for (k, v) in obj {
-                *gauges.entry(k.clone()).or_insert(0.0) += v.as_f64().unwrap_or(0.0);
+                let x = v.as_f64().unwrap_or(0.0);
+                if RATIO_GAUGES.contains(&k.as_str()) {
+                    let acc = ratios.entry(k.clone()).or_insert((0.0, 0.0, 0.0, 0.0));
+                    acc.0 += x * runs;
+                    acc.1 += runs;
+                    acc.2 += x;
+                    acc.3 += 1.0;
+                } else {
+                    *gauges.entry(k.clone()).or_insert(0.0) += x;
+                }
             }
         }
+    }
+    for (k, (weighted, weight, plain, count)) in ratios {
+        let mean = if weight > 0.0 {
+            weighted / weight
+        } else if count > 0.0 {
+            plain / count
+        } else {
+            0.0
+        };
+        gauges.insert(k, mean);
     }
     let gauges = Json::Obj(gauges.into_iter().map(|(k, v)| (k, Json::Num(v))).collect());
 
@@ -293,6 +326,35 @@ mod tests {
         assert_eq!(toy.get("runs").unwrap().as_u64(), Some(8));
         // (2·1.0 + 6·2.0) / 8 = 1.75 — run-weighted, not a plain average.
         assert_eq!(toy.get("avg_stretch").unwrap().as_f64(), Some(1.75));
+    }
+
+    #[test]
+    fn ratio_gauges_merge_as_run_weighted_means_not_sums() {
+        let member = |done: u64, stretch: f64, depth: f64| {
+            Json::parse(&format!(
+                "{{\"stats\":{{\"accepted\":{done},\"rejected\":0,\"queued\":0,\"running\":0,\
+                 \"done\":{done},\
+                 \"cache\":{{\"hits\":0,\"misses\":0,\"evictions\":0,\"entries\":0,\"cap\":8}},\
+                 \"suite_seconds\":{{}},\"workers\":1,\"journal\":null,\
+                 \"draining\":false,\"shutting_down\":false}},\
+                 \"gauges\":{{\"admission_stretch\":{stretch},\"pool_queue_depth\":{depth}}},\
+                 \"latency\":{{}},\"suites\":{{}},\"reconciled\":true}}"
+            ))
+            .unwrap()
+        };
+        // A busy member at stretch 2.0 and a lightly loaded one at 1.0:
+        // the cluster stretch is (6·2.0 + 2·1.0) / 8 = 1.75, never the
+        // 3.0 a plain sum would claim; occupancy gauges still sum.
+        let doc = Json::parse(&merge_metrics(&[member(6, 2.0, 3.0), member(2, 1.0, 1.0)])).unwrap();
+        let g = |k: &str| doc.get("gauges").unwrap().get(k).unwrap().as_f64().unwrap();
+        assert_eq!(g("admission_stretch"), 1.75);
+        assert_eq!(g("pool_queue_depth"), 4.0);
+
+        // Idle members (zero completed jobs) fall back to the plain mean.
+        let doc = Json::parse(&merge_metrics(&[member(0, 2.0, 0.0), member(0, 1.0, 0.0)])).unwrap();
+        let stretch =
+            doc.get("gauges").unwrap().get("admission_stretch").unwrap().as_f64().unwrap();
+        assert_eq!(stretch, 1.5);
     }
 
     #[test]

@@ -106,6 +106,8 @@ impl Ftrace {
             other_cycles: s1.other_cycles - s0.other_cycles,
             memo_hits: s1.memo_hits - s0.memo_hits,
             memo_misses: s1.memo_misses - s0.memo_misses,
+            program_records: s1.program_records - s0.program_records,
+            program_replays: s1.program_replays - s0.program_replays,
         });
         Ok(())
     }

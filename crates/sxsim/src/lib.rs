@@ -19,6 +19,9 @@
 //! - [`timing`] — the analytic cost of vector ops, scalar loops and
 //!   intrinsic calls;
 //! - [`vm`] — the functional facade kernels program against;
+//! - [`program`] — charge programs: record a `Vm`'s charge sequence once
+//!   into a compact IR, replay it in one batched pass with bit-identical
+//!   ledgers (the record-once/replay-many path the applications use);
 //! - [`error`] — [`SimError`], the typed error for misuse of the facade
 //!   (oversubscribed nodes, out-of-range communications registers,
 //!   mismatched regions);
@@ -82,6 +85,7 @@ pub mod model;
 pub mod node;
 pub mod presets;
 pub mod proginf;
+pub mod program;
 pub mod timing;
 pub mod trace;
 pub mod vm;
@@ -96,6 +100,7 @@ pub use ixs::Ixs;
 pub use model::{Intrinsic, MachineModel, VopClass};
 pub use node::{JobDemand, Node, NodeTiming, Region};
 pub use proginf::{OpStats, Proginf};
+pub use program::{ChargeProgram, ProgramOp};
 pub use timing::{Access, LocalityPattern, VecOp, MAX_STREAMS};
 pub use trace::{OpTrace, Recorder, TraceEvent};
 pub use vm::Vm;

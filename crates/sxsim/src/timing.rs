@@ -141,7 +141,11 @@ fn memory_rate(model: &MachineModel, v: &VectorUnit, op: &VecOp) -> f64 {
 /// [`scalar_loop`] on a cache machine.
 pub fn vector_op(model: &MachineModel, op: &VecOp) -> Cost {
     let flops = op.flops_per_elem() * op.n as u64;
-    let bytes = (op.words_per_elem() * op.n as f64) as u64 * model.memory.word_bytes as u64;
+    // Round to nearest: an `as u64` cast truncates toward zero, which
+    // undercounts ledger bytes for non-integral words-per-element
+    // descriptors (today's accesses are whole words, so this is identical,
+    // but fractional-word descriptors must not silently lose traffic).
+    let bytes = (op.words_per_elem() * op.n as f64).round() as u64 * model.memory.word_bytes as u64;
 
     let Some(v) = model.vector.as_ref() else {
         // Cache machine: same loop priced through the scalar path.

@@ -10,6 +10,7 @@
 use crate::cost::Cost;
 use crate::model::{Intrinsic, MachineModel, VopClass};
 use crate::proginf::{OpStats, Proginf};
+use crate::program::{ChargeProgram, ProgramOp};
 use crate::timing::{self, Access, LocalityPattern, VecOp};
 use crate::trace::{OpTrace, TraceEvent};
 
@@ -74,6 +75,9 @@ pub struct Vm {
     /// Timing memo for [`Vm::charge_vector_op`] (never invalidated — the
     /// model is immutable per `Vm`).
     memo: CostMemo,
+    /// Optional charge-program recording; `None` (free) unless enabled via
+    /// [`Vm::start_program_record`].
+    program: Option<Box<ChargeProgram>>,
 }
 
 impl Vm {
@@ -86,6 +90,7 @@ impl Vm {
             stats: OpStats::default(),
             trace: None,
             memo: CostMemo::new(),
+            program: None,
         }
     }
 
@@ -125,6 +130,70 @@ impl Vm {
     pub(crate) fn trace_event(&mut self, make: impl FnOnce() -> TraceEvent) {
         if let Some(t) = self.trace.as_mut() {
             t.push(make());
+        }
+    }
+
+    /// Begin recording every subsequent charge into a [`ChargeProgram`]
+    /// (replacing any program recorded so far). Charges still execute
+    /// normally — the recording pass is a fully functional run.
+    pub fn start_program_record(&mut self) {
+        self.program = Some(Box::default());
+        self.stats.program_records += 1;
+    }
+
+    /// Whether charges are currently being recorded into a program.
+    pub fn is_recording_program(&self) -> bool {
+        self.program.is_some()
+    }
+
+    /// Stop recording and take the program, if recording was enabled.
+    pub fn take_program(&mut self) -> Option<ChargeProgram> {
+        self.program.take().map(|b| *b)
+    }
+
+    /// Re-charge a recorded program in one batched pass. Ledgers, op
+    /// statistics (program counters aside), memo accounting and trace
+    /// events end up bit-identical to executing the original charge calls
+    /// op by op — see the [`crate::program`] module docs for the contract.
+    pub fn replay_program(&mut self, p: &ChargeProgram) {
+        self.replay_program_scaled(p, 1);
+    }
+
+    /// Replay with every instruction's repetition count multiplied by
+    /// `scale`: bit-identical to the original call sequence with each
+    /// call's `reps` multiplied by `scale`. `scale == 0` charges nothing
+    /// (but still counts as a replay).
+    pub fn replay_program_scaled(&mut self, p: &ChargeProgram, scale: usize) {
+        self.stats.program_replays += 1;
+        if scale == 0 {
+            return;
+        }
+        for instr in p.ops() {
+            match instr {
+                ProgramOp::Vector { op, reps } => {
+                    self.charge_vector_op_repeated(op, reps * scale);
+                }
+                ProgramOp::Intrinsic { f, n, reps } => {
+                    self.charge_intrinsic_repeated(*f, *n, reps * scale);
+                }
+                ProgramOp::ScalarLoop { iters, flops, loads, stores, branches, pattern, reps } => {
+                    for _ in 0..reps * scale {
+                        match branches {
+                            Some(b) => self.charge_scalar_loop_branchy(
+                                *iters, *flops, *loads, *stores, *b, *pattern,
+                            ),
+                            None => {
+                                self.charge_scalar_loop(*iters, *flops, *loads, *stores, *pattern)
+                            }
+                        }
+                    }
+                }
+                ProgramOp::Raw { cost, reps } => {
+                    for _ in 0..reps * scale {
+                        self.charge(*cost);
+                    }
+                }
+            }
         }
     }
 
@@ -176,6 +245,9 @@ impl Vm {
         self.lifetime.add(c);
         self.stats.other_cycles += c.cycles;
         self.trace_event(|| TraceEvent::Charge { cost: c });
+        if let Some(p) = self.program.as_mut() {
+            p.push_raw(c);
+        }
     }
 
     /// Charge an elementwise vector operation without executing data
@@ -193,6 +265,9 @@ impl Vm {
     pub fn charge_vector_op_repeated(&mut self, op: &VecOp, reps: usize) {
         if reps == 0 {
             return;
+        }
+        if let Some(p) = self.program.as_mut() {
+            p.push_vector(op, reps);
         }
         let c = self.vector_op_cost(op);
         // The loop of single charges would hit the freshly filled slot on
@@ -255,6 +330,9 @@ impl Vm {
         self.stats.scalar_cycles += c.cycles;
         self.stats.scalar_iters += iters as u64;
         self.trace_event(|| TraceEvent::ScalarLoop { iters, cost: c });
+        if let Some(p) = self.program.as_mut() {
+            p.push_scalar_loop(iters, flops, loads, stores, None, pattern);
+        }
     }
 
     /// Charge a control-heavy scalar loop with explicit branches per
@@ -283,6 +361,9 @@ impl Vm {
         self.stats.scalar_cycles += c.cycles;
         self.stats.scalar_iters += iters as u64;
         self.trace_event(|| TraceEvent::ScalarLoop { iters, cost: c });
+        if let Some(p) = self.program.as_mut() {
+            p.push_scalar_loop(iters, flops, loads, stores, Some(branches), pattern);
+        }
     }
 
     /// Charge `n` vectorizable intrinsic calls without executing them.
@@ -296,6 +377,9 @@ impl Vm {
     pub fn charge_intrinsic_repeated(&mut self, f: Intrinsic, n: usize, reps: usize) {
         if reps == 0 {
             return;
+        }
+        if let Some(p) = self.program.as_mut() {
+            p.push_intrinsic(f, n, reps);
         }
         let c = timing::intrinsic_op(&self.model, f, n);
         for _ in 0..reps {

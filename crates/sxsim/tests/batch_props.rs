@@ -9,7 +9,7 @@
 //! Inputs are drawn by a seeded SplitMix64 sampler (hermetic replacement
 //! for proptest), so every run exercises the same deterministic case set.
 
-use sxsim::{presets, Access, Intrinsic, MachineModel, VecOp, Vm, VopClass};
+use sxsim::{presets, Access, Cost, Intrinsic, LocalityPattern, MachineModel, VecOp, Vm, VopClass};
 
 /// Deterministic sampler (SplitMix64) standing in for proptest strategies.
 struct Gen(u64);
@@ -52,6 +52,127 @@ impl Gen {
     fn intrinsic(&mut self) -> Intrinsic {
         [Intrinsic::Exp, Intrinsic::Log, Intrinsic::Sin, Intrinsic::Sqrt, Intrinsic::Pow]
             [self.usize_in(0, 5)]
+    }
+
+    fn pattern(&mut self) -> LocalityPattern {
+        match self.usize_in(0, 3) {
+            0 => LocalityPattern::Streaming,
+            1 => LocalityPattern::Resident { working_set_bytes: self.usize_in(64, 1 << 22) },
+            _ => LocalityPattern::Random { working_set_bytes: self.usize_in(64, 1 << 22) },
+        }
+    }
+
+    /// Small fractional per-iteration amount (flops/loads/stores/branches).
+    fn amount(&mut self) -> f64 {
+        self.usize_in(0, 16) as f64 * 0.5
+    }
+
+    fn charge_desc(&mut self) -> Charge {
+        match self.usize_in(0, 6) {
+            0 | 1 => Charge::Vector { op: self.vec_op(), reps: self.usize_in(1, 20) },
+            2 => Charge::Intrinsic {
+                f: self.intrinsic(),
+                n: self.usize_in(1, 50_000),
+                reps: self.usize_in(1, 20),
+            },
+            3 | 4 => Charge::Scalar {
+                iters: self.usize_in(1, 10_000),
+                flops: self.amount(),
+                loads: self.amount(),
+                stores: self.amount(),
+                branches: if self.usize_in(0, 2) == 0 { None } else { Some(self.amount()) },
+                pattern: self.pattern(),
+            },
+            _ => Charge::Raw {
+                cost: Cost {
+                    cycles: self.usize_in(0, 1_000_000) as f64,
+                    flops: self.next() % 1_000_000,
+                    cray_flops: self.usize_in(0, 1_000_000) as f64,
+                    bytes: self.next() % (1 << 20),
+                },
+            },
+        }
+    }
+
+    /// A random charge sequence, as a hot caller would issue it.
+    fn sequence(&mut self) -> Vec<Charge> {
+        (0..self.usize_in(1, 12)).map(|_| self.charge_desc()).collect()
+    }
+}
+
+/// One charge-site invocation, replayable against any `Vm`.
+#[derive(Clone)]
+enum Charge {
+    Vector {
+        op: VecOp,
+        reps: usize,
+    },
+    Intrinsic {
+        f: Intrinsic,
+        n: usize,
+        reps: usize,
+    },
+    Scalar {
+        iters: usize,
+        flops: f64,
+        loads: f64,
+        stores: f64,
+        branches: Option<f64>,
+        pattern: LocalityPattern,
+    },
+    Raw {
+        cost: Cost,
+    },
+}
+
+impl Charge {
+    /// Issue through the batched entry points, exactly as the converted
+    /// call sites do (this is what gets recorded into a program).
+    fn issue(&self, vm: &mut Vm) {
+        match self {
+            Charge::Vector { op, reps } => vm.charge_vector_op_repeated(op, *reps),
+            Charge::Intrinsic { f, n, reps } => vm.charge_intrinsic_repeated(*f, *n, *reps),
+            Charge::Scalar { iters, flops, loads, stores, branches, pattern } => match branches {
+                Some(b) => {
+                    vm.charge_scalar_loop_branchy(*iters, *flops, *loads, *stores, *b, *pattern)
+                }
+                None => vm.charge_scalar_loop(*iters, *flops, *loads, *stores, *pattern),
+            },
+            Charge::Raw { cost } => vm.charge(*cost),
+        }
+    }
+
+    /// Issue as the fully unrolled op-by-op loop, with this call's
+    /// repetition count multiplied by `scale` — the reference semantics
+    /// for `Vm::replay_program_scaled`.
+    fn issue_singles(&self, vm: &mut Vm, scale: usize) {
+        match self {
+            Charge::Vector { op, reps } => {
+                for _ in 0..reps * scale {
+                    vm.charge_vector_op(op);
+                }
+            }
+            Charge::Intrinsic { f, n, reps } => {
+                for _ in 0..reps * scale {
+                    vm.charge_intrinsic(*f, *n);
+                }
+            }
+            Charge::Scalar { iters, flops, loads, stores, branches, pattern } => {
+                for _ in 0..scale {
+                    match branches {
+                        Some(b) => vm.charge_scalar_loop_branchy(
+                            *iters, *flops, *loads, *stores, *b, *pattern,
+                        ),
+                        None => vm.charge_scalar_loop(*iters, *flops, *loads, *stores, *pattern),
+                    }
+                }
+            }
+            Charge::Raw { cost } => {
+                for _ in 0..scale {
+                    vm.charge(*cost);
+                }
+            }
+        }
     }
 }
 
@@ -215,6 +336,100 @@ fn transpose_batch_matches_column_loop() {
             for i in 0..n {
                 assert_eq!(b[i + j * n], a[j + i * n]);
             }
+        }
+    }
+}
+
+/// Recording a charge program and replaying it on a fresh `Vm` is
+/// bit-identical to the fully unrolled op-by-op loop: ledgers, memo
+/// accounting (the rounded byte count included) and the trace, on every
+/// preset machine. This is the end-to-end form of the batching contract —
+/// replay routes through the same `*_repeated` entry points the
+/// per-charge tests above pin down.
+#[test]
+fn recorded_replay_is_bit_identical_to_op_by_op() {
+    let mut g = Gen(15);
+    for case in 0..64 {
+        let seq = g.sequence();
+        for m in machines() {
+            let ctx = format!("case {case} ({}, {} charges)", m.name, seq.len());
+            let mut single = Vm::new(m.clone());
+            single.start_trace();
+            for c in &seq {
+                c.issue_singles(&mut single, 1);
+            }
+
+            let mut recorder = Vm::new(m.clone());
+            recorder.start_program_record();
+            for c in &seq {
+                c.issue(&mut recorder);
+            }
+            let program = recorder.take_program().expect("recording was active");
+
+            let mut replay = Vm::new(m.clone());
+            replay.start_trace();
+            replay.replay_program(&program);
+            assert_vms_identical(&mut replay, &mut single, &format!("{ctx}: replay vs loop"));
+        }
+    }
+}
+
+/// Recording is invisible to the recording `Vm`: with the recorder
+/// attached, every ledger surface stays bit-identical to issuing the same
+/// batched charges without one.
+#[test]
+fn recording_does_not_perturb_the_recording_vm() {
+    let mut g = Gen(16);
+    for case in 0..64 {
+        let seq = g.sequence();
+        for m in machines() {
+            let ctx = format!("case {case} ({})", m.name);
+            let mut plain = Vm::new(m.clone());
+            plain.start_trace();
+            for c in &seq {
+                c.issue(&mut plain);
+            }
+
+            let mut recorder = Vm::new(m.clone());
+            recorder.start_trace();
+            recorder.start_program_record();
+            for c in &seq {
+                c.issue(&mut recorder);
+            }
+            assert!(recorder.take_program().is_some(), "{ctx}: program captured");
+            assert_vms_identical(&mut recorder, &mut plain, &ctx);
+        }
+    }
+}
+
+/// `Vm::replay_program_scaled(p, k)` equals the original call sequence
+/// with every call's repetition count multiplied by `k` — including
+/// `k == 0`, which must charge nothing.
+#[test]
+fn scaled_replay_matches_the_scaled_call_sequence() {
+    let mut g = Gen(17);
+    for case in 0..48 {
+        let seq = g.sequence();
+        let scale = [0usize, 1, 2, 5][g.usize_in(0, 4)];
+        for m in machines() {
+            let ctx = format!("case {case} ({} scale={scale})", m.name);
+            let mut single = Vm::new(m.clone());
+            single.start_trace();
+            for c in &seq {
+                c.issue_singles(&mut single, scale);
+            }
+
+            let mut recorder = Vm::new(m.clone());
+            recorder.start_program_record();
+            for c in &seq {
+                c.issue(&mut recorder);
+            }
+            let program = recorder.take_program().expect("recording was active");
+
+            let mut replay = Vm::new(m.clone());
+            replay.start_trace();
+            replay.replay_program_scaled(&program, scale);
+            assert_vms_identical(&mut replay, &mut single, &ctx);
         }
     }
 }
