@@ -17,6 +17,10 @@ echo "==> cargo test"
 cargo test --offline --workspace -q
 cargo test --offline -q -p sxcheck -p ncar-bench --features sxcheck/audit,ncar-bench/audit
 
+echo "==> reactor unit + lifecycle regressions (decoder parity, timer wheel, conn churn, fd hygiene)"
+cargo test --offline -q -p ncar-suite reactor
+cargo test --offline -q -p sxd --test reactor_lifecycle
+
 echo "==> lock-order audit (lockcheck feature: registry round-trip + flooded daemon AND cluster graphs)"
 cargo test --offline -q -p ncar-suite -p sxd --features ncar-suite/lockcheck,sxd/lockcheck
 
@@ -170,6 +174,45 @@ if ! wait "$crash_pid"; then
     exit 1
 fi
 rm -rf "$state_dir" "$crash_log"
+
+echo "==> sxd reactor smoke (1k-connection flood against a durable daemon, reconciled METRICS, drain)"
+reactor_dir="$(mktemp -d)"
+reactor_log="$(mktemp)"
+"$bench" serve --addr 127.0.0.1:0 --state-dir "$reactor_dir" --idle-timeout 30 >"$reactor_log" 2>&1 &
+reactor_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^sxd listening on //p' "$reactor_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "reactor-smoke sxd never reported a listening address" >&2
+    kill "$reactor_pid" 2>/dev/null || true
+    exit 1
+fi
+# 1000 concurrent connections through one reactor thread: every job must
+# complete and the admission counters must reconcile under the load.
+if ! "$bench" flood --addr "$addr" --clients 1000 --jobs 2000; then
+    echo "1k-connection flood failed its acceptance checks" >&2
+    exit 1
+fi
+metrics="$("$bench" metrics --addr "$addr" --json true)"
+case "$metrics" in
+    *'"reconciled":true'*) ;;
+    *) echo "METRICS must reconcile after the 1k-connection flood: $metrics" >&2; exit 1;;
+esac
+stats="$("$bench" stats --addr "$addr")"
+case "$stats" in
+    *'"conns":{'*) ;;
+    *) echo "STATS must surface the reactor connection counters: $stats" >&2; exit 1;;
+esac
+"$bench" drain --addr "$addr" --deadline 5 >/dev/null
+if ! wait "$reactor_pid"; then
+    echo "sxd did not exit 0 after the reactor-smoke drain" >&2
+    exit 1
+fi
+rm -rf "$reactor_dir" "$reactor_log"
 
 echo "==> sxd cluster smoke (3 shards, routed flood, member drain + keyspace hand-off)"
 cluster_dir="$(mktemp -d)"

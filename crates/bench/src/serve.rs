@@ -135,7 +135,12 @@ fn fail(detail: &str) -> i32 {
 
 /// `ncar-bench serve [--addr A] [--workers N] [--cache-cap N]
 /// [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]
-/// [--cluster N]`
+/// [--idle-timeout SECS] [--dispatchers N] [--cluster N]`
+///
+/// `--idle-timeout SECS` bounds how long a silent connection may hold a
+/// socket before the reactor closes it (counted under `conns.idle_closed`
+/// in STATS); `0` disables the bound. `--dispatchers N` sizes the pool
+/// that runs decoded frames (`0` auto-sizes from the worker count).
 ///
 /// With `--cluster N` (N ≥ 2) the public address is a rendezvous-hash
 /// router in front of N shard daemons on ephemeral loopback ports; every
@@ -172,6 +177,17 @@ pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
         Ok(None) => {}
         Err(e) => return fail(&e),
     }
+    match args.get_f64("idle-timeout") {
+        Ok(Some(0.0)) => config.idle_timeout = None,
+        Ok(Some(secs)) if secs > 0.0 => config.idle_timeout = Some(Duration::from_secs_f64(secs)),
+        Ok(Some(_)) => return fail("--idle-timeout wants a non-negative number of seconds"),
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    config.dispatchers = match args.get_usize("dispatchers", config.dispatchers) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
     let shards = match args.get_usize("cluster", 1) {
         Ok(n) => n,
         Err(e) => return fail(&e),

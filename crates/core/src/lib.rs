@@ -20,7 +20,10 @@
 //! - [`par`] — host-thread fan-out, the `--jobs` cap, the bounded
 //!   [`WorkerPool`] the serving daemon executes on, and (behind the
 //!   `lockcheck` feature) the [`par::lockreg`] named-lock-site registry
-//!   that feeds sxcheck's lock-order deadlock analysis.
+//!   that feeds sxcheck's lock-order deadlock analysis;
+//! - [`reactor`] — the hermetic epoll/poll event loop the `sxd` daemon
+//!   and cluster router serve on (readiness-driven frame decoding,
+//!   idle-timeout wheel, shutdown as a wake event).
 //!
 //! The kernels themselves live in `ncar-kernels`; applications in
 //! `ccm-proxy` and `ocean-models`; the machine under test in `sxsim`.
@@ -31,6 +34,7 @@ pub mod json;
 pub mod ktries;
 pub mod metrics;
 pub mod par;
+pub mod reactor;
 pub mod registry;
 pub mod report;
 pub mod rng;
@@ -49,6 +53,7 @@ pub use par::{
     host_parallelism, par_map, par_map_with, plock, plock_named, set_host_parallelism, SiteGuard,
     WorkerPool,
 };
+pub use reactor::{Reactor, ReactorConfig, ReactorHandle};
 pub use registry::Registry;
 pub use report::{Artifact, Figure, Series, Table};
 pub use rng::SmallRng;

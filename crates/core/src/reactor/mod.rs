@@ -1,0 +1,959 @@
+//! Hermetic readiness-driven serving: the epoll/poll reactor from ROADMAP
+//! item 1, with no external crates (no tokio — the workspace builds
+//! `--offline`).
+//!
+//! The previous serving model spawned one OS thread per accepted
+//! connection; at the connection counts the paper's PRODLOAD scenario
+//! implies ("millions of users"), thread stacks alone blow past memory,
+//! and the accept loop hid three real lifecycle bugs (join-handle leaks,
+//! unbounded idle clients, shutdown racing `accept`). The reactor
+//! replaces that model with one event loop and a small *bounded*
+//! dispatcher pool:
+//!
+//! ```text
+//!            epoll/poll readiness                 bounded WorkerPool
+//!  sockets ──────────────► reactor thread ──frame──► dispatchers ──┐
+//!     ▲                      │    ▲                                │
+//!     └──────── replies ─────┘    └────── completions + waker ─────┘
+//! ```
+//!
+//! Per connection the reactor runs a three-state machine:
+//!
+//! - **Reading**: read-readiness drains the socket into a
+//!   [`LineDecoder`] (same accept/reject semantics as the blocking frame
+//!   reader). A complete frame moves the connection to Dispatching.
+//! - **Dispatching**: the frame and the per-connection service state are
+//!   handed to a dispatcher thread, which may block (NQS admission,
+//!   journal writes) without stalling the event loop. Read interest is
+//!   disarmed so level-triggered polling cannot spin on pipelined bytes;
+//!   one frame is in flight per connection, which both preserves reply
+//!   ordering and gives natural backpressure (further pipelined frames
+//!   wait in the kernel socket buffer).
+//! - **Writing**: the reply is flushed as write-readiness allows, then
+//!   the connection returns to Reading (or closes, for terminal replies).
+//!
+//! Shutdown is a first-class wake event: [`ReactorHandle::shutdown`]
+//! flips a flag and writes the self-pipe, the loop closes the listener
+//! immediately (new connects are refused rather than silently queued),
+//! drops idle connections, and gives in-flight work a short grace window
+//! to flush its replies. Idle connections are bounded by a
+//! [`TimerWheel`]: a client that connects and sends nothing (or
+//! drip-feeds a frame forever) is closed after the configured idle
+//! timeout and counted in the `idle_closed` stat.
+
+mod decode;
+mod poller;
+mod wheel;
+
+pub use decode::{DecodeError, LineDecoder};
+pub use poller::{Event, Interest, Poller};
+pub use wheel::TimerWheel;
+
+use crate::par::WorkerPool;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOK_LISTENER: u64 = 0;
+const TOK_WAKER: u64 = 1;
+const TOK_BASE: u64 = 2;
+
+/// What a [`Service`] wants sent back for one frame.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Reply line, written with a trailing newline. Empty means "send
+    /// nothing" (used with `close` when there is no meaningful reply,
+    /// e.g. after a handler panic).
+    pub line: String,
+    /// Close the connection once the reply is flushed.
+    pub close: bool,
+}
+
+impl Reply {
+    pub fn send(line: String) -> Reply {
+        Reply { line, close: false }
+    }
+
+    pub fn send_and_close(line: String) -> Reply {
+        Reply { line, close: true }
+    }
+}
+
+/// The application half of the reactor: frame in, reply out.
+///
+/// `handle` runs on a dispatcher thread and may block (admission waits,
+/// journal writes); the reactor thread itself never calls it. Each
+/// connection owns one `Conn` value of per-connection service state,
+/// created at accept and travelling with the frame through dispatch.
+pub trait Service: Send + Sync + 'static {
+    type Conn: Send + 'static;
+
+    /// A connection was accepted; build its per-connection state.
+    fn open(&self, id: u64) -> Self::Conn;
+
+    /// Handle one decoded frame. Runs on a dispatcher thread.
+    fn handle(&self, conn: &mut Self::Conn, frame: &str) -> Reply;
+
+    /// Render the reply line for a frame that could not be decoded. The
+    /// connection always closes after this reply (there is no resync
+    /// point inside a lost frame).
+    fn decode_error_reply(&self, err: &DecodeError) -> String;
+
+    /// A connection closed; reclaim its state. Runs on the reactor
+    /// thread — keep it cheap.
+    fn closed(&self, id: u64, conn: Self::Conn) {
+        let _ = (id, conn);
+    }
+}
+
+/// Reactor tuning. `Default` matches the daemon's protocol limits.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Frame content cap in bytes (the decoder rejects longer frames).
+    pub max_frame: usize,
+    /// Close connections idle longer than this; `None` disables the
+    /// timeout wheel entirely.
+    pub idle_timeout: Option<Duration>,
+    /// Dispatcher threads running [`Service::handle`]. This bounds
+    /// frame-handling concurrency the way the old model's thread count
+    /// bounded connections — but it no longer bounds *connections*.
+    pub dispatchers: usize,
+    /// Grace window for flushing in-flight replies at shutdown.
+    pub shutdown_flush: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            max_frame: 64 * 1024,
+            idle_timeout: Some(Duration::from_secs(300)),
+            dispatchers: 8,
+            shutdown_flush: Duration::from_secs(2),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ReactorStats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    idle_closed: AtomicU64,
+    frames: AtomicU64,
+    open: AtomicU64,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    stats: ReactorStats,
+    /// Write end of the self-pipe; any thread can nudge the loop.
+    waker: UnixStream,
+}
+
+/// Cloneable remote control for a running reactor: wake it, shut it
+/// down, read its connection counters.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    shared: Arc<Shared>,
+}
+
+impl ReactorHandle {
+    /// Nudge the event loop (used by dispatchers delivering completions).
+    pub fn wake(&self) {
+        // A full pipe already guarantees a pending wake: WouldBlock is
+        // success here, and both ends are non-blocking so this never
+        // stalls the caller.
+        let _ = (&self.shared.waker).write(&[1u8]);
+    }
+
+    /// Request shutdown and wake the loop. Idempotent; returns
+    /// immediately (the reactor drains in its own thread).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted over the reactor's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.shared.stats.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections fully closed (all causes, idle included).
+    pub fn closed(&self) -> u64 {
+        self.shared.stats.closed.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by the idle-timeout wheel.
+    pub fn idle_closed(&self) -> u64 {
+        self.shared.stats.idle_closed.load(Ordering::Relaxed)
+    }
+
+    /// Frames decoded and dispatched.
+    pub fn frames(&self) -> u64 {
+        self.shared.stats.frames.load(Ordering::Relaxed)
+    }
+
+    /// Currently open connections.
+    pub fn open(&self) -> u64 {
+        self.shared.stats.open.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for (or decoding) request bytes; read interest armed.
+    Reading,
+    /// A frame is on a dispatcher thread; all interest disarmed.
+    Dispatching,
+    /// Flushing a reply; write interest armed on demand.
+    Writing,
+}
+
+struct Conn<C> {
+    stream: TcpStream,
+    decoder: LineDecoder,
+    state: ConnState,
+    out: Vec<u8>,
+    outpos: usize,
+    /// Per-connection service state; `None` while it rides a dispatch.
+    sconn: Option<C>,
+    last_activity: Instant,
+    /// Peer half-closed its write side (read returned 0).
+    eof: bool,
+    close_after_write: bool,
+    /// An idle-wheel entry currently points at this connection.
+    timer_armed: bool,
+}
+
+struct Completion<C> {
+    id: u64,
+    reply: Reply,
+    sconn: C,
+}
+
+/// What `advance_reading` decided while the connection was borrowed.
+enum Step {
+    Dispatch(String),
+    DecodeErr(DecodeError),
+    CloseClean,
+    Wait,
+}
+
+/// The event loop. Build with [`Reactor::new`], grab a
+/// [`ReactorHandle`], then give the loop its thread with
+/// [`Reactor::run`].
+pub struct Reactor<S: Service> {
+    listener: Option<TcpListener>,
+    poller: Poller,
+    service: Arc<S>,
+    config: ReactorConfig,
+    shared: Arc<Shared>,
+    waker_rx: UnixStream,
+    conns: HashMap<u64, Conn<S::Conn>>,
+    next_id: u64,
+    in_flight: usize,
+    wheel: Option<TimerWheel>,
+    tx: Sender<Completion<S::Conn>>,
+    rx: Receiver<Completion<S::Conn>>,
+    winding_down: bool,
+    flush_deadline: Option<Instant>,
+}
+
+impl<S: Service> Reactor<S> {
+    pub fn new(listener: TcpListener, service: S, config: ReactorConfig) -> io::Result<Reactor<S>> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        let (waker_rx, waker_tx) = poller::waker_pair()?;
+        poller.register(poller::raw_fd(&listener), TOK_LISTENER, Interest::READ)?;
+        poller.register(poller::raw_fd(&waker_rx), TOK_WAKER, Interest::READ)?;
+        let now = Instant::now();
+        let (tx, rx) = std::sync::mpsc::channel();
+        Ok(Reactor {
+            listener: Some(listener),
+            poller,
+            service: Arc::new(service),
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                stats: ReactorStats::default(),
+                waker: waker_tx,
+            }),
+            waker_rx,
+            conns: HashMap::new(),
+            next_id: TOK_BASE,
+            in_flight: 0,
+            wheel: config.idle_timeout.map(|idle| TimerWheel::for_horizon(idle, now)),
+            config,
+            tx,
+            rx,
+            winding_down: false,
+            flush_deadline: None,
+        })
+    }
+
+    pub fn handle(&self) -> ReactorHandle {
+        ReactorHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Run the event loop until shutdown completes. Consumes the
+    /// reactor; on return every connection is closed and every
+    /// dispatched frame has either flushed its reply or overstayed the
+    /// flush grace window.
+    pub fn run(mut self) -> io::Result<()> {
+        let pool = WorkerPool::new(self.config.dispatchers.max(1));
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            loop {
+                let done = match self.rx.try_recv() {
+                    Ok(done) => done,
+                    Err(_) => break,
+                };
+                self.in_flight -= 1;
+                self.apply_completion(done, &pool);
+            }
+
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.wind_down();
+                if self.in_flight == 0 {
+                    let flushed = self.conns.is_empty();
+                    let expired = self.flush_deadline.is_some_and(|d| Instant::now() >= d);
+                    if flushed || expired {
+                        break;
+                    }
+                }
+            }
+
+            let now = Instant::now();
+            if let Some(idle) = self.config.idle_timeout {
+                let mut due: Vec<u64> = Vec::new();
+                if let Some(wheel) = self.wheel.as_mut() {
+                    wheel.expire(now, &mut due);
+                }
+                for token in due {
+                    self.check_idle(token, idle, now);
+                }
+            }
+
+            let mut timeout = self.wheel.as_ref().and_then(|w| w.next_tick(now));
+            if self.winding_down {
+                // Re-check the flush deadline even if no fd turns ready.
+                let cap = Duration::from_millis(20);
+                timeout = Some(timeout.map_or(cap, |t| t.min(cap)));
+            }
+            events.clear();
+            self.poller.wait(timeout, &mut events)?;
+
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKER => self.drain_waker(),
+                    token => self.conn_ready(token, *ev, &pool),
+                }
+            }
+            events = batch;
+        }
+
+        // Teardown: hand every surviving connection's state back. The
+        // loop only exits with `in_flight == 0`, so every connection owns
+        // its service state again (no completion is outstanding).
+        let service = Arc::clone(&self.service);
+        for (id, mut conn) in self.conns.drain() {
+            self.shared.stats.closed.fetch_add(1, Ordering::Relaxed);
+            if let Some(sconn) = conn.sconn.take() {
+                service.closed(id, sconn);
+            }
+        }
+        self.shared.stats.open.store(0, Ordering::Relaxed);
+        // Dropping the pool joins the dispatchers; the completion
+        // channel outlives it (`self.rx`), so a late send is dropped,
+        // never a panic.
+        drop(pool);
+        Ok(())
+    }
+
+    /// First shutdown observation: stop accepting *now* (close the
+    /// listener so new connects are refused, not queued), drop idle
+    /// connections, start the flush grace window for the rest.
+    fn wind_down(&mut self) {
+        if self.winding_down {
+            return;
+        }
+        self.winding_down = true;
+        self.flush_deadline = Some(Instant::now() + self.config.shutdown_flush);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(poller::raw_fd(&listener));
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.state == ConnState::Reading)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in idle {
+            self.close_conn(id, false);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let res = match self.listener.as_ref() {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match res {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    if self.poller.register(poller::raw_fd(&stream), id, Interest::READ).is_err() {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.stats.open.fetch_add(1, Ordering::Relaxed);
+                    let sconn = self.service.open(id);
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            decoder: LineDecoder::new(self.config.max_frame),
+                            state: ConnState::Reading,
+                            out: Vec::new(),
+                            outpos: 0,
+                            sconn: Some(sconn),
+                            last_activity: now,
+                            eof: false,
+                            close_after_write: false,
+                            timer_armed: false,
+                        },
+                    );
+                    self.arm_idle_timer(id, now);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (ECONNABORTED, EMFILE...):
+                // stop for this readiness round; level-triggered polling
+                // re-reports the listener if connections still wait.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.waker_rx).read(&mut sink) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // WouldBlock: drained
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: Event, pool: &WorkerPool) {
+        let state = match self.conns.get(&token) {
+            Some(conn) => conn.state,
+            None => return, // closed earlier in this event batch
+        };
+        if state == ConnState::Reading && ev.readable {
+            self.read_ready(token, pool);
+        } else if state == ConnState::Writing && ev.writable && self.flush_out(token) {
+            self.after_write(token, pool);
+        }
+        // Dispatching (or a stale readiness bit): nothing to do; the
+        // completion drives the next transition.
+    }
+
+    fn read_ready(&mut self, token: u64, pool: &WorkerPool) {
+        let max_frame = self.config.max_frame;
+        let mut broken = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                let res = conn.stream.read(&mut buf);
+                match res {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.decoder.push(&buf[..n]);
+                        conn.last_activity = Instant::now();
+                        // One frame dispatches at a time; once one is
+                        // surely buffered, let the kernel hold the rest
+                        // (backpressure against pipelining floods).
+                        if conn.decoder.buffered() > max_frame {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if broken {
+            self.close_conn(token, false);
+            return;
+        }
+        self.advance_reading(token, pool);
+    }
+
+    /// A connection back in Reading state: pull the next frame out of
+    /// the decoder and dispatch it, queue a decode-error reply, close at
+    /// clean EOF, or stay put awaiting more bytes.
+    fn advance_reading(&mut self, token: u64, pool: &WorkerPool) {
+        let step = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => Step::Dispatch(frame),
+                Ok(None) if conn.eof => match conn.decoder.finish() {
+                    // A final unterminated frame still gets served; the
+                    // EOF closes the connection on the *next* advance,
+                    // after its reply flushes.
+                    Ok(Some(frame)) => Step::Dispatch(frame),
+                    Ok(None) => Step::CloseClean,
+                    Err(e) => Step::DecodeErr(e),
+                },
+                Ok(None) => Step::Wait,
+                Err(e) => Step::DecodeErr(e),
+            }
+        };
+        match step {
+            Step::Dispatch(frame) => self.dispatch(token, frame, pool),
+            Step::DecodeErr(e) => self.queue_decode_error(token, &e),
+            Step::CloseClean => self.close_conn(token, false),
+            Step::Wait => {
+                if self.set_interest(token, Interest::READ) {
+                    self.arm_idle_timer(token, Instant::now());
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, token: u64, frame: String, pool: &WorkerPool) {
+        let sconn = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            conn.state = ConnState::Dispatching;
+            conn.sconn.take()
+        };
+        let Some(mut sconn) = sconn else {
+            // One frame in flight per connection: the state machine makes
+            // a second dispatch unreachable, but close rather than wedge.
+            self.close_conn(token, false);
+            return;
+        };
+        if !self.set_interest(token, Interest::NONE) {
+            return;
+        }
+        self.shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+        self.in_flight += 1;
+        let service = Arc::clone(&self.service);
+        let tx = self.tx.clone();
+        let wake = self.handle();
+        pool.submit(move || {
+            // A panicking handler must not kill the dispatcher's worker
+            // loop or strand the connection: turn it into "no reply,
+            // close". The daemon's own panic accounting happens inside
+            // `handle` (its job runner has its own catch_unwind).
+            let reply = match catch_unwind(AssertUnwindSafe(|| service.handle(&mut sconn, &frame)))
+            {
+                Ok(reply) => reply,
+                Err(_) => Reply { line: String::new(), close: true },
+            };
+            let _ = tx.send(Completion { id: token, reply, sconn });
+            wake.wake();
+        });
+    }
+
+    fn apply_completion(&mut self, done: Completion<S::Conn>, pool: &WorkerPool) {
+        let Completion { id, reply, sconn } = done;
+        {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                // Closed while the frame was in flight (teardown); give
+                // the service its state back for cleanup.
+                self.service.closed(id, sconn);
+                return;
+            };
+            conn.sconn = Some(sconn);
+            conn.close_after_write |= reply.close;
+            conn.out.clear();
+            conn.outpos = 0;
+            if !reply.line.is_empty() {
+                conn.out.extend_from_slice(reply.line.as_bytes());
+                conn.out.push(b'\n');
+            }
+            conn.state = ConnState::Writing;
+        }
+        if self.flush_out(id) {
+            self.after_write(id, pool);
+        }
+    }
+
+    /// Queue a typed reply for an undecodable frame; the connection
+    /// closes after the flush (no resync point mid-frame).
+    fn queue_decode_error(&mut self, token: u64, err: &DecodeError) {
+        let line = self.service.decode_error_reply(err);
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            conn.close_after_write = true;
+            conn.out.clear();
+            conn.out.extend_from_slice(line.as_bytes());
+            conn.out.push(b'\n');
+            conn.outpos = 0;
+            conn.state = ConnState::Writing;
+        }
+        if self.flush_out(token) {
+            self.close_conn(token, false);
+        }
+    }
+
+    /// Write as much of the pending reply as the socket accepts. Returns
+    /// true when the reply is fully flushed. On WouldBlock, write
+    /// interest is armed and the idle wheel covers a peer that never
+    /// drains its side.
+    fn flush_out(&mut self, token: u64) -> bool {
+        enum Outcome {
+            Done,
+            Blocked,
+            Broken,
+        }
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else { return false };
+            loop {
+                if conn.outpos >= conn.out.len() {
+                    break Outcome::Done;
+                }
+                let res = conn.stream.write(&conn.out[conn.outpos..]);
+                match res {
+                    Ok(0) => break Outcome::Broken,
+                    Ok(n) => {
+                        conn.outpos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Outcome::Blocked,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break Outcome::Broken,
+                }
+            }
+        };
+        match outcome {
+            Outcome::Done => true,
+            Outcome::Blocked => {
+                if self.set_interest(token, Interest::WRITE) {
+                    self.arm_idle_timer(token, Instant::now());
+                }
+                false
+            }
+            Outcome::Broken => {
+                self.close_conn(token, false);
+                false
+            }
+        }
+    }
+
+    /// A reply finished flushing: close terminal connections, otherwise
+    /// return to Reading and immediately consume any pipelined frame.
+    fn after_write(&mut self, token: u64, pool: &WorkerPool) {
+        let close = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            conn.out.clear();
+            conn.outpos = 0;
+            if conn.close_after_write || self.winding_down {
+                true
+            } else {
+                conn.state = ConnState::Reading;
+                false
+            }
+        };
+        if close {
+            self.close_conn(token, false);
+            return;
+        }
+        self.advance_reading(token, pool);
+    }
+
+    /// An idle-wheel entry fired: close the connection if it has truly
+    /// been idle past the horizon, else re-arm at its live deadline.
+    fn check_idle(&mut self, token: u64, idle: Duration, now: Instant) {
+        let deadline = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            conn.timer_armed = false;
+            if conn.state == ConnState::Dispatching {
+                // A blocked dispatch (e.g. admission wait) is work, not
+                // idleness; the post-dispatch transition re-arms.
+                return;
+            }
+            let deadline = conn.last_activity + idle;
+            if now >= deadline {
+                None
+            } else {
+                Some(deadline)
+            }
+        };
+        match deadline {
+            None => self.close_conn(token, true),
+            Some(deadline) => {
+                if let Some(wheel) = self.wheel.as_mut() {
+                    wheel.schedule(token, deadline, now);
+                }
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.timer_armed = true;
+                }
+            }
+        }
+    }
+
+    /// Ensure exactly one idle-wheel entry points at the connection.
+    fn arm_idle_timer(&mut self, token: u64, now: Instant) {
+        let Some(idle) = self.config.idle_timeout else { return };
+        let deadline = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.timer_armed {
+                return;
+            }
+            conn.timer_armed = true;
+            conn.last_activity + idle
+        };
+        if let Some(wheel) = self.wheel.as_mut() {
+            wheel.schedule(token, deadline, now);
+        }
+    }
+
+    /// Update poller interest; on failure the connection is closed and
+    /// `false` returned.
+    fn set_interest(&mut self, token: u64, interest: Interest) -> bool {
+        let fd = match self.conns.get(&token) {
+            Some(conn) => poller::raw_fd(&conn.stream),
+            None => return false,
+        };
+        if self.poller.modify(fd, token, interest).is_err() {
+            self.close_conn(token, false);
+            return false;
+        }
+        true
+    }
+
+    fn close_conn(&mut self, token: u64, idle: bool) {
+        let Some(mut conn) = self.conns.remove(&token) else { return };
+        let _ = self.poller.deregister(poller::raw_fd(&conn.stream));
+        self.shared.stats.closed.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.open.fetch_sub(1, Ordering::Relaxed);
+        if idle {
+            self.shared.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(sconn) = conn.sconn.take() {
+            self.service.closed(token, sconn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::Shutdown;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Echo {
+        closed: AtomicUsize,
+    }
+
+    impl Echo {
+        fn new() -> Echo {
+            Echo { closed: AtomicUsize::new(0) }
+        }
+    }
+
+    impl Service for Echo {
+        type Conn = u64;
+
+        fn open(&self, id: u64) -> u64 {
+            id
+        }
+
+        fn handle(&self, conn: &mut u64, frame: &str) -> Reply {
+            match frame {
+                "quit" => Reply::send_and_close("bye".into()),
+                "boom" => panic!("handler exploded (expected by test)"),
+                f => Reply::send(format!("echo[{conn}]:{f}")),
+            }
+        }
+
+        fn decode_error_reply(&self, err: &DecodeError) -> String {
+            match err {
+                DecodeError::FrameTooLong { len, max } => format!("err:too_long:{len}:{max}"),
+                DecodeError::NotUtf8 => "err:not_utf8".into(),
+            }
+        }
+
+        fn closed(&self, _id: u64, _conn: u64) {
+            self.closed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    struct Running {
+        addr: std::net::SocketAddr,
+        handle: ReactorHandle,
+        thread: std::thread::JoinHandle<io::Result<()>>,
+    }
+
+    fn start(config: ReactorConfig) -> Running {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reactor = Reactor::new(listener, Echo::new(), config).unwrap();
+        let handle = reactor.handle();
+        let thread = std::thread::spawn(move || reactor.run());
+        Running { addr, handle, thread }
+    }
+
+    fn finish(r: Running) {
+        r.handle.shutdown();
+        r.thread.join().unwrap().unwrap();
+    }
+
+    fn read_line(reader: &mut impl BufRead) -> Option<String> {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+            Err(e) => panic!("read_line: {e}"),
+        }
+    }
+
+    #[test]
+    fn echo_roundtrips_and_pipelined_frames_reply_in_order() {
+        let r = start(ReactorConfig::default());
+        let sock = TcpStream::connect(r.addr).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+
+        // Three pipelined frames in one write: replies must come back in
+        // order even though each dispatch is a separate pool job.
+        (&sock).write_all(b"a\nb\nc\n").unwrap();
+        assert!(read_line(&mut reader).unwrap().ends_with(":a"));
+        assert!(read_line(&mut reader).unwrap().ends_with(":b"));
+        assert!(read_line(&mut reader).unwrap().ends_with(":c"));
+
+        (&sock).write_all(b"quit\n").unwrap();
+        assert_eq!(read_line(&mut reader).unwrap(), "bye");
+        assert_eq!(read_line(&mut reader), None, "terminal reply closes");
+        assert_eq!(r.handle.frames(), 4);
+        finish(r);
+    }
+
+    #[test]
+    fn unterminated_final_frame_is_served_before_the_close() {
+        let r = start(ReactorConfig::default());
+        let sock = TcpStream::connect(r.addr).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+        (&sock).write_all(b"last-words").unwrap();
+        sock.shutdown(Shutdown::Write).unwrap();
+        assert!(read_line(&mut reader).unwrap().ends_with(":last-words"));
+        assert_eq!(read_line(&mut reader), None);
+        finish(r);
+    }
+
+    #[test]
+    fn oversized_frame_gets_a_typed_reply_then_close() {
+        let config = ReactorConfig { max_frame: 64, ..ReactorConfig::default() };
+        let r = start(config);
+        let sock = TcpStream::connect(r.addr).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+        (&sock).write_all(&[b'x'; 200]).unwrap();
+        assert_eq!(read_line(&mut reader).unwrap(), "err:too_long:65:64");
+        assert_eq!(read_line(&mut reader), None, "no resync inside a lost frame");
+        finish(r);
+    }
+
+    #[test]
+    fn silent_connection_is_idle_closed_and_counted() {
+        let config =
+            ReactorConfig { idle_timeout: Some(Duration::from_millis(150)), ..Default::default() };
+        let r = start(config);
+        let sock = TcpStream::connect(r.addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+        // Never send a byte: the wheel must close us.
+        assert_eq!(read_line(&mut reader), None);
+        assert_eq!(r.handle.idle_closed(), 1);
+
+        // A half-fed frame (slowloris) is idle too.
+        let sock = TcpStream::connect(r.addr).unwrap();
+        (&sock).write_all(b"{\"op\":").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+        assert_eq!(read_line(&mut reader), None);
+        assert_eq!(r.handle.idle_closed(), 2);
+        assert_eq!(r.handle.open(), 0);
+        finish(r);
+    }
+
+    #[test]
+    fn a_panicking_handler_closes_only_its_connection() {
+        let r = start(ReactorConfig::default());
+        let sock = TcpStream::connect(r.addr).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+        (&sock).write_all(b"boom\n").unwrap();
+        assert_eq!(read_line(&mut reader), None, "panic closes with no reply");
+
+        // The reactor and its dispatchers are still alive.
+        let sock = TcpStream::connect(r.addr).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+        (&sock).write_all(b"still-here\n").unwrap();
+        assert!(read_line(&mut reader).unwrap().ends_with(":still-here"));
+        finish(r);
+    }
+
+    #[test]
+    fn shutdown_with_zero_clients_completes_promptly() {
+        let r = start(ReactorConfig::default());
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let handle = r.handle.clone();
+        let thread = r.thread;
+        std::thread::spawn(move || {
+            handle.shutdown();
+            let _ = done_tx.send(thread.join().unwrap());
+        });
+        let res = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("shutdown must not wait for a follow-on client");
+        res.unwrap();
+        // New connections are refused once the listener is gone.
+        assert!(TcpStream::connect(r.addr).is_err());
+    }
+
+    #[test]
+    fn connection_churn_leaves_nothing_behind() {
+        let r = start(ReactorConfig::default());
+        for i in 0..100 {
+            let sock = TcpStream::connect(r.addr).unwrap();
+            let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+            (&sock).write_all(format!("req-{i}\n").as_bytes()).unwrap();
+            assert!(read_line(&mut reader).unwrap().ends_with(&format!(":req-{i}")));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while r.handle.open() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(r.handle.open(), 0, "all churned connections reaped");
+        assert_eq!(r.handle.accepted(), 100);
+        assert_eq!(r.handle.closed(), 100);
+        finish(r);
+    }
+}

@@ -80,12 +80,14 @@ pub fn merge_stats(members: &[Json]) -> String {
     };
 
     let cn = |k: &str| sum_nested_u64(members, "cache", k);
+    let xn = |k: &str| sum_nested_u64(members, "conns", k);
     format!(
         "{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
          \"running\":{},\"done\":{},\"bad_requests\":{},\"coalesced\":{},\
          \"checkpointed\":{},\"absorbed\":{},\"queue_depth\":{},\
          \"cache\":{{\"hits\":{},\"misses\":{},\
          \"evictions\":{},\"entries\":{},\"cap\":{}}},\
+         \"conns\":{{\"open\":{},\"accepted\":{},\"idle_closed\":{}}},\
          \"suite_seconds\":{},\"workers\":{},\"journal\":{},\
          \"draining\":{},\"shutting_down\":{},\"members\":{}}}",
         sum_u64(members, "accepted"),
@@ -103,6 +105,9 @@ pub fn merge_stats(members: &[Json]) -> String {
         cn("evictions"),
         cn("entries"),
         cn("cap"),
+        xn("open"),
+        xn("accepted"),
+        xn("idle_closed"),
         suite_json,
         sum_u64(members, "workers"),
         journal,
@@ -253,6 +258,7 @@ mod tests {
              \"done\":{done},\"bad_requests\":1,\"coalesced\":2,\"checkpointed\":0,\
              \"absorbed\":0,\"queue_depth\":{queued},\
              \"cache\":{{\"hits\":{hits},\"misses\":3,\"evictions\":0,\"entries\":4,\"cap\":256}},\
+             \"conns\":{{\"open\":1,\"accepted\":{accepted},\"idle_closed\":2}},\
              \"suite_seconds\":{{\"fig5\":1.5}},\"workers\":4,\
              \"journal\":{{\"appended\":5,\"replayed\":0,\"compactions\":1,\
              \"truncated_bytes\":0,\"io_errors\":0}},\
@@ -273,6 +279,10 @@ mod tests {
         assert_eq!(n("workers"), 8);
         assert_eq!(n("members"), 2);
         assert_eq!(doc.get("cache").unwrap().get("hits").unwrap().as_u64(), Some(8));
+        let conns = doc.get("conns").unwrap();
+        assert_eq!(conns.get("open").unwrap().as_u64(), Some(2));
+        assert_eq!(conns.get("accepted").unwrap().as_u64(), Some(15));
+        assert_eq!(conns.get("idle_closed").unwrap().as_u64(), Some(4));
         assert_eq!(doc.get("suite_seconds").unwrap().get("fig5").unwrap().as_f64(), Some(3.0));
         assert_eq!(doc.get("journal").unwrap().get("appended").unwrap().as_u64(), Some(10));
         // Each member satisfies the invariant, so the sum does too.

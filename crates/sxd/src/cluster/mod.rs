@@ -126,7 +126,14 @@ pub fn spawn(registry: Registry<JobEntry>, config: ClusterConfig) -> Result<Clus
         });
         handles.push(Some(std::thread::spawn(move || server.run())));
     }
-    let router = Router::bind(members, handles, &config.addr, config.server.drain_deadline)?;
+    let router = Router::bind(
+        members,
+        handles,
+        &config.addr,
+        config.server.drain_deadline,
+        config.server.idle_timeout,
+        config.server.dispatchers,
+    )?;
     let addr = router.local_addr();
     let router = std::thread::spawn(move || router.run());
     Ok(Cluster { addr, member_addrs, router })

@@ -11,25 +11,29 @@
 //! hands its durable results to the keyspace successors, so repeat
 //! submits of the drained member's keys still hit — byte-identically.
 //!
-//! Forwarding reuses connections *per client connection*, not per member
-//! globally: each router connection handler keeps its own [`ShardConns`]
-//! so two clients' requests to one member ride separate sockets and the
-//! member's own single-flight layer — not a router lock — serializes
-//! identical work. The router's long-lived locks (`sxd.router.members`,
-//! `sxd.router.handles`, `sxd.router.counters`, `sxd.router.conns`) are
-//! all leaves: none is ever held across another, none is held across
-//! forwarding I/O (declared via `lockreg::blocking_io`), so the lockcheck
-//! graph of the cluster layer is edge-free by construction.
+//! The router serves on the same [`ncar_suite::reactor`] event loop as
+//! the member daemons: one thread owns every client socket, and decoded
+//! frames run on a bounded dispatcher pool. Forwarding reuses connections
+//! *per client connection*, not per member globally: each router
+//! connection owns a [`ShardConns`] (the reactor's per-connection service
+//! state, round-tripping through every dispatch) so two clients' requests
+//! to one member ride separate sockets and the member's own single-flight
+//! layer — not a router lock — serializes identical work. The router's
+//! long-lived locks (`sxd.router.members`, `sxd.router.handles`,
+//! `sxd.router.counters`, `sxd.router.reactor`) are all leaves: none is
+//! ever held across another, none is held across forwarding I/O (declared
+//! via `lockreg::blocking_io`), so the lockcheck graph of the cluster
+//! layer is edge-free by construction.
 
-use std::io::{BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ncar_suite::par::lockreg;
+use ncar_suite::reactor::{DecodeError, Reactor, ReactorConfig, ReactorHandle, Reply, Service};
 use ncar_suite::{plock_named, Json};
 use sxsim::presets;
 
@@ -38,7 +42,7 @@ use super::ring::Ring;
 use crate::client::Client;
 use crate::error::SxdError;
 use crate::journal::{self, Journal};
-use crate::proto::{cache_key, read_frame, Request, MAX_REQUEST_FRAME};
+use crate::proto::{cache_key, Request, MAX_REQUEST_FRAME};
 
 /// How the router dials a member: a few quick retries so member startup
 /// races (the member thread is still binding) resolve without failing the
@@ -90,11 +94,14 @@ struct RouterInner {
     /// Join handles for in-process members, one slot per member.
     handles: Mutex<Vec<MemberHandle>>,
     counters: Mutex<RouterCounters>,
-    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Handle of the running reactor, installed by [`Router::run`]. A
+    /// leaf lock, like every router lock (see module docs).
+    reactor: Mutex<Option<ReactorHandle>>,
     addr: SocketAddr,
-    seq: AtomicU64,
     shutting_down: AtomicBool,
     drain_deadline: Duration,
+    idle_timeout: Option<Duration>,
+    dispatchers: usize,
 }
 
 /// A bound, not-yet-running router. [`Router::run`] blocks until a
@@ -108,13 +115,18 @@ pub struct Router {
 impl Router {
     /// Bind the router over `members`. `handles` pairs with `members` by
     /// index; pass `None` for shards this process does not own.
+    /// `dispatchers == 0` auto-sizes (the router does no compute of its
+    /// own — dispatchers only hold blocking forward I/O).
     pub fn bind(
         members: Vec<RouterMember>,
         handles: Vec<MemberHandle>,
         addr: &str,
         drain_deadline: Duration,
+        idle_timeout: Option<Duration>,
+        dispatchers: usize,
     ) -> Result<Router, SxdError> {
         assert_eq!(members.len(), handles.len(), "one handle slot per member");
+        let dispatchers = if dispatchers == 0 { 8 } else { dispatchers };
         let listener = TcpListener::bind(addr).map_err(SxdError::io)?;
         let local = listener.local_addr().map_err(SxdError::io)?;
         let ring = Ring::new(members.iter().map(|m| m.name.clone()).collect::<Vec<_>>());
@@ -129,11 +141,12 @@ impl Router {
                 members: Mutex::new(slots),
                 handles: Mutex::new(handles),
                 counters: Mutex::new(RouterCounters::default()),
-                conns: Mutex::new(Vec::new()),
+                reactor: Mutex::new(None),
                 addr: local,
-                seq: AtomicU64::new(0),
                 shutting_down: AtomicBool::new(false),
                 drain_deadline,
+                idle_timeout,
+                dispatchers,
             }),
         })
     }
@@ -142,33 +155,65 @@ impl Router {
         self.inner.addr
     }
 
-    /// Accept loop, mirroring the daemon's: one handler thread per client
-    /// connection, each with its own member connections.
+    /// Serve on the reactor event loop until a `shutdown` (or a
+    /// full-cluster `drain`) retires every member and the router itself.
+    /// Each client connection's [`ShardConns`] is its reactor service
+    /// state; a frame's forwarding I/O runs on a dispatcher thread, never
+    /// on the event loop.
     pub fn run(self) -> Result<(), SxdError> {
-        let mut handlers = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.inner.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let id = self.inner.seq.fetch_add(1, Ordering::SeqCst);
-            if let Ok(track) = stream.try_clone() {
-                plock_named(&self.inner.conns, "sxd.router.conns").push((id, track));
-            }
-            let inner = Arc::clone(&self.inner);
-            handlers.push(std::thread::spawn(move || handle_conn(&inner, stream, id)));
+        let inner = Arc::clone(&self.inner);
+        let reactor = Reactor::new(
+            self.listener,
+            RouterService { inner: Arc::clone(&self.inner) },
+            ReactorConfig {
+                max_frame: MAX_REQUEST_FRAME,
+                idle_timeout: inner.idle_timeout,
+                dispatchers: inner.dispatchers,
+                ..ReactorConfig::default()
+            },
+        )
+        .map_err(SxdError::io)?;
+        let handle = reactor.handle();
+        *plock_named(&inner.reactor, "sxd.router.reactor") = Some(handle.clone());
+        // Cover a shutdown that raced with startup: the flag flip may have
+        // happened before the handle was installed.
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            handle.shutdown();
         }
-        for h in handlers {
-            let _ = h.join();
-        }
+        let res = reactor.run().map_err(SxdError::io);
+        *plock_named(&inner.reactor, "sxd.router.reactor") = None;
         // Join whatever member threads a shutdown fan-out left running.
-        for h in drain_handles(&self.inner) {
+        for h in drain_handles(&inner) {
             let _ = h.join();
         }
-        Ok(())
+        res
+    }
+}
+
+/// The router as a [`Service`]: the per-connection state is that client's
+/// own [`ShardConns`], so member sockets persist across the connection's
+/// requests and die with it.
+struct RouterService {
+    inner: Arc<RouterInner>,
+}
+
+impl Service for RouterService {
+    type Conn = ShardConns;
+
+    fn open(&self, _id: u64) -> ShardConns {
+        ShardConns::new(self.inner.ring.len())
+    }
+
+    fn handle(&self, conns: &mut ShardConns, frame: &str) -> Reply {
+        Reply::send(handle_frame(&self.inner, conns, frame))
+    }
+
+    fn decode_error_reply(&self, err: &DecodeError) -> String {
+        match *err {
+            DecodeError::FrameTooLong { len, max } => SxdError::FrameTooLong { len, max },
+            DecodeError::NotUtf8 => SxdError::BadJson { detail: "frame is not valid UTF-8".into() },
+        }
+        .to_reply()
     }
 }
 
@@ -231,41 +276,6 @@ impl ShardConns {
         }
         plock_named(&inner.counters, "sxd.router.counters").unavailable += 1;
         Err(SxdError::ShardUnavailable { member: name, detail: last })
-    }
-}
-
-fn handle_conn(inner: &Arc<RouterInner>, stream: TcpStream, id: u64) {
-    let mut writer = stream;
-    let mut conns = ShardConns::new(inner.ring.len());
-    let mut reader = match writer.try_clone() {
-        Ok(r) => BufReader::new(r),
-        Err(_) => {
-            untrack(inner, id);
-            return;
-        }
-    };
-    loop {
-        match read_frame(&mut reader, MAX_REQUEST_FRAME) {
-            Ok(None) => break,
-            Ok(Some(frame)) => {
-                let reply = handle_frame(inner, &mut conns, &frame);
-                if writeln!(writer, "{reply}").is_err() {
-                    break;
-                }
-            }
-            Err(e) => {
-                let _ = writeln!(writer, "{}", e.to_reply());
-                break;
-            }
-        }
-    }
-    untrack(inner, id);
-}
-
-fn untrack(inner: &RouterInner, id: u64) {
-    let mut conns = plock_named(&inner.conns, "sxd.router.conns");
-    if let Some(pos) = conns.iter().position(|(i, _)| *i == id) {
-        conns.remove(pos);
     }
 }
 
@@ -379,9 +389,18 @@ fn router_json(inner: &RouterInner) -> String {
     let c = plock_named(&inner.counters, "sxd.router.counters").clone();
     let alive =
         plock_named(&inner.members, "sxd.router.members").iter().filter(|m| m.alive).count();
+    // Leaf lock, read and released before formatting; never nested.
+    let (conns_open, conns_accepted, conns_idle_closed) = {
+        match plock_named(&inner.reactor, "sxd.router.reactor").as_ref() {
+            Some(h) => (h.open(), h.accepted(), h.idle_closed()),
+            None => (0, 0, 0),
+        }
+    };
     format!(
         "{{\"forwarded\":{},\"bad_requests\":{},\"handoff_entries\":{},\
          \"handoff_skipped\":{},\"handoff_resubmits\":{},\"unavailable\":{},\
+         \"conns\":{{\"open\":{conns_open},\"accepted\":{conns_accepted},\
+         \"idle_closed\":{conns_idle_closed}}},\
          \"members_alive\":{alive},\"members_total\":{}}}",
         c.forwarded,
         c.bad_requests,
@@ -439,16 +458,17 @@ fn shutdown_cluster(inner: &Arc<RouterInner>, conns: &mut ShardConns) {
     });
 }
 
-/// Flip the shutdown flag, half-close client connections, poke the
-/// accept loop. Idempotent (mirrors the daemon's shutdown).
+/// Flip the shutdown flag and wake the reactor. Idempotent (mirrors the
+/// daemon's shutdown): the reactor stops accepting immediately, flushes
+/// in-flight replies within its grace window, and exits.
 fn initiate_shutdown(inner: &RouterInner) {
     if inner.shutting_down.swap(true, Ordering::SeqCst) {
         return;
     }
-    for (_, s) in plock_named(&inner.conns, "sxd.router.conns").iter() {
-        let _ = s.shutdown(Shutdown::Read);
+    let handle = plock_named(&inner.reactor, "sxd.router.reactor").clone();
+    if let Some(h) = handle {
+        h.shutdown();
     }
-    let _ = TcpStream::connect(inner.addr);
 }
 
 /// Drain one member and hand its keyspace off: mark it out of the ring,

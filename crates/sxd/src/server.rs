@@ -1,5 +1,14 @@
-//! The daemon: a TCP accept loop feeding an NQS-admitted, pool-bounded,
-//! cache-fronted job executor.
+//! The daemon: an epoll-reactor serving loop feeding an NQS-admitted,
+//! pool-bounded, cache-fronted job executor.
+//!
+//! Serving runs on [`ncar_suite::reactor`]: one event-loop thread owns
+//! every socket (no thread per connection), decoded frames are dispatched
+//! to a bounded dispatcher pool, and replies flush as write-readiness
+//! allows. Connection counts are therefore bounded by fds, not stacks;
+//! idle clients are closed by the reactor's timeout wheel
+//! ([`ServerConfig::idle_timeout`]) and counted in the `conns.idle_closed`
+//! stat; shutdown and drain complete by waking the reactor, not by hoping
+//! another client connects.
 //!
 //! Jobs are admitted through the same Resource-Block gate NQS applies on
 //! the real machine (paper §2.6.3): a submit that cannot fit its block is
@@ -37,11 +46,12 @@
 //!
 //! Lock order, where nested: `inflight` before `cache`, and `journal`
 //! before `cache`. Nothing acquires `journal` or `inflight` while holding
-//! `cache`, so the hierarchy is acyclic.
+//! `cache`, so the hierarchy is acyclic. The `reactor` handle slot is a
+//! leaf: it is taken and released in its own scope, never while another
+//! named lock is held and never holding one while acquiring another.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::io::{BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +60,7 @@ use std::time::{Duration, Instant};
 
 use ncar_suite::metrics::{Gauge, Histogram, MetricsRegistry};
 use ncar_suite::par::lockreg;
+use ncar_suite::reactor::{DecodeError, Reactor, ReactorConfig, ReactorHandle, Reply, Service};
 use ncar_suite::report::{json_escape, json_f64};
 use ncar_suite::{plock, plock_named, Artifact, Json, Registry, WorkerPool};
 use superux::{Admission, JobSpec};
@@ -58,7 +69,7 @@ use sxsim::{presets, MachineModel};
 use crate::cache::ResultCache;
 use crate::error::SxdError;
 use crate::journal::{self, Journal, RestartSpec};
-use crate::proto::{cache_key, read_frame, submit_reply, Request, MAX_REQUEST_FRAME};
+use crate::proto::{cache_key, submit_reply, Request, MAX_REQUEST_FRAME};
 
 /// Simulated seconds charged for writing a drain checkpoint (the `chkpnt`
 /// overhead in the NQS model) and for resuming from it on the next boot.
@@ -134,6 +145,15 @@ pub struct ServerConfig {
     /// Grace period a `drain` request without its own `deadline_ms` gives
     /// in-flight jobs before checkpointing them.
     pub drain_deadline: Duration,
+    /// Close connections that send nothing for this long (the reactor's
+    /// timeout wheel; `None` disables it). Bounds slowloris clients — the
+    /// old thread-per-connection model held a thread for them forever.
+    pub idle_timeout: Option<Duration>,
+    /// Reactor dispatcher threads decoding-side frame handlers run on.
+    /// `0` (the default) auto-sizes to `max(8, 2 * workers)`: enough that
+    /// herd followers parking in the single-flight table never starve
+    /// their leader, which always occupies a dispatcher of its own.
+    pub dispatchers: usize,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +166,8 @@ impl Default for ServerConfig {
             admit_timeout: Duration::from_secs(30),
             state_dir: None,
             drain_deadline: Duration::from_secs(10),
+            idle_timeout: Some(Duration::from_secs(300)),
+            dispatchers: 0,
         }
     }
 }
@@ -299,7 +321,12 @@ struct Daemon {
     pool: WorkerPool,
     shutting_down: AtomicBool,
     seq: AtomicU64,
-    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Handle of the running reactor, installed by [`Server::run`]. A
+    /// leaf lock: taken in its own scope, never nested with any other
+    /// named lock (see module docs).
+    reactor: Mutex<Option<ReactorHandle>>,
+    idle_timeout: Option<Duration>,
+    dispatchers: usize,
     /// The write-ahead result journal (`None` without a state dir).
     /// Lock order: `journal` before `cache`, never the reverse.
     journal: Mutex<Option<Journal>>,
@@ -365,7 +392,13 @@ impl Server {
             pool: WorkerPool::new(config.workers.max(1)),
             shutting_down: AtomicBool::new(false),
             seq: AtomicU64::new(0),
-            conns: Mutex::new(Vec::new()),
+            reactor: Mutex::new(None),
+            idle_timeout: config.idle_timeout,
+            dispatchers: if config.dispatchers == 0 {
+                (config.workers.max(1) * 2).max(8)
+            } else {
+                config.dispatchers
+            },
             journal: Mutex::new(journal_slot),
             state_dir: config.state_dir.clone(),
             drain_deadline: config.drain_deadline,
@@ -382,18 +415,20 @@ impl Server {
         self.daemon.addr
     }
 
-    /// Accept connections until shutdown, then drain and return.
+    /// Serve on the reactor until shutdown completes, then return. One
+    /// event-loop thread owns every socket; no thread is ever spawned per
+    /// connection, so a connection churn of any size accumulates no join
+    /// handles and no stacks.
     pub fn run(mut self) -> Result<(), SxdError> {
-        let mut handles = Vec::new();
         // Re-admit work a previous boot's drain checkpointed. This runs
-        // beside the accept loop — clients can connect immediately — and
+        // beside the serving loop — clients can connect immediately — and
         // the spec file is deleted only after every spec has been retired,
         // so a crash mid-readmission re-loads the file next boot and the
         // result cache dedupes whatever already completed.
         let restarts = std::mem::take(&mut self.restarts);
-        if !restarts.is_empty() {
+        let readmit = (!restarts.is_empty()).then(|| {
             let d = Arc::clone(&self.daemon);
-            handles.push(std::thread::spawn(move || {
+            std::thread::spawn(move || {
                 for spec in &restarts {
                     let params: BTreeMap<String, String> = spec.params.iter().cloned().collect();
                     let _ = d.submit_inner(
@@ -406,59 +441,64 @@ impl Server {
                 if let Some(dir) = &d.state_dir {
                     let _ = journal::clear_restart_specs(dir);
                 }
-            }));
+            })
+        });
+
+        let reactor = Reactor::new(
+            self.listener,
+            DaemonService { daemon: Arc::clone(&self.daemon) },
+            ReactorConfig {
+                max_frame: MAX_REQUEST_FRAME,
+                idle_timeout: self.daemon.idle_timeout,
+                dispatchers: self.daemon.dispatchers,
+                ..ReactorConfig::default()
+            },
+        )
+        .map_err(SxdError::io)?;
+        let handle = reactor.handle();
+        *plock_named(&self.daemon.reactor, "sxd.reactor") = Some(handle.clone());
+        // A shutdown (or drain completion) that raced bind-to-run must
+        // still wake the loop — it checks the handle slot before we
+        // published it.
+        if self.daemon.shutting_down.load(Ordering::SeqCst) {
+            handle.shutdown();
         }
-        for stream in self.listener.incoming() {
-            if self.daemon.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let id = self.daemon.seq.fetch_add(1, Ordering::SeqCst);
-            if let Ok(track) = stream.try_clone() {
-                plock_named(&self.daemon.conns, "sxd.conns").push((id, track));
-            }
-            let d = Arc::clone(&self.daemon);
-            handles.push(std::thread::spawn(move || handle_conn(&d, stream, id)));
-        }
-        for h in handles {
+        let res = reactor.run().map_err(SxdError::io);
+        *plock_named(&self.daemon.reactor, "sxd.reactor") = None;
+        if let Some(h) = readmit {
             let _ = h.join();
         }
         // Dropping the daemon drops the worker pool, which drains any
         // still-queued jobs before its threads exit.
-        Ok(())
+        res
     }
 }
 
-fn handle_conn(d: &Arc<Daemon>, stream: TcpStream, id: u64) {
-    let mut writer = stream;
-    let mut reader = match writer.try_clone() {
-        Ok(r) => BufReader::new(r),
-        Err(_) => {
-            d.untrack(id);
-            return;
-        }
-    };
-    loop {
-        match read_frame(&mut reader, MAX_REQUEST_FRAME) {
-            Ok(None) => break,
-            Ok(Some(frame)) => {
-                let reply = d.handle_frame(&frame);
-                if writeln!(writer, "{reply}").is_err() {
-                    break;
-                }
-            }
-            Err(e) => {
-                // Framing is lost (oversized or non-UTF-8 line): reply
-                // with the typed error, then close the connection.
-                let _ = writeln!(writer, "{}", e.to_reply());
-                break;
-            }
-        }
+/// The daemon as the reactor sees it: stateless per connection (every
+/// frame is self-contained), one dispatcher call per decoded frame.
+struct DaemonService {
+    daemon: Arc<Daemon>,
+}
+
+impl Service for DaemonService {
+    type Conn = ();
+
+    fn open(&self, _id: u64) {}
+
+    fn handle(&self, _conn: &mut (), frame: &str) -> Reply {
+        Reply::send(self.daemon.handle_frame(frame))
     }
-    d.untrack(id);
+
+    /// Framing is lost (oversized or non-UTF-8 line): the typed error the
+    /// blocking reader produced for the same bytes, then close — exactly
+    /// the old `handle_conn` behavior.
+    fn decode_error_reply(&self, err: &DecodeError) -> String {
+        let e = match *err {
+            DecodeError::FrameTooLong { len, max } => SxdError::FrameTooLong { len, max },
+            DecodeError::NotUtf8 => SxdError::BadJson { detail: "frame is not valid UTF-8".into() },
+        };
+        e.to_reply()
+    }
 }
 
 /// How one submit resolved against the cache and the in-flight table.
@@ -863,6 +903,14 @@ impl Daemon {
         let suite_seconds = Json::Obj(
             snap.suites.iter().map(|(k, s)| (k.clone(), Json::Num(s.sim_seconds))).collect(),
         );
+        // Leaf lock, released before the journal lock below is taken —
+        // `sxd.reactor` must never appear in a lock-graph edge.
+        let (conns_open, conns_accepted, conns_idle_closed) = {
+            match plock_named(&self.reactor, "sxd.reactor").as_ref() {
+                Some(h) => (h.open(), h.accepted(), h.idle_closed()),
+                None => (0, 0, 0),
+            }
+        };
         let journal = match plock_named(&self.journal, "sxd.journal").as_ref() {
             Some(j) => format!(
                 "{{\"appended\":{},\"replayed\":{},\"compactions\":{},\
@@ -881,6 +929,8 @@ impl Daemon {
              \"checkpointed\":{},\"absorbed\":{},\"queue_depth\":{},\
              \"cache\":{{\"hits\":{hits},\"misses\":{misses},\
              \"evictions\":{evictions},\"entries\":{entries},\"cap\":{cap}}},\
+             \"conns\":{{\"open\":{conns_open},\"accepted\":{conns_accepted},\
+             \"idle_closed\":{conns_idle_closed}}},\
              \"suite_seconds\":{},\"workers\":{},\"journal\":{},\
              \"draining\":{},\"shutting_down\":{}}}",
             snap.accepted,
@@ -1055,25 +1105,18 @@ impl Daemon {
         self.initiate_shutdown();
     }
 
-    /// Flip the drain flag, unblock every parked reader, poke the accept
-    /// loop. Idempotent.
+    /// Flip the shutdown flag and wake the reactor. Idempotent. Shutdown
+    /// is a first-class event: the loop stops accepting immediately,
+    /// closes idle connections, and flushes in-flight replies — no
+    /// follow-on client needed, no self-connect poke, no half-closing
+    /// sockets behind the event loop's back.
     fn initiate_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Half-close tracked connections: blocked reads return EOF while
-        // replies still in flight can be written out.
-        for (_, s) in plock_named(&self.conns, "sxd.conns").iter() {
-            let _ = s.shutdown(Shutdown::Read);
-        }
-        // Unblock the accept loop so it can observe the flag.
-        let _ = TcpStream::connect(self.addr);
-    }
-
-    fn untrack(&self, id: u64) {
-        let mut conns = plock_named(&self.conns, "sxd.conns");
-        if let Some(pos) = conns.iter().position(|(i, _)| *i == id) {
-            conns.remove(pos);
+        let handle = plock_named(&self.reactor, "sxd.reactor").clone();
+        if let Some(h) = handle {
+            h.shutdown();
         }
     }
 }
