@@ -214,6 +214,48 @@ if ! wait "$reactor_pid"; then
 fi
 rm -rf "$reactor_dir" "$reactor_log"
 
+echo "==> sxd pipelined-flood smoke (depth-8 pipeline against a durable daemon, fast path engaged)"
+pipe_dir="$(mktemp -d)"
+pipe_log="$(mktemp)"
+"$bench" serve --addr 127.0.0.1:0 --state-dir "$pipe_dir" --pipeline-depth 8 >"$pipe_log" 2>&1 &
+pipe_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^sxd listening on //p' "$pipe_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "pipelined-flood sxd never reported a listening address" >&2
+    kill "$pipe_pid" 2>/dev/null || true
+    exit 1
+fi
+# Pipelined clients (8 frames in flight per connection) against a depth-8
+# server: replies must stay in order and byte-identical (the flood's
+# per-reply key check enforces this), counters must reconcile, and the
+# repeat configurations must have been answered inline on the reactor
+# thread — fastpath_hits is required to be positive.
+if ! "$bench" flood --addr "$addr" --clients 8 --jobs 256 --suite fig5 --suite radabs --pipeline 8; then
+    echo "pipelined flood failed its acceptance checks" >&2
+    exit 1
+fi
+metrics="$("$bench" metrics --addr "$addr" --json true)"
+case "$metrics" in
+    *'"reconciled":true'*) ;;
+    *) echo "METRICS must reconcile after the pipelined flood: $metrics" >&2; exit 1;;
+esac
+case "$metrics" in
+    *'"fastpath_hits":0,'*) echo "pipelined flood must engage the reactor fast path: $metrics" >&2; exit 1;;
+    *'"fastpath_hits":'*) ;;
+    *) echo "METRICS must report the fastpath_hits counter: $metrics" >&2; exit 1;;
+esac
+"$bench" drain --addr "$addr" --deadline 5 >/dev/null
+if ! wait "$pipe_pid"; then
+    echo "sxd did not exit 0 after the pipelined-flood drain" >&2
+    exit 1
+fi
+rm -rf "$pipe_dir" "$pipe_log"
+
 echo "==> sxd cluster smoke (3 shards, routed flood, member drain + keyspace hand-off)"
 cluster_dir="$(mktemp -d)"
 cluster_log="$(mktemp)"
@@ -303,6 +345,6 @@ target/release/ncar-bench perf --smoke --out "$perf_json" >/dev/null
 target/release/ncar-bench perf --validate "$perf_json"
 rm -f "$perf_json"
 # The committed baseline must stay schema-valid too.
-target/release/ncar-bench perf --validate BENCH_6.json
+target/release/ncar-bench perf --validate BENCH_7.json
 
 echo "==> CI OK"

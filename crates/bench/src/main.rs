@@ -122,18 +122,19 @@ fn main() {
         eprintln!(
             "       ncar-bench serve [--addr A] [--workers N] [--cache-cap N] \
              [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS] \
-             [--idle-timeout SECS] [--dispatchers N] [--cluster N]"
+             [--idle-timeout SECS] [--dispatchers N] [--pipeline-depth K] \
+             [--fastpath BOOL] [--cluster N]"
         );
         eprintln!(
             "       ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]... \
-             [--show-route true]"
+             [--show-route true] [--pipeline N]"
         );
         eprintln!("       ncar-bench stats|shutdown|raw <line> [--addr A]");
         eprintln!("       ncar-bench drain [--addr A] [--deadline SECS] [--member K]");
         eprintln!("       ncar-bench metrics [--addr A] [--json true] [--watch SECS]");
         eprintln!(
             "       ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]... \
-             [--cluster N]"
+             [--pipeline K] [--cluster N]"
         );
         eprintln!("       ncar-bench perf [--smoke] [--out FILE] [--runs K] [--validate FILE]");
         eprintln!("experiments:");

@@ -156,20 +156,28 @@ fn climate_t42(steps: usize, smoke: bool) -> impl FnMut() -> (f64, u64) {
 
 /// An in-process sxd flood: bind a daemon on an ephemeral port, flood it
 /// with light kernel suites (the cache-heavy ensemble regime), and read
-/// the suite ledger back from STATS.
+/// the suite ledger back from STATS. As of BENCH_7 the flood runs the
+/// pipelined serving path: the daemon allows `pipeline` frames in flight
+/// per connection and each client batches its submits to that depth, so
+/// repeat configurations resolve on the reactor-thread fast path instead
+/// of round-tripping through the dispatcher pool one at a time.
 ///
 /// **`ops_charged` counts completed *jobs*, not vector operations** — a
 /// job is a whole kernel suite round-tripped through the protocol. Its
-/// `ops_per_sec` is therefore jobs per second (dominated by socket and
-/// scheduling latency, typically tens) and is NOT comparable to the
-/// charge-stream workloads' vector-ops-per-second headline numbers.
+/// `ops_per_sec` is therefore jobs per second and is NOT comparable to
+/// the charge-stream workloads' vector-ops-per-second headline numbers.
+/// It is also not comparable across BENCH generations once the serving
+/// shape changes: BENCH_6 measured one-frame-per-round-trip serving;
+/// BENCH_7 measures the pipelined fast path at larger job volumes.
 fn sxd_flood(
     experiments: &[Experiment],
     clients: usize,
     jobs: usize,
     suites: &[&str],
+    pipeline: usize,
 ) -> Result<(f64, u64), String> {
-    let server = Server::bind(serve::registry(experiments), ServerConfig::default())
+    let server_config = ServerConfig { pipeline_depth: pipeline.max(1), ..ServerConfig::default() };
+    let server = Server::bind(serve::registry(experiments), server_config)
         .map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run());
@@ -179,6 +187,7 @@ fn sxd_flood(
         jobs,
         suites: suites.iter().map(|s| s.to_string()).collect(),
         machine: MACHINE.to_string(),
+        pipeline,
     };
     let outcome = flood(&config).map_err(|e| format!("flood: {e}"))?;
     let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
@@ -266,7 +275,7 @@ fn validate_text(text: &str) -> Result<usize, String> {
 /// `ncar-bench perf [--smoke] [--out FILE] [--runs K] [--validate FILE]`
 pub fn cmd_perf(args: &[String], experiments: &[Experiment]) -> i32 {
     let mut smoke = false;
-    let mut out_path = "BENCH_6.json".to_string();
+    let mut out_path = "BENCH_7.json".to_string();
     let mut runs: Option<usize> = None;
     let mut validate: Option<String> = None;
     let mut it = args.iter();
@@ -314,7 +323,7 @@ pub fn cmd_perf(args: &[String], experiments: &[Experiment]) -> i32 {
     let (fig5_volume, xpose_max_n) = if smoke { (20_000, 128) } else { (1_000_000, 1000) };
     let (fig6_volume, fig6_reps) = if smoke { (20_000, 2) } else { (1_000_000, 20) };
     let climate_steps = if smoke { 1 } else { 2 };
-    let (flood_clients, flood_jobs) = if smoke { (2, 8) } else { (4, 32) };
+    let (flood_clients, flood_jobs, flood_pipeline) = if smoke { (2, 16, 4) } else { (8, 512, 8) };
     let flood_suites: &[&str] = if smoke { &["table3"] } else { &["table3", "correctness"] };
 
     let mut results: Vec<(&str, Sample)> = Vec::new();
@@ -328,15 +337,20 @@ pub fn cmd_perf(args: &[String], experiments: &[Experiment]) -> i32 {
     eprintln!("perf: climate_t42 ({climate_steps} steps, {runs} runs)...");
     results.push(("climate_t42", measure(runs, climate_t42(climate_steps, smoke))));
 
-    eprintln!("perf: sxd_flood ({flood_clients} clients x {flood_jobs} jobs, {runs} runs)...");
+    eprintln!(
+        "perf: sxd_flood ({flood_clients} clients x {flood_jobs} jobs, \
+         pipeline {flood_pipeline}, {runs} runs)..."
+    );
     let mut flood_err = None;
     results.push((
         "sxd_flood",
-        measure(runs, || match sxd_flood(experiments, flood_clients, flood_jobs, flood_suites) {
-            Ok(v) => v,
-            Err(e) => {
-                flood_err = Some(e);
-                (0.0, 0)
+        measure(runs, || {
+            match sxd_flood(experiments, flood_clients, flood_jobs, flood_suites, flood_pipeline) {
+                Ok(v) => v,
+                Err(e) => {
+                    flood_err = Some(e);
+                    (0.0, 0)
+                }
             }
         }),
     ));

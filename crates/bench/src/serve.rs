@@ -135,12 +135,20 @@ fn fail(detail: &str) -> i32 {
 
 /// `ncar-bench serve [--addr A] [--workers N] [--cache-cap N]
 /// [--admit-timeout SECS] [--state-dir DIR] [--drain-deadline SECS]
-/// [--idle-timeout SECS] [--dispatchers N] [--cluster N]`
+/// [--idle-timeout SECS] [--dispatchers N] [--pipeline-depth K]
+/// [--fastpath BOOL] [--cluster N]`
 ///
 /// `--idle-timeout SECS` bounds how long a silent connection may hold a
 /// socket before the reactor closes it (counted under `conns.idle_closed`
 /// in STATS); `0` disables the bound. `--dispatchers N` sizes the pool
 /// that runs decoded frames (`0` auto-sizes from the worker count).
+///
+/// `--pipeline-depth K` lets each connection keep up to K decoded frames
+/// in flight at once (default 1, strictly serial); replies always come
+/// back in request order either way. `--fastpath false` disables the
+/// reactor-thread fast path (cache hits, STATS, typed errors answered
+/// inline), forcing every frame through the dispatcher pool — the knob
+/// EXPERIMENTS.md uses for before/after numbers.
 ///
 /// With `--cluster N` (N ≥ 2) the public address is a rendezvous-hash
 /// router in front of N shard daemons on ephemeral loopback ports; every
@@ -188,6 +196,16 @@ pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
         Ok(n) => n,
         Err(e) => return fail(&e),
     };
+    config.pipeline_depth = match args.get_usize("pipeline-depth", config.pipeline_depth) {
+        Ok(0) => return fail("--pipeline-depth wants at least 1"),
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    match args.get("fastpath") {
+        None | Some("true") => {}
+        Some("false") => config.fastpath = false,
+        Some(_) => return fail("--fastpath wants true or false"),
+    }
     let shards = match args.get_usize("cluster", 1) {
         Ok(n) => n,
         Err(e) => return fail(&e),
@@ -229,12 +247,18 @@ pub fn cmd_serve(args: &[String], experiments: &[Experiment]) -> i32 {
 }
 
 /// `ncar-bench submit <suite> [--addr A] [--machine M] [--param k=v]...
-/// [--json j] [--show-route true]`
+/// [--json j] [--show-route true] [--pipeline N]`
 ///
 /// `--show-route true` first asks the endpoint which shard owns the
 /// configuration (the cluster `route` verb) and prints the placement
 /// before submitting. Against a single daemon the route probe reports
 /// that the endpoint is not a router and the submit proceeds anyway.
+///
+/// `--pipeline N` sends the same submit N times in one pipelined batch —
+/// all N frames leave before the first reply is read, and each reply is
+/// verified to be the one its request hashes to (strict order). Handy for
+/// watching a cold entry warm up: reply 0 says `cached=false`, the rest
+/// `cached=true`.
 pub fn cmd_submit(args: &[String]) -> i32 {
     let args = match Args::parse(args) {
         Ok(a) => a,
@@ -258,6 +282,28 @@ pub fn cmd_submit(args: &[String]) -> i32 {
             }
             Err(e) => println!("route: unavailable ({e})"),
         }
+    }
+    let pipeline = match args.get_usize("pipeline", 1) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    if pipeline > 1 {
+        let batch: Vec<_> = (0..pipeline)
+            .map(|_| (suite.to_string(), machine.to_string(), args.params()))
+            .collect();
+        return match client.submit_pipelined(&batch) {
+            Ok(subs) => {
+                for (i, sub) in subs.iter().enumerate() {
+                    if args.get("json") == Some("true") {
+                        println!("{}", sub.raw);
+                    } else {
+                        println!("reply {i}: key={} cached={}", sub.key, sub.cached);
+                    }
+                }
+                0
+            }
+            Err(e) => fail(&e.to_string()),
+        };
     }
     match client.submit(suite, machine, &args.params()) {
         Ok(sub) => {
@@ -493,7 +539,11 @@ pub fn cmd_raw(args: &[String]) -> i32 {
 }
 
 /// `ncar-bench flood [--addr A] [--clients N] [--jobs M] [--suite s]...
-/// [--cluster N]`
+/// [--pipeline K] [--cluster N]`
+///
+/// `--pipeline K` makes each client keep K submits in flight per
+/// connection (batched writes, strict in-order reply verification); the
+/// summary line reports throughput as jobs/s either way.
 ///
 /// With `--cluster N` the flood stands up an ephemeral in-process
 /// N-shard cluster (memory-only members, ephemeral ports), aims the load
@@ -514,6 +564,10 @@ pub fn cmd_flood(args: &[String], experiments: &[Experiment]) -> i32 {
         Err(e) => return fail(&e),
     };
     let shards = match args.get_usize("cluster", 0) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let pipeline = match args.get_usize("pipeline", 1) {
         Ok(n) => n,
         Err(e) => return fail(&e),
     };
@@ -546,6 +600,7 @@ pub fn cmd_flood(args: &[String], experiments: &[Experiment]) -> i32 {
         jobs,
         suites,
         machine: args.get("machine").unwrap_or("sx4-9.2").to_string(),
+        pipeline,
     };
     let flooded = flood(&config);
     if let Some(cluster) = cluster {
@@ -559,11 +614,14 @@ pub fn cmd_flood(args: &[String], experiments: &[Experiment]) -> i32 {
     match flooded {
         Ok(outcome) => {
             println!(
-                "flood: {}/{} jobs completed, {} cached replies; \
-                 cache {}h/{}m; counters accepted={} done={} rejected={} queued={} running={} \
-                 coalesced={} reconciled={}",
+                "flood: {}/{} jobs completed in {:.3}s ({:.1} jobs/s, pipeline {}), \
+                 {} cached replies; cache {}h/{}m; counters accepted={} done={} rejected={} \
+                 queued={} running={} coalesced={} fastpath_hits={} reconciled={}",
                 outcome.completed,
                 outcome.submitted,
+                outcome.wall,
+                outcome.jobs_per_sec,
+                pipeline.max(1),
                 outcome.cached_replies,
                 outcome.cache_hits,
                 outcome.cache_misses,
@@ -573,6 +631,7 @@ pub fn cmd_flood(args: &[String], experiments: &[Experiment]) -> i32 {
                 outcome.queued,
                 outcome.running,
                 outcome.coalesced,
+                outcome.fastpath_hits,
                 outcome.reconciled,
             );
             if outcome.ok() {

@@ -124,6 +124,48 @@ mod tests {
         assert_eq!(d.finish().unwrap(), None, "clean EOF after the flush");
     }
 
+    /// Property: however the byte stream is sliced into `push` calls, the
+    /// decoder yields exactly the frames that were encoded, in order. 64
+    /// seeded trials, each a few dozen frames (empty frames and CRLF
+    /// endings included) split at SplitMix64-chosen boundaries, with
+    /// `next_frame` drained after every chunk — the access pattern the
+    /// reactor's pipelined read loop actually produces.
+    #[test]
+    fn random_chunking_never_changes_the_frame_sequence() {
+        let mut rng = crate::SmallRng::seed_from_u64(0x4445_434f_4445); // "DECODE"
+        for trial in 0..64 {
+            let nframes = 1 + (rng.next_u64() % 40) as usize;
+            let mut frames = Vec::with_capacity(nframes);
+            let mut stream = Vec::new();
+            for i in 0..nframes {
+                let len = (rng.next_u64() % 24) as usize;
+                let frame: String =
+                    (0..len).map(|j| char::from(b'a' + ((i + j) % 26) as u8)).collect();
+                stream.extend_from_slice(frame.as_bytes());
+                if rng.next_u64().is_multiple_of(4) {
+                    stream.push(b'\r');
+                }
+                stream.push(b'\n');
+                frames.push(frame);
+            }
+            let mut d = LineDecoder::new(64);
+            let mut got = Vec::new();
+            let mut off = 0;
+            while off < stream.len() {
+                let take = 1 + (rng.next_u64() as usize % (stream.len() - off)).min(13);
+                d.push(&stream[off..off + take]);
+                off += take;
+                while let Some(f) = d.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            while let Some(f) = d.finish().unwrap() {
+                got.push(f);
+            }
+            assert_eq!(got, frames, "trial {trial} diverged");
+        }
+    }
+
     #[test]
     fn crlf_is_tolerated_in_both_paths() {
         let mut d = LineDecoder::new(64);

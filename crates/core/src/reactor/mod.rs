@@ -17,20 +17,35 @@
 //!     └──────── replies ─────┘    └────── completions + waker ─────┘
 //! ```
 //!
-//! Per connection the reactor runs a three-state machine:
+//! Per connection the reactor runs a pipelined sequence-window protocol:
 //!
-//! - **Reading**: read-readiness drains the socket into a
-//!   [`LineDecoder`] (same accept/reject semantics as the blocking frame
-//!   reader). A complete frame moves the connection to Dispatching.
-//! - **Dispatching**: the frame and the per-connection service state are
-//!   handed to a dispatcher thread, which may block (NQS admission,
-//!   journal writes) without stalling the event loop. Read interest is
-//!   disarmed so level-triggered polling cannot spin on pipelined bytes;
-//!   one frame is in flight per connection, which both preserves reply
-//!   ordering and gives natural backpressure (further pipelined frames
-//!   wait in the kernel socket buffer).
-//! - **Writing**: the reply is flushed as write-readiness allows, then
-//!   the connection returns to Reading (or closes, for terminal replies).
+//! - **Decode**: read-readiness drains the socket into a [`LineDecoder`]
+//!   (same accept/reject semantics as the blocking frame reader). Each
+//!   complete frame is assigned the connection's next sequence number.
+//! - **Fast path**: before paying a dispatcher handoff, the frame is
+//!   offered to [`Service::fast_handle`] *on the reactor thread*. A
+//!   service answers inline when the reply is cheap to produce (cache
+//!   hits, stats snapshots, typed protocol errors); everything else
+//!   returns `None` and takes the pool.
+//! - **Dispatch window**: up to [`ReactorConfig::pipeline_depth`] frames
+//!   may be in flight per connection (consumed but not yet replied).
+//!   Dispatcher threads may block (NQS admission, journal writes) without
+//!   stalling the event loop; once the window is full, read interest is
+//!   disarmed so level-triggered polling cannot spin, and further
+//!   pipelined bytes wait in the kernel socket buffer (backpressure).
+//! - **Ordered release**: completions can arrive in any order; replies
+//!   park in a per-connection reorder buffer and are released strictly in
+//!   sequence, so the byte stream a client sees is identical to the
+//!   unpipelined path. A terminal reply (or a decode error, which is
+//!   assigned a sequence number like any frame) pins the close point:
+//!   earlier in-flight frames still answer in order, later ones are
+//!   dropped with the connection.
+//! - **Vectored flush**: released replies render into pooled buffers and
+//!   leave via `writev`-style vectored writes, so N pipelined replies
+//!   coalesce into one syscall. [`ReactorConfig::flush_batch`] can
+//!   observe the per-syscall batch size. Successful writes count as
+//!   activity for the idle wheel — a client slowly draining a large reply
+//!   while making progress is never idle-closed mid-flush.
 //!
 //! Shutdown is a first-class wake event: [`ReactorHandle::shutdown`]
 //! flips a flag and writes the self-pipe, the loop closes the listener
@@ -49,9 +64,10 @@ pub use decode::{DecodeError, LineDecoder};
 pub use poller::{Event, Interest, Poller};
 pub use wheel::TimerWheel;
 
+use crate::metrics::Histogram;
 use crate::par::WorkerPool;
-use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,6 +79,17 @@ use std::time::{Duration, Instant};
 const TOK_LISTENER: u64 = 0;
 const TOK_WAKER: u64 = 1;
 const TOK_BASE: u64 = 2;
+
+/// Most reply buffers a connection's flush will hand to one vectored
+/// write. Far below any platform IOV_MAX; past this, batching returns
+/// are flat anyway.
+const MAX_FLUSH_VEC: usize = 64;
+
+/// Render buffers are recycled through a reactor-owned freelist instead
+/// of reallocated per reply; oversized buffers (a giant rendered figure)
+/// are dropped rather than hoarded.
+const BUF_POOL_CAP: usize = 64;
+const BUF_POOL_MAX_CAPACITY: usize = 64 * 1024;
 
 /// What a [`Service`] wants sent back for one frame.
 #[derive(Debug, Clone)]
@@ -88,26 +115,40 @@ impl Reply {
 /// The application half of the reactor: frame in, reply out.
 ///
 /// `handle` runs on a dispatcher thread and may block (admission waits,
-/// journal writes); the reactor thread itself never calls it. Each
-/// connection owns one `Conn` value of per-connection service state,
-/// created at accept and travelling with the frame through dispatch.
+/// journal writes); the reactor thread itself never calls it.
+/// `fast_handle` is the opposite contract: it runs *on the reactor
+/// thread* and must not block, returning `Some` only when the reply is
+/// cheap to produce. Each connection owns one `Conn` value of
+/// per-connection service state, created at accept and shared by
+/// reference with every (possibly concurrent, under pipelining) handler
+/// invocation for that connection.
 pub trait Service: Send + Sync + 'static {
-    type Conn: Send + 'static;
+    type Conn: Send + Sync + 'static;
 
     /// A connection was accepted; build its per-connection state.
     fn open(&self, id: u64) -> Self::Conn;
 
     /// Handle one decoded frame. Runs on a dispatcher thread.
-    fn handle(&self, conn: &mut Self::Conn, frame: &str) -> Reply;
+    fn handle(&self, conn: &Self::Conn, frame: &str) -> Reply;
+
+    /// Try to answer a frame inline on the reactor thread, skipping the
+    /// dispatcher handoff. Must not block: no waits, no runs, at most
+    /// short leaf-lock critical sections. Return `None` to send the
+    /// frame down the normal `handle` path.
+    fn fast_handle(&self, conn: &Self::Conn, frame: &str) -> Option<Reply> {
+        let _ = (conn, frame);
+        None
+    }
 
     /// Render the reply line for a frame that could not be decoded. The
     /// connection always closes after this reply (there is no resync
     /// point inside a lost frame).
     fn decode_error_reply(&self, err: &DecodeError) -> String;
 
-    /// A connection closed; reclaim its state. Runs on the reactor
-    /// thread — keep it cheap.
-    fn closed(&self, id: u64, conn: Self::Conn) {
+    /// A connection closed; a handler for it may still be completing on
+    /// a dispatcher thread (its reply will be dropped). Runs on the
+    /// reactor thread — keep it cheap.
+    fn closed(&self, id: u64, conn: &Self::Conn) {
         let _ = (id, conn);
     }
 }
@@ -126,6 +167,14 @@ pub struct ReactorConfig {
     pub dispatchers: usize,
     /// Grace window for flushing in-flight replies at shutdown.
     pub shutdown_flush: Duration,
+    /// Frames that may be in flight (consumed but unanswered) per
+    /// connection. 1 preserves the strict request/reply lockstep of the
+    /// unpipelined reactor; higher values let a pipelining client keep
+    /// the dispatchers busy. Replies always leave in request order.
+    pub pipeline_depth: usize,
+    /// Observes the number of reply buffers handed to each vectored
+    /// write — the coalescing win of pipelining, measured per syscall.
+    pub flush_batch: Option<Arc<Histogram>>,
 }
 
 impl Default for ReactorConfig {
@@ -135,6 +184,8 @@ impl Default for ReactorConfig {
             idle_timeout: Some(Duration::from_secs(300)),
             dispatchers: 8,
             shutdown_flush: Duration::from_secs(2),
+            pipeline_depth: 1,
+            flush_batch: None,
         }
     }
 }
@@ -197,7 +248,7 @@ impl ReactorHandle {
         self.shared.stats.idle_closed.load(Ordering::Relaxed)
     }
 
-    /// Frames decoded and dispatched.
+    /// Frames decoded, whether answered inline or dispatched.
     pub fn frames(&self) -> u64 {
         self.shared.stats.frames.load(Ordering::Relaxed)
     }
@@ -208,44 +259,56 @@ impl ReactorHandle {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum ConnState {
-    /// Waiting for (or decoding) request bytes; read interest armed.
-    Reading,
-    /// A frame is on a dispatcher thread; all interest disarmed.
-    Dispatching,
-    /// Flushing a reply; write interest armed on demand.
-    Writing,
-}
-
 struct Conn<C> {
     stream: TcpStream,
     decoder: LineDecoder,
-    state: ConnState,
-    out: Vec<u8>,
+    /// Per-connection service state, shared with every in-flight handler.
+    sconn: Arc<C>,
+    /// Rendered replies awaiting the socket, oldest first; the front
+    /// buffer's first `outpos` bytes are already written.
+    out: VecDeque<Vec<u8>>,
     outpos: usize,
-    /// Per-connection service state; `None` while it rides a dispatch.
-    sconn: Option<C>,
+    /// Sequence number the next consumed frame will get.
+    next_seq: u64,
+    /// Sequence number of the next reply to release into `out`; frames
+    /// with `next_reply <= seq < next_seq` are in flight.
+    next_reply: u64,
+    /// Out-of-order completions parked until their turn.
+    pending: BTreeMap<u64, Reply>,
+    /// Set when the reply at this seq was terminal: it closes the
+    /// connection once flushed, and replies past it are dropped.
+    close_at: Option<u64>,
+    /// No further frames will ever be pulled from the decoder (clean
+    /// EOF, or a decode error already queued as the final reply).
+    input_done: bool,
     last_activity: Instant,
     /// Peer half-closed its write side (read returned 0).
     eof: bool,
-    close_after_write: bool,
     /// An idle-wheel entry currently points at this connection.
     timer_armed: bool,
+    /// Interest currently registered with the poller (skip redundant
+    /// `epoll_ctl` calls — under pipelining, most advances keep it).
+    interest: Interest,
 }
 
-struct Completion<C> {
+impl<C> Conn<C> {
+    /// Frames consumed but not yet released as replies.
+    fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_reply
+    }
+}
+
+struct Completion {
     id: u64,
+    seq: u64,
     reply: Reply,
-    sconn: C,
 }
 
-/// What `advance_reading` decided while the connection was borrowed.
+/// What the frame pump decided while the connection was borrowed.
 enum Step {
-    Dispatch(String),
+    Frame(String),
     DecodeErr(DecodeError),
-    CloseClean,
-    Wait,
+    Hold,
 }
 
 /// The event loop. Build with [`Reactor::new`], grab a
@@ -262,10 +325,12 @@ pub struct Reactor<S: Service> {
     next_id: u64,
     in_flight: usize,
     wheel: Option<TimerWheel>,
-    tx: Sender<Completion<S::Conn>>,
-    rx: Receiver<Completion<S::Conn>>,
+    tx: Sender<Completion>,
+    rx: Receiver<Completion>,
     winding_down: bool,
     flush_deadline: Option<Instant>,
+    /// Cleared render buffers awaiting reuse.
+    buf_pool: Vec<Vec<u8>>,
 }
 
 impl<S: Service> Reactor<S> {
@@ -296,6 +361,7 @@ impl<S: Service> Reactor<S> {
             rx,
             winding_down: false,
             flush_deadline: None,
+            buf_pool: Vec::new(),
         })
     }
 
@@ -311,11 +377,7 @@ impl<S: Service> Reactor<S> {
         let pool = WorkerPool::new(self.config.dispatchers.max(1));
         let mut events: Vec<Event> = Vec::new();
         loop {
-            loop {
-                let done = match self.rx.try_recv() {
-                    Ok(done) => done,
-                    Err(_) => break,
-                };
+            while let Ok(done) = self.rx.try_recv() {
                 self.in_flight -= 1;
                 self.apply_completion(done, &pool);
             }
@@ -362,15 +424,11 @@ impl<S: Service> Reactor<S> {
             events = batch;
         }
 
-        // Teardown: hand every surviving connection's state back. The
-        // loop only exits with `in_flight == 0`, so every connection owns
-        // its service state again (no completion is outstanding).
+        // Teardown: notify the service for every surviving connection.
         let service = Arc::clone(&self.service);
-        for (id, mut conn) in self.conns.drain() {
+        for (id, conn) in self.conns.drain() {
             self.shared.stats.closed.fetch_add(1, Ordering::Relaxed);
-            if let Some(sconn) = conn.sconn.take() {
-                service.closed(id, sconn);
-            }
+            service.closed(id, &conn.sconn);
         }
         self.shared.stats.open.store(0, Ordering::Relaxed);
         // Dropping the pool joins the dispatchers; the completion
@@ -395,7 +453,7 @@ impl<S: Service> Reactor<S> {
         let idle: Vec<u64> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.state == ConnState::Reading)
+            .filter(|(_, c)| c.in_flight() == 0 && c.out.is_empty())
             .map(|(&id, _)| id)
             .collect();
         for id in idle {
@@ -422,20 +480,24 @@ impl<S: Service> Reactor<S> {
                     let now = Instant::now();
                     self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
                     self.shared.stats.open.fetch_add(1, Ordering::Relaxed);
-                    let sconn = self.service.open(id);
+                    let sconn = Arc::new(self.service.open(id));
                     self.conns.insert(
                         id,
                         Conn {
                             stream,
                             decoder: LineDecoder::new(self.config.max_frame),
-                            state: ConnState::Reading,
-                            out: Vec::new(),
+                            sconn,
+                            out: VecDeque::new(),
                             outpos: 0,
-                            sconn: Some(sconn),
+                            next_seq: 0,
+                            next_reply: 0,
+                            pending: BTreeMap::new(),
+                            close_at: None,
+                            input_done: false,
                             last_activity: now,
                             eof: false,
-                            close_after_write: false,
                             timer_armed: false,
+                            interest: Interest::READ,
                         },
                     );
                     self.arm_idle_timer(id, now);
@@ -463,24 +525,29 @@ impl<S: Service> Reactor<S> {
     }
 
     fn conn_ready(&mut self, token: u64, ev: Event, pool: &WorkerPool) {
-        let state = match self.conns.get(&token) {
-            Some(conn) => conn.state,
-            None => return, // closed earlier in this event batch
-        };
-        if state == ConnState::Reading && ev.readable {
-            self.read_ready(token, pool);
-        } else if state == ConnState::Writing && ev.writable && self.flush_out(token) {
-            self.after_write(token, pool);
+        if !self.conns.contains_key(&token) {
+            return; // closed earlier in this event batch
         }
-        // Dispatching (or a stale readiness bit): nothing to do; the
-        // completion drives the next transition.
+        if ev.readable && !self.read_ready(token) {
+            return; // connection broke and was closed
+        }
+        // Write readiness, newly decoded frames, and EOF all funnel into
+        // the same driver: pump, release, flush, close or re-arm.
+        self.advance(token, pool);
     }
 
-    fn read_ready(&mut self, token: u64, pool: &WorkerPool) {
+    /// Drain the socket into the decoder. Returns false when the
+    /// connection broke (and was closed).
+    fn read_ready(&mut self, token: u64) -> bool {
         let max_frame = self.config.max_frame;
         let mut broken = false;
         {
-            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let Some(conn) = self.conns.get_mut(&token) else { return false };
+            if !conn.interest.read {
+                // Stale readiness from an earlier batch: the window is
+                // full; the kernel buffer keeps the backpressure.
+                return true;
+            }
             let mut buf = [0u8; 16 * 1024];
             loop {
                 let res = conn.stream.read(&mut buf);
@@ -492,9 +559,9 @@ impl<S: Service> Reactor<S> {
                     Ok(n) => {
                         conn.decoder.push(&buf[..n]);
                         conn.last_activity = Instant::now();
-                        // One frame dispatches at a time; once one is
-                        // surely buffered, let the kernel hold the rest
-                        // (backpressure against pipelining floods).
+                        // Once at least one frame (or an oversize error)
+                        // is surely buffered, let the kernel hold the
+                        // rest (backpressure against pipelining floods).
                         if conn.decoder.buffered() > max_frame {
                             break;
                         }
@@ -510,59 +577,146 @@ impl<S: Service> Reactor<S> {
         }
         if broken {
             self.close_conn(token, false);
-            return;
+            return false;
         }
-        self.advance_reading(token, pool);
+        true
     }
 
-    /// A connection back in Reading state: pull the next frame out of
-    /// the decoder and dispatch it, queue a decode-error reply, close at
-    /// clean EOF, or stay put awaiting more bytes.
-    fn advance_reading(&mut self, token: u64, pool: &WorkerPool) {
-        let step = {
+    /// The per-connection driver: pump decoded frames through the fast
+    /// path or the dispatch window, release in-order replies, flush them
+    /// vectored, then decide between closing and re-arming interest.
+    fn advance(&mut self, token: u64, pool: &WorkerPool) {
+        let depth = self.config.pipeline_depth.max(1) as u64;
+        loop {
+            // Release first so inline replies free their window slot
+            // before the next frame is considered.
+            if !self.release_ready(token) {
+                return;
+            }
+            let step = {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                if conn.close_at.is_some() || conn.input_done || conn.in_flight() >= depth {
+                    Step::Hold
+                } else {
+                    match conn.decoder.next_frame() {
+                        Ok(Some(frame)) => Step::Frame(frame),
+                        Ok(None) if conn.eof => match conn.decoder.finish() {
+                            // A final unterminated frame still gets
+                            // served; the EOF closes the connection once
+                            // everything in flight has flushed.
+                            Ok(Some(frame)) => Step::Frame(frame),
+                            Ok(None) => {
+                                conn.input_done = true;
+                                Step::Hold
+                            }
+                            Err(e) => Step::DecodeErr(e),
+                        },
+                        Ok(None) => Step::Hold,
+                        Err(e) => Step::DecodeErr(e),
+                    }
+                }
+            };
+            match step {
+                Step::Frame(frame) => {
+                    self.shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+                    let (seq, fast) = {
+                        let Some(conn) = self.conns.get_mut(&token) else { return };
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        let fast = self.service.fast_handle(&conn.sconn, &frame);
+                        (seq, fast)
+                    };
+                    match fast {
+                        Some(reply) => {
+                            let Some(conn) = self.conns.get_mut(&token) else { return };
+                            conn.pending.insert(seq, reply);
+                        }
+                        None => self.dispatch(token, seq, frame, pool),
+                    }
+                }
+                Step::DecodeErr(e) => {
+                    // The error reply is an ordinary terminal reply with
+                    // the next sequence number: frames already in flight
+                    // still answer, in order, before it.
+                    let line = self.service.decode_error_reply(&e);
+                    let Some(conn) = self.conns.get_mut(&token) else { return };
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.pending.insert(seq, Reply::send_and_close(line));
+                    conn.input_done = true;
+                }
+                Step::Hold => break,
+            }
+        }
+        self.finish_advance(token);
+    }
+
+    /// Move consecutively-sequenced replies from the reorder buffer into
+    /// rendered output buffers. Returns false if the connection is gone.
+    fn release_ready(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else { return false };
+        while conn.close_at.is_none() {
+            let Some(reply) = conn.pending.remove(&conn.next_reply) else { break };
+            if !reply.line.is_empty() {
+                let mut buf = self.buf_pool.pop().unwrap_or_default();
+                buf.extend_from_slice(reply.line.as_bytes());
+                buf.push(b'\n');
+                conn.out.push_back(buf);
+            }
+            if reply.close {
+                conn.close_at = Some(conn.next_reply);
+                // Later replies will never be sent; drop them now.
+                conn.pending.clear();
+            }
+            conn.next_reply += 1;
+        }
+        true
+    }
+
+    /// Flush, then close or recompute poller interest.
+    fn finish_advance(&mut self, token: u64) {
+        enum Decision {
+            Close,
+            Keep(Interest),
+        }
+        if !self.flush_conn(token) {
+            return; // broken (closed) or already gone
+        }
+        let depth = self.config.pipeline_depth.max(1) as u64;
+        let max_frame = self.config.max_frame;
+        let decision = {
             let Some(conn) = self.conns.get_mut(&token) else { return };
-            match conn.decoder.next_frame() {
-                Ok(Some(frame)) => Step::Dispatch(frame),
-                Ok(None) if conn.eof => match conn.decoder.finish() {
-                    // A final unterminated frame still gets served; the
-                    // EOF closes the connection on the *next* advance,
-                    // after its reply flushes.
-                    Ok(Some(frame)) => Step::Dispatch(frame),
-                    Ok(None) => Step::CloseClean,
-                    Err(e) => Step::DecodeErr(e),
-                },
-                Ok(None) => Step::Wait,
-                Err(e) => Step::DecodeErr(e),
+            let drained = conn.out.is_empty();
+            let quiescent = conn.in_flight() == 0;
+            let closing = conn.close_at.is_some_and(|c| conn.next_reply > c);
+            if drained && (closing || (quiescent && (conn.input_done || self.winding_down))) {
+                Decision::Close
+            } else {
+                let want = Interest {
+                    read: !conn.eof
+                        && conn.close_at.is_none()
+                        && conn.in_flight() < depth
+                        && conn.decoder.buffered() <= max_frame,
+                    write: !drained,
+                };
+                Decision::Keep(want)
             }
         };
-        match step {
-            Step::Dispatch(frame) => self.dispatch(token, frame, pool),
-            Step::DecodeErr(e) => self.queue_decode_error(token, &e),
-            Step::CloseClean => self.close_conn(token, false),
-            Step::Wait => {
-                if self.set_interest(token, Interest::READ) {
+        match decision {
+            Decision::Close => self.close_conn(token, false),
+            Decision::Keep(want) => {
+                if self.update_interest(token, want) {
                     self.arm_idle_timer(token, Instant::now());
                 }
             }
         }
     }
 
-    fn dispatch(&mut self, token: u64, frame: String, pool: &WorkerPool) {
+    fn dispatch(&mut self, token: u64, seq: u64, frame: String, pool: &WorkerPool) {
         let sconn = {
-            let Some(conn) = self.conns.get_mut(&token) else { return };
-            conn.state = ConnState::Dispatching;
-            conn.sconn.take()
+            let Some(conn) = self.conns.get(&token) else { return };
+            Arc::clone(&conn.sconn)
         };
-        let Some(mut sconn) = sconn else {
-            // One frame in flight per connection: the state machine makes
-            // a second dispatch unreachable, but close rather than wedge.
-            self.close_conn(token, false);
-            return;
-        };
-        if !self.set_interest(token, Interest::NONE) {
-            return;
-        }
-        self.shared.stats.frames.fetch_add(1, Ordering::Relaxed);
         self.in_flight += 1;
         let service = Arc::clone(&self.service);
         let tx = self.tx.clone();
@@ -572,80 +726,78 @@ impl<S: Service> Reactor<S> {
             // loop or strand the connection: turn it into "no reply,
             // close". The daemon's own panic accounting happens inside
             // `handle` (its job runner has its own catch_unwind).
-            let reply = match catch_unwind(AssertUnwindSafe(|| service.handle(&mut sconn, &frame)))
-            {
+            let reply = match catch_unwind(AssertUnwindSafe(|| service.handle(&sconn, &frame))) {
                 Ok(reply) => reply,
                 Err(_) => Reply { line: String::new(), close: true },
             };
-            let _ = tx.send(Completion { id: token, reply, sconn });
+            let _ = tx.send(Completion { id: token, seq, reply });
             wake.wake();
         });
     }
 
-    fn apply_completion(&mut self, done: Completion<S::Conn>, pool: &WorkerPool) {
-        let Completion { id, reply, sconn } = done;
-        {
-            let Some(conn) = self.conns.get_mut(&id) else {
-                // Closed while the frame was in flight (teardown); give
-                // the service its state back for cleanup.
-                self.service.closed(id, sconn);
-                return;
-            };
-            conn.sconn = Some(sconn);
-            conn.close_after_write |= reply.close;
-            conn.out.clear();
-            conn.outpos = 0;
-            if !reply.line.is_empty() {
-                conn.out.extend_from_slice(reply.line.as_bytes());
-                conn.out.push(b'\n');
-            }
-            conn.state = ConnState::Writing;
-        }
-        if self.flush_out(id) {
-            self.after_write(id, pool);
-        }
+    fn apply_completion(&mut self, done: Completion, pool: &WorkerPool) {
+        let Completion { id, seq, reply } = done;
+        let Some(conn) = self.conns.get_mut(&id) else {
+            // Closed while the frame was in flight; the service was
+            // already notified at close time.
+            return;
+        };
+        conn.pending.insert(seq, reply);
+        self.advance(id, pool);
     }
 
-    /// Queue a typed reply for an undecodable frame; the connection
-    /// closes after the flush (no resync point mid-frame).
-    fn queue_decode_error(&mut self, token: u64, err: &DecodeError) {
-        let line = self.service.decode_error_reply(err);
-        {
-            let Some(conn) = self.conns.get_mut(&token) else { return };
-            conn.close_after_write = true;
-            conn.out.clear();
-            conn.out.extend_from_slice(line.as_bytes());
-            conn.out.push(b'\n');
-            conn.outpos = 0;
-            conn.state = ConnState::Writing;
-        }
-        if self.flush_out(token) {
-            self.close_conn(token, false);
-        }
-    }
-
-    /// Write as much of the pending reply as the socket accepts. Returns
-    /// true when the reply is fully flushed. On WouldBlock, write
-    /// interest is armed and the idle wheel covers a peer that never
-    /// drains its side.
-    fn flush_out(&mut self, token: u64) -> bool {
+    /// Write as much of the output queue as the socket accepts, handing
+    /// up to [`MAX_FLUSH_VEC`] reply buffers to each vectored write.
+    /// Returns false when the connection broke (and was closed) or does
+    /// not exist. Successful writes refresh `last_activity`, so the idle
+    /// wheel never closes a peer that is draining a large reply slowly
+    /// but steadily.
+    fn flush_conn(&mut self, token: u64) -> bool {
         enum Outcome {
-            Done,
+            Clean,
             Blocked,
             Broken,
         }
         let outcome = {
             let Some(conn) = self.conns.get_mut(&token) else { return false };
             loop {
-                if conn.outpos >= conn.out.len() {
-                    break Outcome::Done;
+                if conn.out.is_empty() {
+                    conn.outpos = 0;
+                    break Outcome::Clean;
                 }
-                let res = conn.stream.write(&conn.out[conn.outpos..]);
-                match res {
+                let mut slices: Vec<IoSlice<'_>> =
+                    Vec::with_capacity(conn.out.len().min(MAX_FLUSH_VEC));
+                let mut iter = conn.out.iter();
+                if let Some(front) = iter.next() {
+                    slices.push(IoSlice::new(&front[conn.outpos..]));
+                }
+                for buf in iter.take(MAX_FLUSH_VEC - 1) {
+                    slices.push(IoSlice::new(buf));
+                }
+                match (&conn.stream).write_vectored(&slices) {
                     Ok(0) => break Outcome::Broken,
-                    Ok(n) => {
-                        conn.outpos += n;
+                    Ok(mut n) => {
+                        if let Some(h) = &self.config.flush_batch {
+                            h.observe(slices.len() as f64);
+                        }
+                        drop(slices);
                         conn.last_activity = Instant::now();
+                        while n > 0 {
+                            let rem = conn.out[0].len() - conn.outpos;
+                            if n < rem {
+                                conn.outpos += n;
+                                break;
+                            }
+                            n -= rem;
+                            conn.outpos = 0;
+                            let mut buf = conn.out.pop_front().expect("front buffer exists");
+                            if self.buf_pool.len() < BUF_POOL_CAP
+                                && buf.capacity() <= BUF_POOL_MAX_CAPACITY
+                            {
+                                buf.clear();
+                                self.buf_pool.push(buf);
+                            }
+                        }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Outcome::Blocked,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -654,39 +806,12 @@ impl<S: Service> Reactor<S> {
             }
         };
         match outcome {
-            Outcome::Done => true,
-            Outcome::Blocked => {
-                if self.set_interest(token, Interest::WRITE) {
-                    self.arm_idle_timer(token, Instant::now());
-                }
-                false
-            }
+            Outcome::Clean | Outcome::Blocked => true,
             Outcome::Broken => {
                 self.close_conn(token, false);
                 false
             }
         }
-    }
-
-    /// A reply finished flushing: close terminal connections, otherwise
-    /// return to Reading and immediately consume any pipelined frame.
-    fn after_write(&mut self, token: u64, pool: &WorkerPool) {
-        let close = {
-            let Some(conn) = self.conns.get_mut(&token) else { return };
-            conn.out.clear();
-            conn.outpos = 0;
-            if conn.close_after_write || self.winding_down {
-                true
-            } else {
-                conn.state = ConnState::Reading;
-                false
-            }
-        };
-        if close {
-            self.close_conn(token, false);
-            return;
-        }
-        self.advance_reading(token, pool);
     }
 
     /// An idle-wheel entry fired: close the connection if it has truly
@@ -695,9 +820,9 @@ impl<S: Service> Reactor<S> {
         let deadline = {
             let Some(conn) = self.conns.get_mut(&token) else { return };
             conn.timer_armed = false;
-            if conn.state == ConnState::Dispatching {
+            if conn.in_flight() > 0 {
                 // A blocked dispatch (e.g. admission wait) is work, not
-                // idleness; the post-dispatch transition re-arms.
+                // idleness; the completion's advance re-arms.
                 return;
             }
             let deadline = conn.last_activity + idle;
@@ -736,48 +861,55 @@ impl<S: Service> Reactor<S> {
         }
     }
 
-    /// Update poller interest; on failure the connection is closed and
-    /// `false` returned.
-    fn set_interest(&mut self, token: u64, interest: Interest) -> bool {
-        let fd = match self.conns.get(&token) {
-            Some(conn) => poller::raw_fd(&conn.stream),
-            None => return false,
+    /// Update poller interest if it changed; on failure the connection
+    /// is closed and `false` returned.
+    fn update_interest(&mut self, token: u64, want: Interest) -> bool {
+        let fd = {
+            let Some(conn) = self.conns.get(&token) else { return false };
+            if conn.interest == want {
+                return true;
+            }
+            poller::raw_fd(&conn.stream)
         };
-        if self.poller.modify(fd, token, interest).is_err() {
+        if self.poller.modify(fd, token, want).is_err() {
             self.close_conn(token, false);
             return false;
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.interest = want;
         }
         true
     }
 
     fn close_conn(&mut self, token: u64, idle: bool) {
-        let Some(mut conn) = self.conns.remove(&token) else { return };
+        let Some(conn) = self.conns.remove(&token) else { return };
         let _ = self.poller.deregister(poller::raw_fd(&conn.stream));
         self.shared.stats.closed.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.open.fetch_sub(1, Ordering::Relaxed);
         if idle {
             self.shared.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
         }
-        if let Some(sconn) = conn.sconn.take() {
-            self.service.closed(token, sconn);
-        }
+        self.service.closed(token, &conn.sconn);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SmallRng;
     use std::io::BufRead;
     use std::net::Shutdown;
     use std::sync::atomic::AtomicUsize;
+    use std::thread;
 
     struct Echo {
-        closed: AtomicUsize,
+        closed: Arc<AtomicUsize>,
+        fast_hits: Arc<AtomicUsize>,
     }
 
     impl Echo {
         fn new() -> Echo {
-            Echo { closed: AtomicUsize::new(0) }
+            Echo { closed: Arc::new(AtomicUsize::new(0)), fast_hits: Arc::new(AtomicUsize::new(0)) }
         }
     }
 
@@ -788,12 +920,19 @@ mod tests {
             id
         }
 
-        fn handle(&self, conn: &mut u64, frame: &str) -> Reply {
+        fn handle(&self, conn: &u64, frame: &str) -> Reply {
             match frame {
                 "quit" => Reply::send_and_close("bye".into()),
                 "boom" => panic!("handler exploded (expected by test)"),
+                "big" => Reply::send("B".repeat(96 * 1024 * 1024)),
                 f => Reply::send(format!("echo[{conn}]:{f}")),
             }
+        }
+
+        fn fast_handle(&self, conn: &u64, frame: &str) -> Option<Reply> {
+            let hot = frame.strip_prefix("fast:")?;
+            self.fast_hits.fetch_add(1, Ordering::SeqCst);
+            Some(Reply::send(format!("fast[{conn}]:{hot}")))
         }
 
         fn decode_error_reply(&self, err: &DecodeError) -> String {
@@ -803,7 +942,7 @@ mod tests {
             }
         }
 
-        fn closed(&self, _id: u64, _conn: u64) {
+        fn closed(&self, _id: u64, _conn: &u64) {
             self.closed.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -815,9 +954,13 @@ mod tests {
     }
 
     fn start(config: ReactorConfig) -> Running {
+        start_with(Echo::new(), config)
+    }
+
+    fn start_with<S: Service>(service: S, config: ReactorConfig) -> Running {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let reactor = Reactor::new(listener, Echo::new(), config).unwrap();
+        let reactor = Reactor::new(listener, service, config).unwrap();
         let handle = reactor.handle();
         let thread = std::thread::spawn(move || reactor.run());
         Running { addr, handle, thread }
@@ -904,6 +1047,41 @@ mod tests {
         finish(r);
     }
 
+    /// Satellite bugfix regression: a client draining a reply much larger
+    /// than the socket buffers, slowly but with steady progress, must
+    /// never be idle-closed mid-flush — successful writes are activity.
+    /// The drain takes several idle horizons end to end; only the
+    /// write-progress refresh keeps the connection alive through it.
+    #[test]
+    fn slow_draining_client_with_write_progress_is_not_idle_closed() {
+        let config = ReactorConfig {
+            idle_timeout: Some(Duration::from_millis(400)),
+            ..ReactorConfig::default()
+        };
+        let r = start(config);
+        let sock = TcpStream::connect(r.addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        (&sock).write_all(b"big\n").unwrap();
+
+        let total = 96 * 1024 * 1024 + 1; // reply body + newline
+        let mut seen = 0usize;
+        let mut buf = vec![0u8; 1024 * 1024];
+        let t0 = Instant::now();
+        while seen < total {
+            let n = (&sock).read(&mut buf).expect("reply must keep flowing");
+            assert!(n > 0, "connection closed after {seen}/{total} bytes");
+            seen += n;
+            std::thread::sleep(Duration::from_millis(8));
+        }
+        assert!(
+            t0.elapsed() > Duration::from_millis(400),
+            "drain finished inside one idle horizon; the test lost its teeth"
+        );
+        assert_eq!(seen, total);
+        assert_eq!(r.handle.idle_closed(), 0, "write progress must count as activity");
+        finish(r);
+    }
+
     #[test]
     fn a_panicking_handler_closes_only_its_connection() {
         let r = start(ReactorConfig::default());
@@ -954,6 +1132,140 @@ mod tests {
         assert_eq!(r.handle.open(), 0, "all churned connections reaped");
         assert_eq!(r.handle.accepted(), 100);
         assert_eq!(r.handle.closed(), 100);
+        finish(r);
+    }
+
+    /// A service whose handler latency is a deterministic hash of the
+    /// frame, so adjacent pipelined frames complete on the dispatchers in
+    /// thoroughly shuffled order.
+    struct Jitter;
+
+    impl Service for Jitter {
+        type Conn = ();
+
+        fn open(&self, _id: u64) {}
+
+        fn handle(&self, _conn: &(), frame: &str) -> Reply {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in frame.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            std::thread::sleep(Duration::from_micros(h % 2500));
+            Reply::send(format!("ok:{frame}"))
+        }
+
+        fn decode_error_reply(&self, _err: &DecodeError) -> String {
+            "err:decode".into()
+        }
+    }
+
+    /// Pipelined-ordering property: N frames written in randomly sized
+    /// chunks, completed by the dispatchers in shuffled order, must come
+    /// back byte-identical and in request order.
+    #[test]
+    fn shuffled_dispatcher_completions_release_replies_in_request_order() {
+        let mut rng = SmallRng::seed_from_u64(0x5049_5045); // "PIPE"
+        for trial in 0..4 {
+            let r = start_with(
+                Jitter,
+                ReactorConfig { pipeline_depth: 8, dispatchers: 8, ..ReactorConfig::default() },
+            );
+            let sock = TcpStream::connect(r.addr).unwrap();
+            sock.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+
+            let n = 40;
+            let wire: Vec<u8> =
+                (0..n).flat_map(|i| format!("t{trial}-f{i}\n").into_bytes()).collect();
+            // Deliver the stream in random-size chunks so frames split at
+            // arbitrary byte boundaries across reads.
+            let mut off = 0;
+            while off < wire.len() {
+                let take = rng.range(1, 17).min(wire.len() - off);
+                (&sock).write_all(&wire[off..off + take]).unwrap();
+                off += take;
+            }
+            for i in 0..n {
+                assert_eq!(
+                    read_line(&mut reader).unwrap(),
+                    format!("ok:t{trial}-f{i}"),
+                    "reply {i} out of order (trial {trial})"
+                );
+            }
+            assert_eq!(r.handle.frames(), n);
+            finish(r);
+        }
+    }
+
+    /// Inline fast-path replies interleave with dispatched ones without
+    /// breaking request order, and skip the pool entirely.
+    #[test]
+    fn fast_path_replies_inline_and_preserve_order_with_dispatched_frames() {
+        let echo = Echo::new();
+        let fast_hits = Arc::clone(&echo.fast_hits);
+        let r = start_with(echo, ReactorConfig { pipeline_depth: 4, ..ReactorConfig::default() });
+        let sock = TcpStream::connect(r.addr).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+
+        (&sock).write_all(b"slow-1\nfast:x\nslow-2\nfast:y\n").unwrap();
+        assert!(read_line(&mut reader).unwrap().ends_with(":slow-1"));
+        assert!(read_line(&mut reader).unwrap().starts_with("fast["));
+        assert!(read_line(&mut reader).unwrap().ends_with(":slow-2"));
+        assert!(read_line(&mut reader).unwrap().ends_with("]:y"));
+        assert_eq!(r.handle.frames(), 4, "inline frames count too");
+        assert_eq!(fast_hits.load(Ordering::SeqCst), 2);
+        finish(r);
+    }
+
+    /// Write coalescing: a burst of inline replies leaves in far fewer
+    /// vectored writes than replies, and the batch histogram sees it.
+    #[test]
+    fn pipelined_replies_coalesce_into_vectored_writes() {
+        let hist = Arc::new(Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]));
+        let r = start_with(
+            Echo::new(),
+            ReactorConfig {
+                pipeline_depth: 8,
+                flush_batch: Some(Arc::clone(&hist)),
+                ..ReactorConfig::default()
+            },
+        );
+        let sock = TcpStream::connect(r.addr).unwrap();
+        let mut reader = io::BufReader::new(sock.try_clone().unwrap());
+        // Eight inline-answerable frames sent in one write: when they
+        // arrive in one read the reactor answers them in one advance pass
+        // and flushes them together. The kernel may split the burst
+        // across reads on a loaded machine, so retry until a burst lands
+        // intact — coalescing must happen on at least one of them.
+        let burst: String = (0..8).map(|i| format!("fast:{i}\n")).collect();
+        let mut coalesced = false;
+        for _ in 0..20 {
+            let before = hist.snapshot();
+            (&sock).write_all(burst.as_bytes()).unwrap();
+            for i in 0..8 {
+                assert!(read_line(&mut reader).unwrap().ends_with(&format!("]:{i}")));
+            }
+            // The histogram is observed on the reactor thread just after
+            // the write syscall, so the client can read the replies
+            // before the observation lands — wait for it.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let mut after = hist.snapshot();
+            while after.sum - before.sum < 8.0 && Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(1));
+                after = hist.snapshot();
+            }
+            assert!(
+                after.sum - before.sum >= 8.0,
+                "all eight reply buffers must pass through vectored writes, saw {}",
+                after.sum - before.sum
+            );
+            if after.count - before.count <= 4 {
+                coalesced = true;
+                break;
+            }
+        }
+        assert!(coalesced, "no burst of eight pipelined replies ever coalesced its flushes");
         finish(r);
     }
 }

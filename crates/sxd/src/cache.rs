@@ -66,6 +66,23 @@ impl ResultCache {
         }
     }
 
+    /// Fast-path lookup: counts a hit and refreshes recency when the key
+    /// is present but — unlike [`ResultCache::get`] — records nothing on
+    /// absence. The reactor-thread fast path probes before deciding
+    /// whether to dispatch; a declined probe falls through to the
+    /// dispatcher, whose own `get` counts the miss exactly once.
+    pub fn probe(&mut self, key: u64) -> Option<String> {
+        match self.map.get(&key) {
+            Some(e) => {
+                self.hits += 1;
+                let v = e.value.clone();
+                self.touch(key);
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
     /// Insert (or refresh) a result, evicting the least-recently used
     /// entry when full.
     pub fn insert(&mut self, key: u64, value: String) {
@@ -172,6 +189,21 @@ mod tests {
         c.insert(1, "{\"x\":1}".into());
         assert_eq!(c.get(1).as_deref(), Some("{\"x\":1}"));
         assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn probe_counts_hits_but_never_misses() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.probe(1), None);
+        assert_eq!((c.hits(), c.misses()), (0, 0), "a declined probe is invisible");
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        assert_eq!(c.probe(1).as_deref(), Some("a"));
+        assert_eq!((c.hits(), c.misses()), (1, 0));
+        // A probe refreshes recency exactly like `get`: 2 is now the LRU.
+        c.insert(3, "c".into());
+        assert!(c.probe(2).is_none());
+        assert!(c.probe(1).is_some());
     }
 
     #[test]

@@ -5,12 +5,13 @@
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ncar_suite::Json;
+use sxsim::presets;
 
 use crate::error::SxdError;
-use crate::proto::{read_frame, Request, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};
+use crate::proto::{cache_key, read_frame, Request, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};
 
 /// A connected protocol client.
 pub struct Client {
@@ -73,6 +74,96 @@ impl Client {
         writeln!(self.writer, "{line}").map_err(SxdError::io)?;
         read_frame(&mut self.reader, MAX_REPLY_FRAME)?
             .ok_or_else(|| SxdError::Io { detail: "server closed the connection".into() })
+    }
+
+    /// Send `lines` back-to-back — one buffered write, so the whole batch
+    /// leaves in a single syscall burst — then read exactly one raw reply
+    /// per line, in order. This is the client half of frame pipelining:
+    /// it only pays off against a server whose `pipeline_depth` covers the
+    /// batch, but it is *correct* against any server, because replies are
+    /// always delivered in request order.
+    pub fn raw_pipelined(&mut self, lines: &[String]) -> Result<Vec<String>, SxdError> {
+        let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        self.writer.write_all(buf.as_bytes()).map_err(SxdError::io)?;
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in 0..lines.len() {
+            replies.push(read_frame(&mut self.reader, MAX_REPLY_FRAME)?.ok_or_else(|| {
+                SxdError::Io { detail: "server closed the connection mid-pipeline".into() }
+            })?);
+        }
+        Ok(replies)
+    }
+
+    /// Pipeline a batch of submits and verify strict reply order: every
+    /// request leaves the socket before any reply is read, and each
+    /// decoded reply's `key` must equal the content address its own
+    /// request hashes to — so a server answering out of order is caught
+    /// as a typed error, never silently interleaved.
+    pub fn submit_pipelined(
+        &mut self,
+        batch: &[(String, String, BTreeMap<String, String>)],
+    ) -> Result<Vec<Submission>, SxdError> {
+        let mut lines = Vec::with_capacity(batch.len());
+        let mut expected: Vec<Option<u64>> = Vec::with_capacity(batch.len());
+        for (suite, machine, params) in batch {
+            let req = Request::Submit {
+                suite: suite.clone(),
+                machine: machine.clone(),
+                params: params.clone(),
+            };
+            let line = req.to_line();
+            if line.len() > MAX_REQUEST_FRAME {
+                return Err(SxdError::FrameTooLong { len: line.len(), max: MAX_REQUEST_FRAME });
+            }
+            lines.push(line);
+            // An unknown machine has no client-side key; its reply is a
+            // typed error and skips the order check.
+            expected.push(presets::by_name(machine).map(|m| cache_key(suite, &m, params)));
+        }
+        let replies = self.raw_pipelined(&lines)?;
+        let mut out = Vec::with_capacity(replies.len());
+        for (i, raw) in replies.into_iter().enumerate() {
+            let doc = Json::parse(&raw)
+                .map_err(|e| SxdError::BadJson { detail: format!("reply {i}: {e}") })?;
+            match doc.get("ok").and_then(Json::as_bool) {
+                Some(true) => {}
+                _ => {
+                    let err = doc.get("error").cloned().unwrap_or(Json::Null);
+                    return Err(SxdError::Remote {
+                        kind: err
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                        detail: err.get("detail").and_then(Json::as_str).unwrap_or("").to_string(),
+                    });
+                }
+            }
+            let key = doc.get("key").and_then(Json::as_str).unwrap_or("").to_string();
+            if let Some(want) = expected[i] {
+                let want = format!("{want:016x}");
+                if key != want {
+                    return Err(SxdError::BadJson {
+                        detail: format!(
+                            "pipelined reply {i} is out of order: key {key} but request \
+                             hashes to {want}"
+                        ),
+                    });
+                }
+            }
+            let cached = doc.get("cached").and_then(Json::as_bool).ok_or_else(|| {
+                SxdError::BadJson { detail: "submit reply lacks \"cached\"".into() }
+            })?;
+            let result = doc.get("result").cloned().ok_or_else(|| SxdError::BadJson {
+                detail: "submit reply lacks \"result\"".into(),
+            })?;
+            out.push(Submission { cached, key, result, raw });
+        }
+        Ok(out)
     }
 
     /// Send a line, parse the reply, surface `ok:false` as a typed error.
@@ -207,6 +298,10 @@ pub struct FloodConfig {
     /// cache (Table 6's ensemble regime: many copies of the same code).
     pub suites: Vec<String>,
     pub machine: String,
+    /// Frames each client keeps in flight: `0`/`1` submits serially (one
+    /// round trip per job, the classic shape); above 1, jobs go out in
+    /// pipelined batches of this size with strict reply-order checking.
+    pub pipeline: usize,
 }
 
 /// What the flood observed, checked against the acceptance criteria.
@@ -225,9 +320,16 @@ pub struct FloodOutcome {
     /// Submits that coalesced onto an identical in-flight run instead of
     /// executing again (the single-flight dedup at work).
     pub coalesced: u64,
+    /// Frames the daemon answered inline on its reactor thread.
+    pub fastpath_hits: u64,
     /// The daemon's own snapshot-consistency verdict: the `job` latency
     /// histogram count equals `done + rejected` in the same snapshot.
     pub reconciled: bool,
+    /// Wall seconds from the submit barrier dropping to the last client
+    /// finishing (connect time excluded).
+    pub wall: f64,
+    /// `completed / wall` — the number BENCH_7's `sxd_flood` reports.
+    pub jobs_per_sec: f64,
     /// Empty when every acceptance criterion held.
     pub problems: Vec<String>,
 }
@@ -259,38 +361,59 @@ pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
     // the first wave hits the daemon simultaneously — the regime where
     // single-flight coalescing (rather than the cache) must dedup.
     let start = std::sync::Arc::new(std::sync::Barrier::new(clients));
+    let pipeline = config.pipeline.max(1);
     let mut handles = Vec::new();
     for assigned in per_client {
         let addr = config.addr.clone();
         let machine = config.machine.clone();
         let start = std::sync::Arc::clone(&start);
-        handles.push(std::thread::spawn(move || -> Result<(usize, usize), SxdError> {
+        handles.push(std::thread::spawn(move || -> Result<(usize, usize, f64), SxdError> {
             // Retry the connect: the daemon may still be binding when the
             // flood starts (CI boots both in one script).
             let mut client = Client::connect_with_retry(&addr, 6, Duration::from_millis(25))?;
             start.wait();
+            let t0 = Instant::now();
             let params = BTreeMap::new();
             let mut completed = 0;
             let mut cached = 0;
-            for suite in &assigned {
-                let sub = client.submit(suite, &machine, &params)?;
-                completed += 1;
-                if sub.cached {
-                    cached += 1;
+            if pipeline > 1 {
+                for chunk in assigned.chunks(pipeline) {
+                    let batch: Vec<_> = chunk
+                        .iter()
+                        .map(|s| (s.clone(), machine.clone(), params.clone()))
+                        .collect();
+                    for sub in client.submit_pipelined(&batch)? {
+                        completed += 1;
+                        if sub.cached {
+                            cached += 1;
+                        }
+                    }
+                }
+            } else {
+                for suite in &assigned {
+                    let sub = client.submit(suite, &machine, &params)?;
+                    completed += 1;
+                    if sub.cached {
+                        cached += 1;
+                    }
                 }
             }
-            Ok((completed, cached))
+            Ok((completed, cached, t0.elapsed().as_secs_f64()))
         }));
     }
 
     let mut completed = 0;
     let mut cached_replies = 0;
+    let mut wall = 0.0f64;
     let mut problems = Vec::new();
     for h in handles {
         match h.join() {
-            Ok(Ok((c, hit))) => {
+            Ok(Ok((c, hit, secs))) => {
                 completed += c;
                 cached_replies += hit;
+                // The barrier synchronises every client's start, so the
+                // flood's wall time is the slowest client's elapsed time.
+                wall = wall.max(secs);
             }
             Ok(Err(e)) => problems.push(format!("client failed: {e}")),
             Err(_) => problems.push("client thread panicked".into()),
@@ -320,7 +443,10 @@ pub fn flood(config: &FloodConfig) -> Result<FloodOutcome, SxdError> {
         queued: n("queued"),
         running: n("running"),
         coalesced: n("coalesced"),
+        fastpath_hits: n("fastpath_hits"),
         reconciled: metrics.get("reconciled").and_then(Json::as_bool).unwrap_or(false),
+        wall,
+        jobs_per_sec: if wall > 0.0 { completed as f64 / wall } else { 0.0 },
         problems,
     };
     if outcome.cache_hits == 0 && config.jobs > suites.len() {

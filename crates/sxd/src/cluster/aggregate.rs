@@ -84,7 +84,8 @@ pub fn merge_stats(members: &[Json]) -> String {
     format!(
         "{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
          \"running\":{},\"done\":{},\"bad_requests\":{},\"coalesced\":{},\
-         \"checkpointed\":{},\"absorbed\":{},\"queue_depth\":{},\
+         \"checkpointed\":{},\"absorbed\":{},\"fastpath_hits\":{},\
+         \"queue_depth\":{},\
          \"cache\":{{\"hits\":{},\"misses\":{},\
          \"evictions\":{},\"entries\":{},\"cap\":{}}},\
          \"conns\":{{\"open\":{},\"accepted\":{},\"idle_closed\":{}}},\
@@ -99,6 +100,7 @@ pub fn merge_stats(members: &[Json]) -> String {
         sum_u64(members, "coalesced"),
         sum_u64(members, "checkpointed"),
         sum_u64(members, "absorbed"),
+        sum_u64(members, "fastpath_hits"),
         sum_u64(members, "queue_depth"),
         cn("hits"),
         cn("misses"),
@@ -256,7 +258,7 @@ mod tests {
         Json::parse(&format!(
             "{{\"accepted\":{accepted},\"rejected\":0,\"queued\":{queued},\"running\":0,\
              \"done\":{done},\"bad_requests\":1,\"coalesced\":2,\"checkpointed\":0,\
-             \"absorbed\":0,\"queue_depth\":{queued},\
+             \"absorbed\":0,\"fastpath_hits\":{hits},\"queue_depth\":{queued},\
              \"cache\":{{\"hits\":{hits},\"misses\":3,\"evictions\":0,\"entries\":4,\"cap\":256}},\
              \"conns\":{{\"open\":1,\"accepted\":{accepted},\"idle_closed\":2}},\
              \"suite_seconds\":{{\"fig5\":1.5}},\"workers\":4,\
@@ -276,6 +278,7 @@ mod tests {
         assert_eq!(n("done"), 13);
         assert_eq!(n("queued"), 2);
         assert_eq!(n("bad_requests"), 2);
+        assert_eq!(n("fastpath_hits"), 8);
         assert_eq!(n("workers"), 8);
         assert_eq!(n("members"), 2);
         assert_eq!(doc.get("cache").unwrap().get("hits").unwrap().as_u64(), Some(8));

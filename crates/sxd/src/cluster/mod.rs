@@ -133,6 +133,7 @@ pub fn spawn(registry: Registry<JobEntry>, config: ClusterConfig) -> Result<Clus
         config.server.drain_deadline,
         config.server.idle_timeout,
         config.server.dispatchers,
+        config.server.pipeline_depth,
     )?;
     let addr = router.local_addr();
     let router = std::thread::spawn(move || router.run());

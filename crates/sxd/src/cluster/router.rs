@@ -12,23 +12,35 @@
 //! submits of the drained member's keys still hit — byte-identically.
 //!
 //! The router serves on the same [`ncar_suite::reactor`] event loop as
-//! the member daemons: one thread owns every client socket, and decoded
-//! frames run on a bounded dispatcher pool. Forwarding reuses connections
-//! *per client connection*, not per member globally: each router
-//! connection owns a [`ShardConns`] (the reactor's per-connection service
-//! state, round-tripping through every dispatch) so two clients' requests
-//! to one member ride separate sockets and the member's own single-flight
-//! layer — not a router lock — serializes identical work. The router's
-//! long-lived locks (`sxd.router.members`, `sxd.router.handles`,
-//! `sxd.router.counters`, `sxd.router.reactor`) are all leaves: none is
-//! ever held across another, none is held across forwarding I/O (declared
-//! via `lockreg::blocking_io`), so the lockcheck graph of the cluster
-//! layer is edge-free by construction.
+//! the member daemons. Forwarding rides *multiplexed* member connections:
+//! one socket per member, shared by every client request, with a reader
+//! thread per member pairing replies to requests in wire order. A forward
+//! registers its reply waiter and writes its frame in one atomic step
+//! under the member's `sxd.router.mux` lock, then awaits the reply off
+//! every lock — so N concurrent forwards to one member pipeline into a
+//! single socket instead of paying one connection (and one serial round
+//! trip) each. Fan-out verbs (`stats`/`metrics`) and the drain hand-off's
+//! `put` replication use the same machinery in two phases: send
+//! everything, then collect everything, turning N round trips into one
+//! send burst plus one collect sweep.
+//!
+//! `route` and parse errors are pure ring math — no member I/O — so the
+//! reactor answers them inline on its own thread (the router's fast path,
+//! counted in `fastpath_hits`).
+//!
+//! The router's long-lived locks (`sxd.router.members`,
+//! `sxd.router.handles`, `sxd.router.counters`, `sxd.router.reactor`,
+//! and the per-member `sxd.router.mux` slots) are all leaves: none is
+//! ever held while acquiring another. Dials, joins and reply waits are
+//! declared via `lockreg::blocking_io` with no lock held; the one
+//! exemption is the mux frame write itself, which — like the journal's
+//! append — holds exactly the lock that *is* the wire-order guard.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -42,7 +54,7 @@ use super::ring::Ring;
 use crate::client::Client;
 use crate::error::SxdError;
 use crate::journal::{self, Journal};
-use crate::proto::{cache_key, Request, MAX_REQUEST_FRAME};
+use crate::proto::{cache_key, read_frame, Request, MAX_REPLY_FRAME, MAX_REQUEST_FRAME};
 
 /// How the router dials a member: a few quick retries so member startup
 /// races (the member thread is still binding) resolve without failing the
@@ -86,11 +98,30 @@ struct RouterCounters {
     /// Checkpointed restart specs re-submitted across the ring.
     handoff_resubmits: u64,
     unavailable: u64,
+    /// Frames answered inline on the reactor thread (`route`, parse
+    /// errors): pure ring math, no member I/O.
+    fastpath_hits: u64,
 }
+
+/// One multiplexed member connection: the shared writer half, plus the
+/// queue handing each request's reply waiter to the reader thread. Reply
+/// pairing is positional — waiters are registered in the same order their
+/// frames hit the wire (both under the `sxd.router.mux` lock), and the
+/// member answers each connection strictly in request order.
+struct MuxState {
+    writer: TcpStream,
+    waiters: mpsc::Sender<ReplyTx>,
+}
+
+type ReplyTx = mpsc::Sender<Result<String, SxdError>>;
+type ReplyRx = mpsc::Receiver<Result<String, SxdError>>;
 
 struct RouterInner {
     ring: Ring,
     members: Mutex<Vec<MemberSlot>>,
+    /// Multiplexed member connections, one slot per member, each guarded
+    /// by its own `sxd.router.mux` lock (a leaf; see module docs).
+    muxes: Vec<Mutex<Option<MuxState>>>,
     /// Join handles for in-process members, one slot per member.
     handles: Mutex<Vec<MemberHandle>>,
     counters: Mutex<RouterCounters>,
@@ -102,6 +133,7 @@ struct RouterInner {
     drain_deadline: Duration,
     idle_timeout: Option<Duration>,
     dispatchers: usize,
+    pipeline_depth: usize,
 }
 
 /// A bound, not-yet-running router. [`Router::run`] blocks until a
@@ -117,6 +149,9 @@ impl Router {
     /// index; pass `None` for shards this process does not own.
     /// `dispatchers == 0` auto-sizes (the router does no compute of its
     /// own — dispatchers only hold blocking forward I/O).
+    /// `pipeline_depth` is the per-client-connection frame window, as on
+    /// the member daemons ([`crate::ServerConfig::pipeline_depth`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn bind(
         members: Vec<RouterMember>,
         handles: Vec<MemberHandle>,
@@ -124,12 +159,14 @@ impl Router {
         drain_deadline: Duration,
         idle_timeout: Option<Duration>,
         dispatchers: usize,
+        pipeline_depth: usize,
     ) -> Result<Router, SxdError> {
         assert_eq!(members.len(), handles.len(), "one handle slot per member");
         let dispatchers = if dispatchers == 0 { 8 } else { dispatchers };
         let listener = TcpListener::bind(addr).map_err(SxdError::io)?;
         let local = listener.local_addr().map_err(SxdError::io)?;
         let ring = Ring::new(members.iter().map(|m| m.name.clone()).collect::<Vec<_>>());
+        let muxes = members.iter().map(|_| Mutex::new(None)).collect();
         let slots = members
             .into_iter()
             .map(|m| MemberSlot { addr: m.addr, state_dir: m.state_dir, alive: true })
@@ -139,6 +176,7 @@ impl Router {
             inner: Arc::new(RouterInner {
                 ring,
                 members: Mutex::new(slots),
+                muxes,
                 handles: Mutex::new(handles),
                 counters: Mutex::new(RouterCounters::default()),
                 reactor: Mutex::new(None),
@@ -147,6 +185,7 @@ impl Router {
                 drain_deadline,
                 idle_timeout,
                 dispatchers,
+                pipeline_depth: pipeline_depth.max(1),
             }),
         })
     }
@@ -157,9 +196,8 @@ impl Router {
 
     /// Serve on the reactor event loop until a `shutdown` (or a
     /// full-cluster `drain`) retires every member and the router itself.
-    /// Each client connection's [`ShardConns`] is its reactor service
-    /// state; a frame's forwarding I/O runs on a dispatcher thread, never
-    /// on the event loop.
+    /// A frame's forwarding I/O runs on a dispatcher thread, never on the
+    /// event loop; `route` and parse errors answer inline.
     pub fn run(self) -> Result<(), SxdError> {
         let inner = Arc::clone(&self.inner);
         let reactor = Reactor::new(
@@ -169,6 +207,7 @@ impl Router {
                 max_frame: MAX_REQUEST_FRAME,
                 idle_timeout: inner.idle_timeout,
                 dispatchers: inner.dispatchers,
+                pipeline_depth: inner.pipeline_depth,
                 ..ReactorConfig::default()
             },
         )
@@ -182,7 +221,12 @@ impl Router {
         }
         let res = reactor.run().map_err(SxdError::io);
         *plock_named(&inner.reactor, "sxd.router.reactor") = None;
-        // Join whatever member threads a shutdown fan-out left running.
+        // Retire the member muxes (their reader threads exit on the
+        // socket shutdown), then join whatever member threads a shutdown
+        // fan-out left running.
+        for idx in 0..inner.ring.len() {
+            kill_mux(&inner, idx);
+        }
         for h in drain_handles(&inner) {
             let _ = h.join();
         }
@@ -190,22 +234,26 @@ impl Router {
     }
 }
 
-/// The router as a [`Service`]: the per-connection state is that client's
-/// own [`ShardConns`], so member sockets persist across the connection's
-/// requests and die with it.
+/// The router as a [`Service`]: connections carry no per-connection state
+/// (member sockets are multiplexed router-wide), so `Conn` is `()`.
 struct RouterService {
     inner: Arc<RouterInner>,
 }
 
 impl Service for RouterService {
-    type Conn = ShardConns;
+    type Conn = ();
 
-    fn open(&self, _id: u64) -> ShardConns {
-        ShardConns::new(self.inner.ring.len())
+    fn open(&self, _id: u64) {}
+
+    fn handle(&self, _conn: &(), frame: &str) -> Reply {
+        Reply::send(handle_frame(&self.inner, frame))
     }
 
-    fn handle(&self, conns: &mut ShardConns, frame: &str) -> Reply {
-        Reply::send(handle_frame(&self.inner, conns, frame))
+    /// Reactor-thread fast path: `route` and parse errors are pure ring
+    /// math, answered inline; everything else holds member I/O and
+    /// dispatches.
+    fn fast_handle(&self, _conn: &(), frame: &str) -> Option<Reply> {
+        fast_frame(&self.inner, frame).map(Reply::send)
     }
 
     fn decode_error_reply(&self, err: &DecodeError) -> String {
@@ -222,61 +270,165 @@ fn drain_handles(inner: &RouterInner) -> Vec<JoinHandle<Result<(), SxdError>>> {
     plock_named(&inner.handles, "sxd.router.handles").iter_mut().filter_map(Option::take).collect()
 }
 
-/// Per-connection member sockets: lazily dialed, reused across requests,
-/// redialed once after an I/O failure.
-struct ShardConns {
-    slots: Vec<Option<Client>>,
+/// The reader half of one member mux: pairs replies to waiters in wire
+/// order. Exits on member EOF or a read error; dropping the waiter queue
+/// Receiver then disconnects every parked or future waiter (their channel
+/// recv/send errors), so nothing can wait forever on a dead connection.
+fn mux_reader(sock: TcpStream, waiters: mpsc::Receiver<ReplyTx>) {
+    let mut reader = BufReader::new(sock);
+    while let Ok(waiter) = waiters.recv() {
+        match read_frame(&mut reader, MAX_REPLY_FRAME) {
+            Ok(Some(line)) => {
+                let _ = waiter.send(Ok(line));
+            }
+            Ok(None) => {
+                let _ = waiter.send(Err(SxdError::Io {
+                    detail: "member closed the multiplexed connection".into(),
+                }));
+                break;
+            }
+            Err(e) => {
+                let _ = waiter.send(Err(e));
+                break;
+            }
+        }
+    }
 }
 
-impl ShardConns {
-    fn new(n: usize) -> ShardConns {
-        ShardConns { slots: (0..n).map(|_| None).collect() }
+/// Dial a member with the standard retry schedule (no lock held).
+fn dial(addr: &str) -> Result<TcpStream, SxdError> {
+    let mut delay = CONNECT_BACKOFF;
+    let mut last = String::new();
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                // Forwards are small frames pipelined back-to-back; never
+                // let Nagle hold one hostage to the previous one's ACK.
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < CONNECT_ATTEMPTS {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_secs(1));
+        }
     }
+    Err(SxdError::Retries { attempts: CONNECT_ATTEMPTS, detail: format!("{addr}: {last}") })
+}
 
-    /// Forward one raw frame to member `idx` and return the raw reply.
-    /// The line goes through verbatim, so a member's reply — including a
-    /// cache hit's exact payload bytes — passes back unmodified.
-    fn forward(&mut self, inner: &RouterInner, idx: usize, line: &str) -> Result<String, SxdError> {
-        let (addr, alive) = {
-            let members = plock_named(&inner.members, "sxd.router.members");
-            (members[idx].addr.clone(), members[idx].alive)
-        };
-        let name = inner.ring.name(idx).to_string();
-        if !alive {
-            return Err(SxdError::ShardUnavailable {
-                member: name,
-                detail: "member has left the ring".into(),
-            });
-        }
-        // Shard forwarding is blocking socket I/O; declared so the lock
-        // analysis can prove no router lock is ever held across it.
-        lockreg::blocking_io("sxd.router.forward", &[]);
-        let mut last = String::new();
-        for _attempt in 0..2 {
-            if self.slots[idx].is_none() {
-                match Client::connect_with_retry(&addr, CONNECT_ATTEMPTS, CONNECT_BACKOFF) {
-                    Ok(c) => self.slots[idx] = Some(c),
-                    Err(e) => {
-                        last = e.detail();
-                        continue;
-                    }
-                }
-            }
-            match self.slots[idx].as_mut().unwrap().raw(line) {
-                Ok(reply) => {
-                    plock_named(&inner.counters, "sxd.router.counters").forwarded += 1;
-                    return Ok(reply);
-                }
-                Err(e) => {
-                    // The socket is dead or desynced; drop it and redial.
-                    self.slots[idx] = None;
-                    last = e.detail();
-                }
-            }
-        }
-        plock_named(&inner.counters, "sxd.router.counters").unavailable += 1;
-        Err(SxdError::ShardUnavailable { member: name, detail: last })
+/// Stand a freshly dialed socket up as member `idx`'s mux. If a
+/// concurrent dialer won the race, its state stays and ours retires (the
+/// dropped waiter Sender exits our reader thread).
+fn install_mux(inner: &RouterInner, idx: usize, sock: TcpStream) -> Result<(), SxdError> {
+    let reader_sock = sock.try_clone().map_err(SxdError::io)?;
+    let (wtx, wrx) = mpsc::channel();
+    std::thread::spawn(move || mux_reader(reader_sock, wrx));
+    let mut slot = plock_named(&inner.muxes[idx], "sxd.router.mux");
+    if slot.is_none() {
+        *slot = Some(MuxState { writer: sock, waiters: wtx });
     }
+    Ok(())
+}
+
+/// Retire member `idx`'s mux. The explicit shutdown matters: the reader
+/// thread shares the socket via `try_clone`, so only a shutdown (not a
+/// drop of our half) wakes it out of a blocked read.
+fn kill_mux(inner: &RouterInner, idx: usize) {
+    let state = plock_named(&inner.muxes[idx], "sxd.router.mux").take();
+    if let Some(s) = state {
+        let _ = s.writer.shutdown(Shutdown::Both);
+    }
+}
+
+/// Try to enqueue one frame on member `idx`'s existing mux. `Ok(None)`
+/// means there is no usable mux (none installed, or its reader exited) —
+/// dial and retry. `Err` means the write itself failed; the slot is
+/// cleared so the next attempt redials.
+fn try_enqueue(inner: &RouterInner, idx: usize, line: &str) -> Result<Option<ReplyRx>, SxdError> {
+    let mut slot = plock_named(&inner.muxes[idx], "sxd.router.mux");
+    let Some(state) = slot.as_mut() else { return Ok(None) };
+    let (tx, rx) = mpsc::channel();
+    if state.waiters.send(tx).is_err() {
+        // The reader noticed the socket die first and exited.
+        *slot = None;
+        return Ok(None);
+    }
+    // Waiter registration and the frame write are one atomic step under
+    // the mux lock: that is what pairs replies with requests in wire
+    // order when forwards interleave. Holding the mux lock across this
+    // write is therefore by design — the lock *is* the wire-order guard —
+    // and exempted the same way as the journal's append lock.
+    lockreg::blocking_io("sxd.router.mux.send", &["sxd.router.mux"]);
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    if let Err(e) = state.writer.write_all(&buf) {
+        *slot = None;
+        return Err(SxdError::io(e));
+    }
+    Ok(Some(rx))
+}
+
+/// Put one frame on member `idx`'s wire and return the receiver its reply
+/// will arrive on. Dials (outside every lock) when no mux is up. This is
+/// the *send phase*; pair it with [`mux_recv`] — possibly after sending
+/// more frames first, which is exactly how forwards pipeline.
+fn mux_send(inner: &RouterInner, idx: usize, line: &str) -> Result<ReplyRx, SxdError> {
+    let (addr, alive) = {
+        let members = plock_named(&inner.members, "sxd.router.members");
+        (members[idx].addr.clone(), members[idx].alive)
+    };
+    if !alive {
+        return Err(SxdError::ShardUnavailable {
+            member: inner.ring.name(idx).to_string(),
+            detail: "member has left the ring".into(),
+        });
+    }
+    if let Some(rx) = try_enqueue(inner, idx, line)? {
+        return Ok(rx);
+    }
+    lockreg::blocking_io("sxd.router.dial", &[]);
+    let sock = dial(&addr)?;
+    install_mux(inner, idx, sock)?;
+    match try_enqueue(inner, idx, line)? {
+        Some(rx) => Ok(rx),
+        None => Err(SxdError::ShardUnavailable {
+            member: inner.ring.name(idx).to_string(),
+            detail: "member closed the multiplexed connection while dialing".into(),
+        }),
+    }
+}
+
+/// The *collect phase*: await one reply off every lock.
+fn mux_recv(rx: ReplyRx) -> Result<String, SxdError> {
+    lockreg::blocking_io("sxd.router.recv", &[]);
+    rx.recv().unwrap_or_else(|_| {
+        Err(SxdError::Io { detail: "multiplexed member connection closed".into() })
+    })
+}
+
+/// Forward one raw frame to member `idx` and return the raw reply. The
+/// line goes through verbatim, so a member's reply — including a cache
+/// hit's exact payload bytes — passes back unmodified. One failed round
+/// retires the mux and retries on a fresh dial.
+fn forward(inner: &RouterInner, idx: usize, line: &str) -> Result<String, SxdError> {
+    let mut last = String::new();
+    for _attempt in 0..2 {
+        let outcome = mux_send(inner, idx, line).and_then(mux_recv);
+        match outcome {
+            Ok(reply) => {
+                plock_named(&inner.counters, "sxd.router.counters").forwarded += 1;
+                return Ok(reply);
+            }
+            Err(e) => {
+                kill_mux(inner, idx);
+                last = e.detail();
+            }
+        }
+    }
+    plock_named(&inner.counters, "sxd.router.counters").unavailable += 1;
+    Err(SxdError::ShardUnavailable { member: inner.ring.name(idx).to_string(), detail: last })
 }
 
 /// Resolve the key's owner among live members, or the typed reason there
@@ -289,7 +441,51 @@ fn owner_of(inner: &RouterInner, key: u64) -> Result<usize, SxdError> {
     })
 }
 
-fn handle_frame(inner: &Arc<RouterInner>, conns: &mut ShardConns, frame: &str) -> String {
+/// Answer a `route` request: ring math only, shared by the dispatcher
+/// path and the fast path. Counts its own `bad_requests`.
+fn route_reply(
+    inner: &RouterInner,
+    suite: &str,
+    machine: &str,
+    params: &std::collections::BTreeMap<String, String>,
+) -> String {
+    let Some(model) = presets::by_name(machine) else {
+        plock_named(&inner.counters, "sxd.router.counters").bad_requests += 1;
+        return SxdError::UnknownMachine { machine: machine.to_string() }.to_reply();
+    };
+    let key = cache_key(suite, &model, params);
+    match owner_of(inner, key) {
+        Ok(owner) => format!(
+            "{{\"ok\":true,\"member\":{owner},\"shard\":\"{}\",\"key\":\"{key:016x}\"}}",
+            inner.ring.name(owner)
+        ),
+        Err(e) => e.to_reply(),
+    }
+}
+
+/// The router's fast path: frames that need no member I/O — `route` and
+/// parse errors — answer inline on the reactor thread. Everything else
+/// returns `None` and dispatches.
+fn fast_frame(inner: &RouterInner, frame: &str) -> Option<String> {
+    let reply = match Request::parse(frame) {
+        Err(e) => {
+            let mut c = plock_named(&inner.counters, "sxd.router.counters");
+            c.bad_requests += 1;
+            c.fastpath_hits += 1;
+            drop(c);
+            e.to_reply()
+        }
+        Ok(Request::Route { ref suite, ref machine, ref params }) => {
+            let r = route_reply(inner, suite, machine, params);
+            plock_named(&inner.counters, "sxd.router.counters").fastpath_hits += 1;
+            r
+        }
+        Ok(_) => return None,
+    };
+    Some(reply)
+}
+
+fn handle_frame(inner: &Arc<RouterInner>, frame: &str) -> String {
     let parsed = match Request::parse(frame) {
         Ok(r) => r,
         Err(e) => {
@@ -304,32 +500,23 @@ fn handle_frame(inner: &Arc<RouterInner>, conns: &mut ShardConns, frame: &str) -
                 return SxdError::UnknownMachine { machine: machine.clone() }.to_reply();
             };
             let key = cache_key(suite, &model, params);
-            match owner_of(inner, key).and_then(|owner| conns.forward(inner, owner, frame)) {
+            match owner_of(inner, key).and_then(|owner| forward(inner, owner, frame)) {
                 Ok(reply) => reply,
                 Err(e) => e.to_reply(),
             }
         }
         Request::Put { key, .. } => {
-            match owner_of(inner, key).and_then(|owner| conns.forward(inner, owner, frame)) {
+            match owner_of(inner, key).and_then(|owner| forward(inner, owner, frame)) {
                 Ok(reply) => reply,
                 Err(e) => e.to_reply(),
             }
         }
         Request::Route { ref suite, ref machine, ref params } => {
-            let Some(model) = presets::by_name(machine) else {
-                plock_named(&inner.counters, "sxd.router.counters").bad_requests += 1;
-                return SxdError::UnknownMachine { machine: machine.clone() }.to_reply();
-            };
-            let key = cache_key(suite, &model, params);
-            match owner_of(inner, key) {
-                Ok(owner) => format!(
-                    "{{\"ok\":true,\"member\":{owner},\"shard\":\"{}\",\"key\":\"{key:016x}\"}}",
-                    inner.ring.name(owner)
-                ),
-                Err(e) => e.to_reply(),
-            }
+            // Normally answered by the fast path; kept here so the verb
+            // still works if a service ever routes it through dispatch.
+            route_reply(inner, suite, machine, params)
         }
-        Request::Stats => match fanout_docs(inner, conns, &Request::Stats.to_line(), "stats") {
+        Request::Stats => match fanout_docs(inner, &Request::Stats.to_line(), "stats") {
             Ok(docs) => {
                 // Splice the router's own tallies into the merged stats
                 // object as an extra `router` member.
@@ -340,8 +527,7 @@ fn handle_frame(inner: &Arc<RouterInner>, conns: &mut ShardConns, frame: &str) -
             }
             Err(e) => e.to_reply(),
         },
-        Request::Metrics => match fanout_docs(inner, conns, &Request::Metrics.to_line(), "metrics")
-        {
+        Request::Metrics => match fanout_docs(inner, &Request::Metrics.to_line(), "metrics") {
             Ok(docs) => {
                 let merged = aggregate::merge_metrics(&docs);
                 format!("{{\"ok\":true,\"metrics\":{merged}}}")
@@ -349,12 +535,12 @@ fn handle_frame(inner: &Arc<RouterInner>, conns: &mut ShardConns, frame: &str) -
             Err(e) => e.to_reply(),
         },
         Request::Shutdown => {
-            shutdown_cluster(inner, conns);
+            shutdown_cluster(inner);
             "{\"ok\":true,\"shutting_down\":true}".into()
         }
         Request::Drain { deadline_ms, member: Some(idx) } => {
             let deadline = deadline_ms.map(Duration::from_millis).unwrap_or(inner.drain_deadline);
-            match drain_member(inner, conns, idx, deadline) {
+            match drain_member(inner, idx, deadline) {
                 Ok(reply) => reply,
                 Err(e) => e.to_reply(),
             }
@@ -370,7 +556,7 @@ fn handle_frame(inner: &Arc<RouterInner>, conns: &mut ShardConns, frame: &str) -
             for idx in alive {
                 let req =
                     Request::Drain { deadline_ms: Some(deadline.as_millis() as u64), member: None };
-                let _ = conns.forward(inner, idx, &req.to_line());
+                let _ = forward(inner, idx, &req.to_line());
             }
             let inner2 = Arc::clone(inner);
             std::thread::spawn(move || {
@@ -399,6 +585,7 @@ fn router_json(inner: &RouterInner) -> String {
     format!(
         "{{\"forwarded\":{},\"bad_requests\":{},\"handoff_entries\":{},\
          \"handoff_skipped\":{},\"handoff_resubmits\":{},\"unavailable\":{},\
+         \"fastpath_hits\":{},\
          \"conns\":{{\"open\":{conns_open},\"accepted\":{conns_accepted},\
          \"idle_closed\":{conns_idle_closed}}},\
          \"members_alive\":{alive},\"members_total\":{}}}",
@@ -408,26 +595,36 @@ fn router_json(inner: &RouterInner) -> String {
         c.handoff_skipped,
         c.handoff_resubmits,
         c.unavailable,
+        c.fastpath_hits,
         inner.ring.len(),
     )
 }
 
 /// Send `line` to every live member and collect the named reply member
-/// from each. A member that cannot be reached fails the whole fan-out —
+/// from each — pipelined: every member gets the frame before any reply is
+/// awaited, so the fan-out costs one round trip, not one per member. A
+/// member whose mux round fails is retried once on a fresh connection via
+/// [`forward`]; a member that stays unreachable fails the whole fan-out —
 /// a partial stats view would silently break the reconciliation sums.
-fn fanout_docs(
-    inner: &RouterInner,
-    conns: &mut ShardConns,
-    line: &str,
-    member_key: &str,
-) -> Result<Vec<Json>, SxdError> {
+fn fanout_docs(inner: &RouterInner, line: &str, member_key: &str) -> Result<Vec<Json>, SxdError> {
     let alive: Vec<usize> = {
         let members = plock_named(&inner.members, "sxd.router.members");
         (0..members.len()).filter(|&m| members[m].alive).collect()
     };
-    let mut docs = Vec::with_capacity(alive.len());
-    for idx in alive {
-        let reply = conns.forward(inner, idx, line)?;
+    let sends: Vec<(usize, Result<ReplyRx, SxdError>)> =
+        alive.into_iter().map(|idx| (idx, mux_send(inner, idx, line))).collect();
+    let mut docs = Vec::with_capacity(sends.len());
+    for (idx, sent) in sends {
+        let reply = match sent.and_then(mux_recv) {
+            Ok(r) => {
+                plock_named(&inner.counters, "sxd.router.counters").forwarded += 1;
+                r
+            }
+            Err(_) => {
+                kill_mux(inner, idx);
+                forward(inner, idx, line)?
+            }
+        };
         let doc = Json::parse(&reply)
             .map_err(|e| SxdError::BadJson { detail: format!("{} reply: {e}", member_key) })?;
         let member = doc.get(member_key).cloned().ok_or_else(|| SxdError::BadJson {
@@ -441,13 +638,13 @@ fn fanout_docs(
 /// Fan `shutdown` out to every live member, then retire the router once
 /// the member threads exit (asynchronously — the client gets its ack
 /// immediately, like a single daemon's shutdown).
-fn shutdown_cluster(inner: &Arc<RouterInner>, conns: &mut ShardConns) {
+fn shutdown_cluster(inner: &Arc<RouterInner>) {
     let alive: Vec<usize> = {
         let members = plock_named(&inner.members, "sxd.router.members");
         (0..members.len()).filter(|&m| members[m].alive).collect()
     };
     for idx in alive {
-        let _ = conns.forward(inner, idx, &Request::Shutdown.to_line());
+        let _ = forward(inner, idx, &Request::Shutdown.to_line());
     }
     let inner2 = Arc::clone(inner);
     std::thread::spawn(move || {
@@ -477,12 +674,13 @@ fn initiate_shutdown(inner: &RouterInner) {
 /// checkpointed restart specs across the ring. Synchronous by design —
 /// when the reply arrives, repeat submits of the drained member's keys
 /// already hit their successors' caches byte-identically.
-fn drain_member(
-    inner: &RouterInner,
-    conns: &mut ShardConns,
-    idx: usize,
-    deadline: Duration,
-) -> Result<String, SxdError> {
+///
+/// The journal replication is *batched*: every surviving entry's `put`
+/// goes on its successor's wire first (the send phase), then the acks are
+/// collected (the collect phase) — N entries cost one send burst plus one
+/// sweep instead of N serial round trips. An entry whose mux round fails
+/// is retried once on a fresh connection before failing the hand-off.
+fn drain_member(inner: &RouterInner, idx: usize, deadline: Duration) -> Result<String, SxdError> {
     let (addr, state_dir) = {
         let mut members = plock_named(&inner.members, "sxd.router.members");
         let Some(slot) = members.get_mut(idx) else {
@@ -501,8 +699,10 @@ fn drain_member(
         slot.alive = false;
         (slot.addr.clone(), slot.state_dir.clone())
     };
+    // The member is gone from the ring; its mux is dead weight now.
+    kill_mux(inner, idx);
 
-    // Ask the member to drain. Dial directly (not through `conns`) so a
+    // Ask the member to drain. Dial directly (not through the mux) so a
     // dead member is tolerated: it may have crashed, and hand-off of its
     // durable journal is exactly what recovers its keyspace.
     lockreg::blocking_io("sxd.router.drain", &[]);
@@ -548,6 +748,8 @@ fn drain_member(
                     newest.push((key, payload));
                 }
             }
+            // Send phase: pipeline every put onto its owner's wire.
+            let mut batch: Vec<(usize, String, Result<ReplyRx, SxdError>)> = Vec::new();
             for (key, payload) in newest {
                 let line = Request::Put { key, payload }.to_line();
                 if line.len() > MAX_REQUEST_FRAME {
@@ -555,7 +757,20 @@ fn drain_member(
                     continue;
                 }
                 let owner = owner_of(inner, key)?;
-                conns.forward(inner, owner, &line)?;
+                let sent = mux_send(inner, owner, &line);
+                batch.push((owner, line, sent));
+            }
+            // Collect phase: one ack per entry, retrying stragglers once.
+            for (owner, line, sent) in batch {
+                match sent.and_then(mux_recv) {
+                    Ok(_) => {
+                        plock_named(&inner.counters, "sxd.router.counters").forwarded += 1;
+                    }
+                    Err(_) => {
+                        kill_mux(inner, owner);
+                        forward(inner, owner, &line)?;
+                    }
+                }
                 handed_off += 1;
             }
         }
@@ -572,7 +787,7 @@ fn drain_member(
                 machine: spec.machine.clone(),
                 params,
             };
-            conns.forward(inner, owner, &req.to_line())?;
+            forward(inner, owner, &req.to_line())?;
             resubmitted += 1;
         }
         let _ = journal::clear_restart_specs(&dir);

@@ -49,6 +49,15 @@
 //! `cache`, so the hierarchy is acyclic. The `reactor` handle slot is a
 //! leaf: it is taken and released in its own scope, never while another
 //! named lock is held and never holding one while acquiring another.
+//!
+//! The reactor-thread *fast path* ([`Daemon::fast_frame`]) answers cheap
+//! frames — cache hits, `stats`, typed bad requests — inline, without a
+//! dispatcher handoff. It takes the same `inflight` -> `cache` pair for
+//! its hit probe and `counters` alone to retire, so it adds no lock-graph
+//! edges; the one caveat is that its `stats` arm reads the `journal` slot
+//! and can ride out a concurrent append (bounded file IO, exempted as
+//! `sxd.journal.append`). Frames answered inline count `fastpath_hits`
+//! and observe the `fastpath` latency histogram.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener};
@@ -154,6 +163,17 @@ pub struct ServerConfig {
     /// herd followers parking in the single-flight table never starve
     /// their leader, which always occupies a dispatcher of its own.
     pub dispatchers: usize,
+    /// Decoded frames allowed in flight per connection before the reactor
+    /// stops reading from it ([`ReactorConfig::pipeline_depth`]). Replies
+    /// always leave in request order whatever the completion order, so a
+    /// depth above 1 changes throughput, never bytes. `1` (the default)
+    /// serves strictly request-by-request, the pre-pipelining behavior.
+    pub pipeline_depth: usize,
+    /// Answer cheap frames (cache hits, `stats`, typed bad requests)
+    /// inline on the reactor thread instead of paying a dispatcher round
+    /// trip. On by default; turn off to benchmark the dispatch path or to
+    /// keep the reactor thread free of daemon locks.
+    pub fastpath: bool,
 }
 
 impl Default for ServerConfig {
@@ -168,6 +188,8 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(10),
             idle_timeout: Some(Duration::from_secs(300)),
             dispatchers: 0,
+            pipeline_depth: 1,
+            fastpath: true,
         }
     }
 }
@@ -206,6 +228,11 @@ pub struct Counters {
     /// puts never enter the job pipeline, so the counters invariant is
     /// untouched.
     pub absorbed: u64,
+    /// Frames answered inline on the reactor thread (cache hits, `stats`,
+    /// typed bad requests). Informational: a fast-path submit retires
+    /// through the same `accepted`/`done` transition as a dispatched hit,
+    /// so the counters invariant is untouched.
+    pub fastpath_hits: u64,
     /// Per-suite serving totals, keyed by lowercased suite name.
     pub suites: BTreeMap<String, SuiteStat>,
 }
@@ -215,6 +242,10 @@ pub struct Counters {
 /// runs far faster than real time, so the ladder is log-spaced up to 1e6x.
 const SIM_THROUGHPUT_BUCKETS: [f64; 16] =
     [0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1e3, 1e4, 1e5, 1e6];
+
+/// Bucket edges for the `flush_batch` histogram: replies per vectored
+/// write syscall. Powers of two up to the reactor's per-syscall slice cap.
+const FLUSH_BATCH_BUCKETS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// The latency histograms and level gauges the daemon maintains. Stage
 /// histograms are named after the serving pipeline; the `job` histogram is
@@ -228,6 +259,12 @@ struct DaemonMetrics {
     run: Arc<Histogram>,
     render: Arc<Histogram>,
     job: Arc<Histogram>,
+    /// Inline reactor-thread answers, decode to flush-queue (see the
+    /// fast-path notes in the module docs).
+    fastpath: Arc<Histogram>,
+    /// Replies per vectored write syscall — not a latency; counts how well
+    /// pipelined replies coalesce on the wire.
+    flush_batch: Arc<Histogram>,
     sim_throughput: Arc<Histogram>,
     admission_waiting: Arc<Gauge>,
     admission_running: Arc<Gauge>,
@@ -247,6 +284,8 @@ impl DaemonMetrics {
             run: registry.latency("run"),
             render: registry.latency("render"),
             job: registry.latency("job"),
+            fastpath: registry.latency("fastpath"),
+            flush_batch: registry.histogram("flush_batch", &FLUSH_BATCH_BUCKETS),
             sim_throughput: registry.histogram("sim_throughput", &SIM_THROUGHPUT_BUCKETS),
             admission_waiting: registry.gauge("admission_waiting"),
             admission_running: registry.gauge("admission_running"),
@@ -327,6 +366,9 @@ struct Daemon {
     reactor: Mutex<Option<ReactorHandle>>,
     idle_timeout: Option<Duration>,
     dispatchers: usize,
+    pipeline_depth: usize,
+    /// Reactor-thread fast path enabled ([`ServerConfig::fastpath`]).
+    fastpath: bool,
     /// The write-ahead result journal (`None` without a state dir).
     /// Lock order: `journal` before `cache`, never the reverse.
     journal: Mutex<Option<Journal>>,
@@ -399,6 +441,8 @@ impl Server {
             } else {
                 config.dispatchers
             },
+            pipeline_depth: config.pipeline_depth.max(1),
+            fastpath: config.fastpath,
             journal: Mutex::new(journal_slot),
             state_dir: config.state_dir.clone(),
             drain_deadline: config.drain_deadline,
@@ -451,6 +495,8 @@ impl Server {
                 max_frame: MAX_REQUEST_FRAME,
                 idle_timeout: self.daemon.idle_timeout,
                 dispatchers: self.daemon.dispatchers,
+                pipeline_depth: self.daemon.pipeline_depth,
+                flush_batch: Some(Arc::clone(&self.daemon.metrics.flush_batch)),
                 ..ReactorConfig::default()
             },
         )
@@ -485,8 +531,14 @@ impl Service for DaemonService {
 
     fn open(&self, _id: u64) {}
 
-    fn handle(&self, _conn: &mut (), frame: &str) -> Reply {
+    fn handle(&self, _conn: &(), frame: &str) -> Reply {
         Reply::send(self.daemon.handle_frame(frame))
+    }
+
+    /// Reactor-thread fast path: answer a frame inline when it is cheap
+    /// (see [`Daemon::fast_frame`]); `None` routes it to a dispatcher.
+    fn fast_handle(&self, _conn: &(), frame: &str) -> Option<Reply> {
+        self.daemon.fast_frame(frame).map(Reply::send)
     }
 
     /// Framing is lost (oversized or non-UTF-8 line): the typed error the
@@ -561,6 +613,103 @@ impl Daemon {
                 }
             }
         }
+    }
+
+    /// The reactor-thread fast path: answer `frame` inline when doing so
+    /// is cheap and non-blocking, or return `None` to route it through the
+    /// dispatcher pool as before. Cheap means: a parse error or cluster
+    /// verb (typed reply), `stats`, or a submit that resolves as a cache
+    /// hit under the `inflight` -> `cache` pair — the same lock order as
+    /// [`Daemon::submit_inner`]. Anything that could run, wait, or park
+    /// (misses, followers, `metrics`, drains, shutdown, puts) dispatches.
+    ///
+    /// `frame_parse` is observed only for frames answered here, so every
+    /// frame is counted exactly once (declined frames are re-parsed and
+    /// observed by the dispatcher). The `fastpath` histogram covers the
+    /// whole inline handling, decode to flush queue.
+    fn fast_frame(self: &Arc<Self>, frame: &str) -> Option<String> {
+        if !self.fastpath {
+            return None;
+        }
+        let t0 = Instant::now();
+        let parsed = Request::parse(frame);
+        let parse_wall = t0.elapsed().as_secs_f64();
+        let reply = match parsed {
+            Err(e) => {
+                let mut c = plock_named(&self.counters, "sxd.counters");
+                c.bad_requests += 1;
+                c.fastpath_hits += 1;
+                drop(c);
+                e.to_reply()
+            }
+            Ok(Request::Stats) => {
+                let r = self.stats_reply();
+                plock_named(&self.counters, "sxd.counters").fastpath_hits += 1;
+                r
+            }
+            Ok(Request::Route { .. }) => {
+                let mut c = plock_named(&self.counters, "sxd.counters");
+                c.bad_requests += 1;
+                c.fastpath_hits += 1;
+                drop(c);
+                SxdError::BadRequest {
+                    detail: "\"route\" is a cluster verb; this daemon is not a router".into(),
+                }
+                .to_reply()
+            }
+            Ok(Request::Drain { deadline_ms: _, member: Some(_) }) => {
+                let mut c = plock_named(&self.counters, "sxd.counters");
+                c.bad_requests += 1;
+                c.fastpath_hits += 1;
+                drop(c);
+                SxdError::BadRequest {
+                    detail: "\"member\" targets a cluster router; this is a single daemon".into(),
+                }
+                .to_reply()
+            }
+            Ok(Request::Submit { suite, machine, params }) => {
+                self.fast_submit(&suite, &machine, &params, t0)?
+            }
+            Ok(_) => return None,
+        };
+        self.metrics.frame_parse.observe(parse_wall);
+        self.metrics.fastpath.observe(t0.elapsed().as_secs_f64());
+        Some(reply)
+    }
+
+    /// The submit arm of the fast path: `Some` only for a clean cache hit.
+    /// Unlike [`Daemon::submit_inner`] there is no pre-count into
+    /// `queued`: the hit retires in one counters critical section
+    /// (`accepted`, `done`, `fastpath_hits` and the `job` observation
+    /// together), so `accepted == done + rejected + queued + running`
+    /// holds at every instant on this path too.
+    fn fast_submit(
+        &self,
+        suite: &str,
+        machine: &str,
+        params: &BTreeMap<String, String>,
+        t_job: Instant,
+    ) -> Option<String> {
+        if self.shutting_down.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst) {
+            return None; // the dispatcher owns the typed refusal
+        }
+        // Unknown suites and machines dispatch too: their typed errors are
+        // not latency-critical and the dispatcher already counts them.
+        self.registry.get(suite)?;
+        let model = presets::by_name(machine)?;
+        let key = cache_key(suite, &model, params);
+        let payload = {
+            let _inflight = plock_named(&self.inflight, "sxd.inflight");
+            plock_named(&self.cache, "sxd.cache").probe(key)?
+        };
+        {
+            let mut c = plock_named(&self.counters, "sxd.counters");
+            c.accepted += 1;
+            c.done += 1;
+            c.fastpath_hits += 1;
+            self.metrics.job.observe(t_job.elapsed().as_secs_f64());
+        }
+        Some(submit_reply(true, key, &payload))
     }
 
     /// Absorb an already-rendered result under its content address — the
@@ -926,7 +1075,8 @@ impl Daemon {
         format!(
             "{{\"accepted\":{},\"rejected\":{},\"queued\":{},\
              \"running\":{},\"done\":{},\"bad_requests\":{},\"coalesced\":{},\
-             \"checkpointed\":{},\"absorbed\":{},\"queue_depth\":{},\
+             \"checkpointed\":{},\"absorbed\":{},\"fastpath_hits\":{},\
+             \"queue_depth\":{},\
              \"cache\":{{\"hits\":{hits},\"misses\":{misses},\
              \"evictions\":{evictions},\"entries\":{entries},\"cap\":{cap}}},\
              \"conns\":{{\"open\":{conns_open},\"accepted\":{conns_accepted},\
@@ -942,6 +1092,7 @@ impl Daemon {
             snap.coalesced,
             snap.checkpointed,
             snap.absorbed,
+            snap.fastpath_hits,
             snap.queued,
             suite_seconds,
             self.workers,
@@ -1205,6 +1356,62 @@ mod tests {
         let toy = c.suites.get("toy").unwrap();
         assert!(toy.sim_seconds > 0.0);
         assert_eq!(toy.runs, 1, "the cache hit must not count as a run");
+    }
+
+    #[test]
+    fn fast_path_serves_cache_hits_inline_with_counters_reconciled() {
+        let server = Server::bind(toy_registry(), ServerConfig::default()).unwrap();
+        let d = &server.daemon;
+        let frame = "{\"op\":\"submit\",\"suite\":\"toy\",\"machine\":\"sx4\"}";
+        // Cold: the fast path must decline the miss and leave no trace —
+        // not even a counted cache miss (the dispatcher counts it).
+        assert!(d.fast_frame(frame).is_none());
+        {
+            let c = plock(&d.counters);
+            assert_eq!((c.accepted, c.fastpath_hits), (0, 0));
+        }
+        assert_eq!(plock(&d.cache).misses(), 0, "a declined probe must be invisible");
+        // Warm the cache through the full path.
+        let slow = d.handle_frame(frame);
+        assert!(slow.contains("\"cached\":false"), "{slow}");
+        // Hot: the fast path serves byte-identical output inline.
+        let fast = d.fast_frame(frame).expect("warm submit must fast-path");
+        assert_eq!(fast, slow.replace("\"cached\":false", "\"cached\":true"));
+        {
+            let c = plock(&d.counters);
+            assert_eq!((c.accepted, c.done, c.fastpath_hits), (2, 2, 1));
+            assert_eq!(c.accepted, c.done + c.rejected + c.queued + c.running);
+        }
+        // Stats, parse errors and cluster verbs answer inline; run-bound
+        // and stateful verbs do not.
+        assert!(d.fast_frame("{\"op\":\"stats\"}").is_some());
+        assert!(d.fast_frame("not json").is_some());
+        assert!(d.fast_frame("{\"op\":\"route\",\"suite\":\"toy\",\"machine\":\"sx4\"}").is_some());
+        assert!(d.fast_frame("{\"op\":\"metrics\"}").is_none());
+        assert!(d.fast_frame("{\"op\":\"shutdown\"}").is_none());
+        assert!(d.fast_frame("{\"op\":\"drain\"}").is_none());
+        let m = metrics_doc(d);
+        assert_eq!(m.get("reconciled").unwrap().as_bool(), Some(true));
+        let stats = m.get("stats").unwrap();
+        assert_eq!(stats.get("fastpath_hits").unwrap().as_u64(), Some(4));
+        assert_eq!(stats.get("bad_requests").unwrap().as_u64(), Some(2));
+        // `frame_parse` counted each answered frame exactly once: one warm
+        // dispatch + four inline answers (the cold decline re-parses in
+        // the dispatcher, which in this test never saw it).
+        let parse = m.get("latency").unwrap().get("frame_parse").unwrap();
+        assert_eq!(parse.get("count").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn fast_path_toggle_off_declines_everything() {
+        let config = ServerConfig { fastpath: false, ..ServerConfig::default() };
+        let server = Server::bind(toy_registry(), config).unwrap();
+        let d = &server.daemon;
+        let frame = "{\"op\":\"submit\",\"suite\":\"toy\",\"machine\":\"sx4\"}";
+        let _ = d.handle_frame(frame);
+        assert!(d.fast_frame(frame).is_none(), "warm hit must still dispatch");
+        assert!(d.fast_frame("{\"op\":\"stats\"}").is_none());
+        assert_eq!(plock(&d.counters).fastpath_hits, 0);
     }
 
     #[test]

@@ -79,6 +79,7 @@ fn flood_through_the_router_passes_the_single_node_acceptance_checks() {
         jobs: 36,
         suites: vec!["shallow".into(), "radabs".into()],
         machine: "sx4-9.2".into(),
+        pipeline: 4,
     })
     .expect("flood runs");
     assert!(outcome.ok(), "flood through the router: {:?}", outcome.problems);

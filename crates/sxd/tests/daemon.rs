@@ -155,6 +155,7 @@ fn flood_completes_with_zero_drops_and_reconciled_counters() {
         jobs: 64,
         suites: vec!["shallow".into(), "radabs".into()],
         machine: "sx4-9.2".into(),
+        pipeline: 1,
     })
     .unwrap();
     assert!(outcome.ok(), "flood problems: {:?}", outcome.problems);
@@ -253,6 +254,7 @@ fn flood_coalesces_identical_submits_and_reconciles_metrics() {
         jobs: 64,
         suites: vec!["herd".into()],
         machine: "sx4-9.2".into(),
+        pipeline: 1,
     })
     .unwrap();
     assert!(outcome.ok(), "flood problems: {:?}", outcome.problems);

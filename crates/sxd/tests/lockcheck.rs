@@ -64,6 +64,7 @@ fn flooded_daemon_lock_graph_has_no_findings() {
         jobs: 48,
         suites: vec!["shallow".into(), "radabs".into()],
         machine: "sx4-9.2".into(),
+        pipeline: 4,
     })
     .unwrap();
     assert!(outcome.ok(), "flood problems: {:?}", outcome.problems);

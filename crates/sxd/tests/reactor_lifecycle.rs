@@ -193,6 +193,7 @@ fn flood_at_1000_connections_returns_fd_count_to_baseline() {
         jobs: 2000,
         suites: vec!["radabs".into()],
         machine: "sx4-9.2".into(),
+        pipeline: 1,
     })
     .expect("flood");
     assert!(outcome.ok(), "flood problems: {:?}", outcome.problems);
